@@ -1,0 +1,56 @@
+"""Compare sparse-training methods on a CIFAR-like task (mini Table I).
+
+Trains VGG-19 (width-scaled) with DST-EE against the classic dynamic sparse
+training baselines — SET (random growth), RigL (greedy gradient growth) and
+DeepR (stochastic rewiring) — at two sparsity levels, and prints a
+paper-style comparison table.
+
+Usage::
+
+    python examples/cifar_sparse_training.py
+"""
+
+from repro.data import cifar10_like
+from repro.experiments import format_table, run_image_classification
+from repro.models import vgg19
+
+METHODS = ("dense", "set", "deepr", "rigl", "dst_ee")
+SPARSITIES = (0.9, 0.98)
+
+
+def main() -> None:
+    data = cifar10_like(n_train=1024, n_test=512, image_size=12, seed=0)
+
+    def model_factory(seed: int):
+        return vgg19(num_classes=10, width_mult=0.2, input_size=12, seed=seed)
+
+    rows = []
+    for method in METHODS:
+        row = {"method": method}
+        sparsity_levels = (None,) if method == "dense" else SPARSITIES
+        for sparsity in sparsity_levels:
+            result = run_image_classification(
+                method, model_factory, data,
+                sparsity=sparsity if sparsity else 0.9,
+                epochs=4, batch_size=64, lr=0.05, delta_t=6,
+            )
+            if sparsity is None:
+                row["90%"] = row["98%"] = f"{result.final_accuracy:.3f}"
+            else:
+                row[f"{int(sparsity * 100)}%"] = f"{result.final_accuracy:.3f}"
+            print(f"  {method} @ {sparsity}: {result.final_accuracy:.3f} "
+                  f"({result.seconds:.0f}s)")
+        rows.append(row)
+
+    print()
+    print(format_table(
+        rows, ["method", "90%", "98%"],
+        headers=["Method", "Acc @ 90%", "Acc @ 98%"],
+        title="VGG-19 / CIFAR-10-like (accuracy, higher is better)",
+    ))
+    print("\nExpected shape (paper Table I): dst_ee >= rigl > set > deepr, "
+          "with the gap widening at 98% sparsity.")
+
+
+if __name__ == "__main__":
+    main()

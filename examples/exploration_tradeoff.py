@@ -1,0 +1,65 @@
+"""The exploration-exploitation trade-off coefficient ``c`` (Figure 3).
+
+Sweeps the acquisition coefficient ``c`` of Eq. 1 and reports, per value:
+the exploration-degree curve over mask-update rounds (left panels of
+Fig. 3) and the final test accuracy (right panels).  ``c = 0`` recovers
+RigL exactly.
+
+Usage::
+
+    python examples/exploration_tradeoff.py
+"""
+
+from repro.data import cifar10_like
+from repro.experiments import format_table, run_image_classification
+from repro.models import vgg19
+
+COEFFICIENTS = (0.0, 1e-4, 1e-3, 5e-3)
+
+
+def main() -> None:
+    data = cifar10_like(n_train=1024, n_test=512, image_size=12, seed=0)
+
+    def model_factory(seed: int):
+        return vgg19(num_classes=10, width_mult=0.2, input_size=12, seed=seed)
+
+    rows = []
+    curves = {}
+    for c in COEFFICIENTS:
+        result = run_image_classification(
+            "dst_ee" if c > 0 else "rigl", model_factory, data,
+            sparsity=0.95, epochs=4, batch_size=64, lr=0.05, delta_t=6, c=c,
+        )
+        label = f"c={c:g}" if c > 0 else "c=0 (RigL)"
+        rows.append({
+            "c": label,
+            "exploration": f"{result.exploration_rate:.3f}",
+            "accuracy": f"{result.final_accuracy:.3f}",
+        })
+        # Exploration degree per mask-update round (Fig. 3, left panels).
+        curves[label] = [
+            (record.epoch, record.exploration_rate)
+            for record in result.history.epochs
+        ]
+        print(f"  {label}: exploration={result.exploration_rate:.3f} "
+              f"accuracy={result.final_accuracy:.3f}")
+
+    print()
+    print(format_table(
+        rows, ["c", "exploration", "accuracy"],
+        headers=["Coefficient", "Exploration degree R", "Test accuracy"],
+        title="DST-EE trade-off sweep at 95% sparsity (VGG-19 / CIFAR-10-like)",
+    ))
+
+    print("\nExploration degree per epoch:")
+    for label, curve in curves.items():
+        series = " ".join(f"{value:.2f}" for _, value in curve)
+        print(f"  {label:12s} {series}")
+
+    print("\nExpected shape (paper Fig. 3): larger c ⇒ higher exploration "
+          "degree; within the swept range, higher exploration tracks higher "
+          "accuracy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""GNN link prediction: DST-EE vs ADMM prune-from-dense (mini Tables III/IV).
+
+Reproduces the paper's §V.B protocol on synthetic stand-ins for the
+wiki-talk and ia-email networks: a dense reference, DST-EE applied to the
+two fully-connected predictor layers (uniform sparsity), and the
+three-phase ADMM prune-from-dense baseline.
+
+Usage::
+
+    python examples/gnn_link_prediction.py
+"""
+
+from repro.data import ia_email_like, wiki_talk_like
+from repro.experiments import (
+    format_table,
+    run_admm_prune_from_dense,
+    run_gnn_dense,
+    run_gnn_dst_ee,
+)
+
+SPARSITIES = (0.8, 0.9, 0.98)
+
+
+def run_dataset(data) -> None:
+    print(f"\n=== {data.name} ({data.n_nodes} nodes) ===")
+    dense = run_gnn_dense(data, epochs=15, lr=2e-2, seed=0)
+    print(f"dense: {dense.best_accuracy:.3f}")
+
+    rows = []
+    for sparsity in SPARSITIES:
+        admm = run_admm_prune_from_dense(
+            data, sparsity,
+            pretrain_epochs=5, admm_epochs=5, retrain_epochs=5,
+            lr=2e-2, seed=0,
+        )
+        dst = run_gnn_dst_ee(data, sparsity, epochs=12, lr=2e-2, seed=0)
+        rows.append({
+            "sparsity": f"{int(sparsity * 100)}%",
+            "admm": f"{admm.best_accuracy:.3f}",
+            "dst_ee": f"{dst.best_accuracy:.3f}",
+            "winner": "dst_ee" if dst.best_accuracy >= admm.best_accuracy else "admm",
+        })
+    print(format_table(
+        rows, ["sparsity", "admm", "dst_ee", "winner"],
+        headers=["Sparsity", "ADMM prune-from-dense", "DST-EE", "Winner"],
+    ))
+
+
+def main() -> None:
+    run_dataset(wiki_talk_like(n_nodes=400, seed=0))
+    run_dataset(ia_email_like(n_nodes=400, seed=0))
+    print("\nExpected shape (paper Tables III/IV): DST-EE matches or beats "
+          "prune-from-dense at every sparsity, with the largest margin at 98%.")
+
+
+if __name__ == "__main__":
+    main()

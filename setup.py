@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment is offline and has no ``wheel`` package, so PEP 660
+editable installs (which require ``bdist_wheel``) cannot run.  Keeping a
+``setup.py`` and omitting ``[build-system]`` from pyproject.toml lets
+``pip install -e .`` take the legacy ``setup.py develop`` path, which works
+with the preinstalled setuptools alone.
+"""
+
+from setuptools import setup
+
+setup()

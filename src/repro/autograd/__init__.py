@@ -1,0 +1,89 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This package is the lowest substrate of the reproduction: a small but complete
+autograd engine in the spirit of PyTorch, sufficient to train the CNN / GNN
+models the DST-EE paper evaluates.  The public surface is:
+
+* :class:`~repro.autograd.tensor.Tensor` — an ndarray wrapper that records a
+  computation graph and supports ``backward()``.
+* :func:`~repro.autograd.tensor.tensor` — convenience constructor.
+* :func:`~repro.autograd.tensor.no_grad` — context manager disabling graph
+  recording (used for evaluation and for the mask surgery in drop-and-grow).
+* functional ops re-exported from :mod:`~repro.autograd.ops`,
+  :mod:`~repro.autograd.conv` and :mod:`~repro.autograd.sparse_ops`.
+* :func:`~repro.autograd.gradcheck.gradcheck` — numerical gradient checking
+  used extensively in the test-suite.
+"""
+
+from repro.autograd.tensor import (
+    Tensor,
+    tensor,
+    no_grad,
+    is_grad_enabled,
+    zeros,
+    ones,
+    randn,
+    DEFAULT_DTYPE,
+)
+from repro.autograd.ops import (
+    abs as abs_,
+    cat,
+    clip,
+    exp,
+    log,
+    log_softmax,
+    matmul,
+    maximum,
+    mean,
+    relu,
+    leaky_relu,
+    reshape,
+    sigmoid,
+    softmax,
+    sqrt,
+    stack,
+    sum as sum_,
+    tanh,
+    transpose,
+    where,
+)
+from repro.autograd.conv import avg_pool2d, conv2d, max_pool2d, pad2d
+from repro.autograd.sparse_ops import spmm
+from repro.autograd.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "zeros",
+    "ones",
+    "randn",
+    "DEFAULT_DTYPE",
+    "abs_",
+    "cat",
+    "clip",
+    "exp",
+    "log",
+    "log_softmax",
+    "matmul",
+    "maximum",
+    "mean",
+    "relu",
+    "leaky_relu",
+    "reshape",
+    "sigmoid",
+    "softmax",
+    "sqrt",
+    "stack",
+    "sum_",
+    "tanh",
+    "transpose",
+    "where",
+    "avg_pool2d",
+    "conv2d",
+    "max_pool2d",
+    "pad2d",
+    "spmm",
+    "gradcheck",
+]

@@ -1,0 +1,87 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used throughout the test-suite to validate every op's backward pass against a
+central finite-difference approximation computed in float64.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["gradcheck", "numerical_gradient"]
+
+
+def numerical_gradient(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Central finite-difference gradient of ``sum(func(*inputs))`` w.r.t. one input."""
+    target = inputs[index]
+    base = target.data.astype(np.float64).copy()
+    grad = np.zeros_like(base)
+    flat_base = base.reshape(-1)
+    flat_grad = grad.reshape(-1)
+
+    def objective() -> float:
+        out = func(*inputs)
+        return float(np.sum(out.data, dtype=np.float64))
+
+    for i in range(flat_base.size):
+        original = flat_base[i]
+        flat_base[i] = original + eps
+        target.data = base.reshape(target.shape).astype(target.dtype)
+        plus = objective()
+        flat_base[i] = original - eps
+        target.data = base.reshape(target.shape).astype(target.dtype)
+        minus = objective()
+        flat_base[i] = original
+        target.data = base.reshape(target.shape).astype(target.dtype)
+        flat_grad[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-4,
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+) -> bool:
+    """Compare analytic gradients of ``sum(func(*inputs))`` with finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
+    True on success.  Inputs must be float tensors; those with
+    ``requires_grad=False`` are treated as constants and skipped.
+
+    Tolerances default to float32-friendly values; tighten them when passing
+    float64 inputs.
+    """
+    for tensor_in in inputs:
+        tensor_in.zero_grad()
+    out = func(*inputs)
+    out.backward(np.ones_like(out.data))
+
+    checked_any = False
+    for idx, tensor_in in enumerate(inputs):
+        if not tensor_in.requires_grad:
+            continue
+        checked_any = True
+        analytic = tensor_in.grad
+        if analytic is None:
+            raise AssertionError(f"input {idx} received no gradient")
+        numeric = numerical_gradient(func, inputs, idx, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch on input {idx}: max abs err {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    if not checked_any:
+        raise AssertionError("gradcheck called with no differentiable inputs")
+    return True

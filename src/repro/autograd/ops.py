@@ -1,0 +1,497 @@
+"""Differentiable primitive operations on :class:`~repro.autograd.tensor.Tensor`.
+
+Every function takes tensors (or array-likes, which are promoted to constant
+tensors), computes the forward result with numpy, and registers a backward
+closure that routes the output gradient to each parent via the op's local
+Jacobian-vector product.  Broadcasting is supported everywhere numpy supports
+it; the adjoint of broadcasting is handled by
+:func:`repro.autograd.tensor._unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, ensure_tensor, _unbroadcast
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "pow",
+    "matmul",
+    "exp",
+    "log",
+    "sqrt",
+    "abs",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "leaky_relu",
+    "clip",
+    "maximum",
+    "minimum",
+    "where",
+    "sum",
+    "mean",
+    "var",
+    "max",
+    "min",
+    "reshape",
+    "transpose",
+    "getitem",
+    "cat",
+    "stack",
+    "softmax",
+    "log_softmax",
+]
+
+
+# ----------------------------------------------------------------------
+# arithmetic
+# ----------------------------------------------------------------------
+
+
+def add(a, b) -> Tensor:
+    """Elementwise ``a + b`` with numpy broadcasting."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad, a.shape))
+        b._accumulate(_unbroadcast(grad, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    """Elementwise ``a - b`` with numpy broadcasting."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad, a.shape))
+        b._accumulate(_unbroadcast(-grad, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    """Elementwise ``a * b`` with numpy broadcasting."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad * b.data, a.shape))
+        b._accumulate(_unbroadcast(grad * a.data, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    """Elementwise ``a / b`` with numpy broadcasting."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad / b.data, a.shape))
+        b._accumulate(_unbroadcast(-grad * a.data / (b.data * b.data), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def neg(a) -> Tensor:
+    """Elementwise negation."""
+    a = ensure_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(-grad)
+
+    return Tensor._make(-a.data, (a,), backward)
+
+
+def pow(a, exponent: float) -> Tensor:
+    """Elementwise power with a constant scalar exponent."""
+    a = ensure_tensor(a)
+    if isinstance(exponent, Tensor):
+        raise TypeError("pow supports only constant scalar exponents")
+    exponent = float(exponent)
+    out_data = a.data**exponent
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * exponent * a.data ** (exponent - 1.0))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product ``a @ b``.
+
+    Supports 2-D matrices and batched matmul with broadcasting over leading
+    batch dimensions (the same cases ``numpy.matmul`` supports for ndim ≥ 2).
+    1-D operands are not supported; reshape to explicit matrices instead.
+    """
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    if a.ndim < 2 or b.ndim < 2:
+        raise ValueError(
+            f"matmul requires ndim >= 2 operands, got {a.ndim} and {b.ndim}; "
+            "reshape 1-D vectors explicitly"
+        )
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        grad_a = grad @ np.swapaxes(b.data, -1, -2)
+        grad_b = np.swapaxes(a.data, -1, -2) @ grad
+        a._accumulate(_unbroadcast(grad_a, a.shape))
+        b._accumulate(_unbroadcast(grad_b, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# elementwise nonlinearities
+# ----------------------------------------------------------------------
+
+
+def exp(a) -> Tensor:
+    """Elementwise exponential."""
+    a = ensure_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * out_data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log(a) -> Tensor:
+    """Elementwise natural logarithm."""
+    a = ensure_tensor(a)
+    out_data = np.log(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad / a.data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sqrt(a) -> Tensor:
+    """Elementwise square root."""
+    a = ensure_tensor(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * 0.5 / out_data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def abs(a) -> Tensor:
+    """Elementwise absolute value (sub-gradient 0 at the kink)."""
+    a = ensure_tensor(a)
+    out_data = np.abs(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * np.sign(a.data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def tanh(a) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    a = ensure_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * (1.0 - out_data * out_data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    """Numerically stable elementwise logistic sigmoid."""
+    a = ensure_tensor(a)
+    x = a.data
+    out_data = np.empty_like(x)
+    positive = x >= 0
+    out_data[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out_data[~positive] = exp_x / (1.0 + exp_x)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def relu(a) -> Tensor:
+    """Elementwise rectified linear unit."""
+    a = ensure_tensor(a)
+    out_data = np.maximum(a.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * (a.data > 0))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with constant negative slope."""
+    a = ensure_tensor(a)
+    slope = float(negative_slope)
+    out_data = np.where(a.data > 0, a.data, slope * a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * np.where(a.data > 0, 1.0, slope).astype(grad.dtype))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def clip(a, low: float | None, high: float | None) -> Tensor:
+    """Elementwise clamp to ``[low, high]`` (gradient 0 outside the range)."""
+    a = ensure_tensor(a)
+    out_data = np.clip(a.data, low, high)
+
+    def backward(grad: np.ndarray) -> None:
+        inside = np.ones_like(a.data, dtype=bool)
+        if low is not None:
+            inside &= a.data >= low
+        if high is not None:
+            inside &= a.data <= high
+        a._accumulate(grad * inside)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum (gradient splits 50/50 on exact ties)."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a_wins = a.data > b.data
+        tie = a.data == b.data
+        grad_a = grad * (a_wins + 0.5 * tie)
+        grad_b = grad * (~a_wins & ~tie) + grad * (0.5 * tie)
+        a._accumulate(_unbroadcast(grad_a.astype(grad.dtype), a.shape))
+        b._accumulate(_unbroadcast(grad_b.astype(grad.dtype), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise minimum (gradient splits 50/50 on exact ties)."""
+    return neg(maximum(neg(a), neg(b)))
+
+
+def where(condition, a, b) -> Tensor:
+    """Elementwise select: ``a`` where ``condition`` else ``b``.
+
+    ``condition`` is a boolean array (not differentiated).
+    """
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad * cond, a.shape))
+        b._accumulate(_unbroadcast(grad * ~cond, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# reductions
+# ----------------------------------------------------------------------
+
+
+def _expand_reduced(grad: np.ndarray, shape: tuple[int, ...], axis, keepdims: bool) -> np.ndarray:
+    """Broadcast a reduced gradient back to the pre-reduction shape."""
+    if axis is None:
+        return np.broadcast_to(grad, shape)
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(ax % len(shape) for ax in axes)
+    if not keepdims:
+        for ax in sorted(axes):
+            grad = np.expand_dims(grad, ax)
+    return np.broadcast_to(grad, shape)
+
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Sum over ``axis`` (all elements when ``axis=None``)."""
+    a = ensure_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_expand_reduced(grad, a.shape, axis, keepdims).astype(a.dtype))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Arithmetic mean over ``axis``."""
+    a = ensure_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [a.shape[ax % a.ndim] for ax in ((axis,) if isinstance(axis, int) else axis)]
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        expanded = _expand_reduced(grad, a.shape, axis, keepdims)
+        a._accumulate((expanded / count).astype(a.dtype))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def var(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Biased (population) variance over ``axis``, composed from primitives.
+
+    The biased estimator matches what batch normalization uses in training
+    mode, which is the only consumer in this library.
+    """
+    a = ensure_tensor(a)
+    mu = mean(a, axis=axis, keepdims=True)
+    centered = sub(a, mu)
+    squared = mul(centered, centered)
+    result = mean(squared, axis=axis, keepdims=keepdims)
+    return result
+
+
+def _extreme(a, axis, keepdims: bool, mode: str) -> Tensor:
+    a = ensure_tensor(a)
+    reducer = np.max if mode == "max" else np.min
+    out_data = reducer(a.data, axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        expanded_out = _expand_reduced(out_data if keepdims else np.asarray(out_data), a.shape, axis, keepdims)
+        mask = (a.data == expanded_out).astype(a.dtype)
+        # Split gradient equally among ties so the op stays a valid sub-gradient.
+        counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        expanded_grad = _expand_reduced(grad, a.shape, axis, keepdims)
+        a._accumulate((expanded_grad * mask / counts).astype(a.dtype))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def max(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Maximum over ``axis`` (gradient split among ties)."""
+    return _extreme(a, axis, keepdims, "max")
+
+
+def min(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Minimum over ``axis`` (gradient split among ties)."""
+    return _extreme(a, axis, keepdims, "min")
+
+
+# ----------------------------------------------------------------------
+# shape manipulation
+# ----------------------------------------------------------------------
+
+
+def reshape(a, shape: Sequence[int]) -> Tensor:
+    """Reshape without changing the element order."""
+    a = ensure_tensor(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad.reshape(a.shape))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def transpose(a, axes: Sequence[int] | None = None) -> Tensor:
+    """Permute dimensions (reverse them when ``axes`` is None)."""
+    a = ensure_tensor(a)
+    out_data = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(np.transpose(grad, inverse))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def getitem(a, index) -> Tensor:
+    """Numpy-style indexing/slicing with gradient scatter-add on backward."""
+    a = ensure_tensor(a)
+    if isinstance(index, Tensor):
+        index = index.data
+    out_data = a.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        a._accumulate(full)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def cat(tensors: Iterable, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    parts = [ensure_tensor(t) for t in tensors]
+    out_data = np.concatenate([p.data for p in parts], axis=axis)
+    sizes = [p.shape[axis] for p in parts]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for part, start, stop in zip(parts, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            part._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(out_data, tuple(parts), backward)
+
+
+def stack(tensors: Iterable, axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    parts = [ensure_tensor(t) for t in tensors]
+    out_data = np.stack([p.data for p in parts], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slices = np.split(grad, len(parts), axis=axis)
+        for part, piece in zip(parts, slices):
+            part._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(out_data, tuple(parts), backward)
+
+
+# ----------------------------------------------------------------------
+# softmax family (fused for numerical stability and speed)
+# ----------------------------------------------------------------------
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(a))`` along ``axis``."""
+    a = ensure_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    softmax_data = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_sum = grad.sum(axis=axis, keepdims=True)
+        a._accumulate(grad - softmax_data * grad_sum)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    a = ensure_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exp_data = np.exp(shifted)
+    out_data = exp_data / exp_data.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        a._accumulate(out_data * (grad - inner))
+
+    return Tensor._make(out_data, (a,), backward)

@@ -1,0 +1,51 @@
+"""Dataset containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "ClassificationData"]
+
+
+class ArrayDataset:
+    """A dataset backed by parallel numpy arrays (inputs, targets)."""
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray):
+        if len(inputs) != len(targets):
+            raise ValueError(
+                f"inputs and targets disagree on length: {len(inputs)} vs {len(targets)}"
+            )
+        self.inputs = inputs
+        self.targets = targets
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index):
+        return self.inputs[index], self.targets[index]
+
+
+@dataclass
+class ClassificationData:
+    """Train/test split of an image-classification task.
+
+    Attributes
+    ----------
+    train, test:
+        :class:`ArrayDataset` instances with NCHW float32 images and int64
+        labels.
+    num_classes:
+        Number of target classes.
+    input_shape:
+        Per-example shape ``(C, H, W)``.
+    name:
+        Human-readable identifier used in experiment reports.
+    """
+
+    train: ArrayDataset
+    test: ArrayDataset
+    num_classes: int
+    input_shape: tuple[int, int, int]
+    name: str = "synthetic"

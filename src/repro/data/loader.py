@@ -1,0 +1,71 @@
+"""Mini-batch loader with optional shuffling and batch transforms."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import ArrayDataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate a dataset in mini-batches of ``(Tensor inputs, ndarray targets)``.
+
+    Parameters
+    ----------
+    dataset:
+        The :class:`~repro.data.dataset.ArrayDataset` to iterate.
+    batch_size:
+        Examples per batch; the final short batch is kept (no dropping) unless
+        ``drop_last=True``.
+    shuffle:
+        Reshuffle example order at the start of every epoch.
+    transform:
+        Optional callable ``(batch_inputs, rng) -> batch_inputs`` applied to
+        each input batch (data augmentation).
+    rng:
+        Generator driving shuffling and transforms; pass one for reproducible
+        epochs.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 128,
+        shuffle: bool = False,
+        transform: Callable[[np.ndarray, np.random.Generator], np.ndarray] | None = None,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.transform = transform
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.drop_last = bool(drop_last)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[Tensor, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self.rng.shuffle(order)
+        stop = n - (n % self.batch_size) if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            batch_x = self.dataset.inputs[idx]
+            batch_y = self.dataset.targets[idx]
+            if self.transform is not None:
+                batch_x = self.transform(batch_x, self.rng)
+            yield Tensor(np.ascontiguousarray(batch_x)), batch_y

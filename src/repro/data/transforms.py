@@ -1,0 +1,70 @@
+"""Batch-level data augmentation (numpy, NCHW).
+
+Transforms operate on whole batches for speed and take the loader's
+``numpy.random.Generator`` so augmentation is reproducible per epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Compose", "RandomHorizontalFlip", "RandomCrop", "Normalize"]
+
+
+class Compose:
+    """Apply transforms in order."""
+
+    def __init__(self, transforms: Sequence[Callable]):
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch, rng)
+        return batch
+
+
+class RandomHorizontalFlip:
+    """Flip each example left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        self.p = float(p)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flip = rng.random(len(batch)) < self.p
+        if flip.any():
+            batch = batch.copy()
+            batch[flip] = batch[flip, :, :, ::-1]
+        return batch
+
+
+class RandomCrop:
+    """Zero-pad by ``padding`` then crop back to the original size at a random offset."""
+
+    def __init__(self, padding: int = 1):
+        self.padding = int(padding)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return batch
+        n, c, h, w = batch.shape
+        p = self.padding
+        padded = np.pad(batch, ((0, 0), (0, 0), (p, p), (p, p)))
+        out = np.empty_like(batch)
+        offsets = rng.integers(0, 2 * p + 1, size=(n, 2))
+        for i in range(n):
+            dy, dx = offsets[i]
+            out[i] = padded[i, :, dy : dy + h, dx : dx + w]
+        return out
+
+
+class Normalize:
+    """Shift/scale channels by fixed per-channel statistics."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (batch - self.mean) / self.std

@@ -1,0 +1,171 @@
+"""Command-line interface for running reproduction experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.experiments.cli run --method dst_ee --dataset cifar10 \
+        --model vgg19 --sparsity 0.9 --epochs 4
+    python -m repro.experiments.cli gnn --dataset wiki_talk --sparsity 0.9
+    python -m repro.experiments.cli methods
+
+The heavyweight table sweeps live in ``benchmarks/`` (pytest-benchmark);
+this CLI is for single-cell experiments and quick exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import ALL_METHODS, method_family
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DST-EE reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one image-classification training run")
+    run.add_argument("--method", default="dst_ee", choices=ALL_METHODS)
+    run.add_argument("--dataset", default="cifar10",
+                     choices=["cifar10", "cifar100", "imagenet"])
+    run.add_argument("--model", default="vgg19",
+                     choices=["vgg19", "vgg11", "resnet50", "resnet50_mini", "mlp"])
+    run.add_argument("--sparsity", type=float, default=0.9)
+    run.add_argument("--epochs", type=int, default=4)
+    run.add_argument("--batch-size", type=int, default=64)
+    run.add_argument("--lr", type=float, default=0.05)
+    run.add_argument("--delta-t", type=int, default=6)
+    run.add_argument("--c", type=float, default=1e-3,
+                     help="exploration-exploitation coefficient (Eq. 1)")
+    run.add_argument("--epsilon", type=float, default=1.0)
+    run.add_argument("--distribution", default="erk",
+                     choices=["erk", "er", "uniform"])
+    run.add_argument("--width-mult", type=float, default=0.2)
+    run.add_argument("--n-train", type=int, default=1024)
+    run.add_argument("--n-test", type=int, default=512)
+    run.add_argument("--image-size", type=int, default=12)
+    run.add_argument("--seed", type=int, default=0)
+
+    gnn = sub.add_parser("gnn", help="GNN link-prediction experiment")
+    gnn.add_argument("--dataset", default="wiki_talk",
+                     choices=["wiki_talk", "ia_email"])
+    gnn.add_argument("--method", default="dst_ee",
+                     choices=["dense", "dst_ee", "admm"])
+    gnn.add_argument("--sparsity", type=float, default=0.9)
+    gnn.add_argument("--epochs", type=int, default=12)
+    gnn.add_argument("--nodes", type=int, default=400)
+    gnn.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("methods", help="list available methods by family")
+    return parser
+
+
+def _dataset(args):
+    from repro.data import cifar10_like, cifar100_like, imagenet_like
+
+    if args.dataset == "cifar10":
+        return cifar10_like(n_train=args.n_train, n_test=args.n_test,
+                            image_size=args.image_size, seed=args.seed)
+    if args.dataset == "cifar100":
+        return cifar100_like(n_train=args.n_train, n_test=args.n_test,
+                             image_size=args.image_size, n_classes=20,
+                             seed=args.seed)
+    return imagenet_like(n_train=args.n_train, n_test=args.n_test,
+                         image_size=args.image_size, n_classes=20,
+                         seed=args.seed)
+
+
+def _model_factory(args, num_classes: int):
+    from repro.models import MLP, resnet50, resnet50_mini, vgg11, vgg19
+
+    builders = {
+        "vgg19": lambda seed: vgg19(num_classes, args.width_mult,
+                                    args.image_size, seed=seed),
+        "vgg11": lambda seed: vgg11(num_classes, args.width_mult,
+                                    args.image_size, seed=seed),
+        "resnet50": lambda seed: resnet50(num_classes, args.width_mult, seed=seed),
+        "resnet50_mini": lambda seed: resnet50_mini(num_classes, args.width_mult,
+                                                    seed=seed),
+        "mlp": lambda seed: MLP(3 * args.image_size**2, (128, 64),
+                                num_classes, seed=seed),
+    }
+    return builders[args.model]
+
+
+def _command_run(args) -> int:
+    from repro.experiments.runner import run_image_classification
+
+    data = _dataset(args)
+    result = run_image_classification(
+        args.method, _model_factory(args, data.num_classes), data,
+        sparsity=args.sparsity, epochs=args.epochs,
+        batch_size=args.batch_size, lr=args.lr, delta_t=args.delta_t,
+        c=args.c, epsilon=args.epsilon, distribution=args.distribution,
+        seed=args.seed,
+    )
+    print(f"method:               {result.method}")
+    print(f"dataset:              {result.dataset}")
+    print(f"final accuracy:       {result.final_accuracy:.4f}")
+    print(f"best accuracy:        {result.best_accuracy:.4f}")
+    if result.actual_sparsity is not None:
+        print(f"actual sparsity:      {result.actual_sparsity:.4f}")
+        print(f"inference FLOPs:      {result.inference_flops_multiplier:.2f}x dense")
+        print(f"training FLOPs:       {result.training_flops_multiplier:.2f}x dense")
+    if result.exploration_rate is not None:
+        print(f"exploration rate R:   {result.exploration_rate:.4f}")
+    print(f"wall time:            {result.seconds:.1f}s")
+    return 0
+
+
+def _command_gnn(args) -> int:
+    from repro.data import ia_email_like, wiki_talk_like
+    from repro.experiments.gnn import (
+        run_admm_prune_from_dense,
+        run_gnn_dense,
+        run_gnn_dst_ee,
+    )
+
+    maker = wiki_talk_like if args.dataset == "wiki_talk" else ia_email_like
+    data = maker(n_nodes=args.nodes, seed=args.seed)
+    if args.method == "dense":
+        result = run_gnn_dense(data, epochs=args.epochs, seed=args.seed)
+    elif args.method == "dst_ee":
+        result = run_gnn_dst_ee(data, args.sparsity, epochs=args.epochs,
+                                seed=args.seed)
+    else:
+        third = max(1, args.epochs // 3)
+        result = run_admm_prune_from_dense(
+            data, args.sparsity, pretrain_epochs=third, admm_epochs=third,
+            retrain_epochs=third, seed=args.seed,
+        )
+    print(f"method:          {result.method}")
+    print(f"dataset:         {result.dataset}")
+    print(f"best accuracy:   {result.best_accuracy:.4f}")
+    print(f"final accuracy:  {result.final_accuracy:.4f}")
+    if result.actual_sparsity is not None:
+        print(f"actual sparsity: {result.actual_sparsity:.4f}")
+    print(f"wall time:       {result.seconds:.1f}s")
+    return 0
+
+
+def _command_methods() -> int:
+    for name in ALL_METHODS:
+        print(f"{name:16s} {method_family(name)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "gnn":
+        return _command_gnn(args)
+    return _command_methods()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""Method registry: build any of the paper's compared methods by name.
+
+Families
+--------
+* ``dense`` — no sparsification (the tables' reference rows).
+* static pruning at initialization — ``snip``, ``grasp``, ``synflow``,
+  ``static_random`` (random ERK mask, an ablation point).
+* dense-to-sparse — ``str`` (proximal variant), ``gmp``, ``granet``.
+* dynamic sparse training — ``set``, ``rigl``, ``rigl_itop``, ``deepr``,
+  ``snfs``, ``dsr``, ``mest`` and the paper's ``dst_ee``.
+
+:func:`build_method` returns a :class:`MethodSetup` holding the controller
+(plus the masked model when applicable) ready for the Trainer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.optim.sgd import Optimizer
+from repro.sparse import (
+    DSTEEGrowth,
+    DynamicSparseEngine,
+    FixedMaskController,
+    GMPController,
+    GradientGrowth,
+    MagnitudeDrop,
+    MagnitudeGradientDrop,
+    MaskedModel,
+    MomentumGrowth,
+    RandomGrowth,
+    STRController,
+    SignFlipDrop,
+    SparsityController,
+    grasp_masks,
+    snip_masks,
+    synflow_masks,
+)
+
+__all__ = ["MethodSetup", "build_method", "DYNAMIC_METHODS", "STATIC_METHODS",
+           "DENSE_TO_SPARSE_METHODS", "ALL_METHODS", "method_family"]
+
+
+DYNAMIC_METHODS = ("set", "rigl", "rigl_itop", "deepr", "snfs", "dsr", "mest", "dst_ee")
+STATIC_METHODS = ("snip", "grasp", "synflow", "static_random")
+DENSE_TO_SPARSE_METHODS = ("str", "gmp", "granet", "gap")
+ALL_METHODS = ("dense",) + STATIC_METHODS + DENSE_TO_SPARSE_METHODS + DYNAMIC_METHODS
+
+
+def method_family(name: str) -> str:
+    """Return the family of a method name (raises on unknown names)."""
+    if name == "dense":
+        return "dense"
+    if name in STATIC_METHODS:
+        return "static"
+    if name in DENSE_TO_SPARSE_METHODS:
+        return "dense_to_sparse"
+    if name in DYNAMIC_METHODS:
+        return "dynamic"
+    raise ValueError(f"unknown method {name!r}; known: {ALL_METHODS}")
+
+
+@dataclass
+class MethodSetup:
+    """A constructed method: controller + masked model (None for dense)."""
+
+    name: str
+    family: str
+    controller: SparsityController | None
+    masked: MaskedModel | None
+    finalize: Callable[[], None] | None = None  # e.g. STR pattern freeze
+
+
+def build_method(
+    name: str,
+    model: Module,
+    optimizer: Optimizer,
+    sparsity: float,
+    total_steps: int,
+    *,
+    distribution: str = "erk",
+    delta_t: int = 100,
+    drop_fraction: float = 0.3,
+    stop_fraction: float = 0.75,
+    c: float = 1e-3,
+    epsilon: float = 1.0,
+    mest_lambda: float = 1.0,
+    loss_fn: Callable | None = None,
+    saliency_batches: Iterable | None = None,
+    input_shape: tuple[int, ...] | None = None,
+    include_modules: Sequence[Module] | None = None,
+    rng: np.random.Generator | None = None,
+) -> MethodSetup:
+    """Construct the named sparsification method around ``model``.
+
+    ``saliency_batches`` (an iterable of ``(inputs, targets)``) is required
+    for SNIP/GraSP; ``input_shape`` for SynFlow.  ``include_modules``
+    restricts sparsification (the GNN experiments pass the two FC layers).
+    """
+    family = method_family(name)
+    rng = rng if rng is not None else np.random.default_rng()
+
+    if family == "dense":
+        return MethodSetup(name=name, family=family, controller=None, masked=None)
+
+    if family == "static":
+        if name == "static_random":
+            masked = MaskedModel(
+                model, sparsity, distribution=distribution, rng=rng,
+                include_modules=include_modules,
+            )
+        else:
+            masks = _static_masks(
+                name, model, sparsity, loss_fn, saliency_batches, input_shape,
+                include_modules,
+            )
+            masked = MaskedModel(
+                model, sparsity, distribution=distribution, rng=rng,
+                include_modules=include_modules, masks=masks,
+            )
+        return MethodSetup(
+            name=name, family=family,
+            controller=FixedMaskController(masked), masked=masked,
+        )
+
+    if family == "dense_to_sparse":
+        if name == "gap":
+            # GaP cycles partitions dense; masks start at the target level.
+            from repro.sparse.gap import GaPController
+
+            masked = MaskedModel(
+                model, sparsity, distribution=distribution, rng=rng,
+                include_modules=include_modules,
+            )
+            controller = GaPController(masked, total_steps=total_steps)
+            return MethodSetup(
+                name=name, family=family, controller=controller, masked=masked
+            )
+        masked = MaskedModel(
+            model, 0.0, distribution="uniform", rng=rng,
+            include_modules=include_modules,
+        )
+        if name == "str":
+            controller = STRController(masked, sparsity, total_steps, delta_t=delta_t)
+            return MethodSetup(
+                name=name, family=family, controller=controller, masked=masked,
+                finalize=controller.finalize,
+            )
+        regrow = 0.5 if name == "granet" else 0.0
+        controller = GMPController(
+            masked, sparsity, total_steps, delta_t=delta_t,
+            regrow_fraction=regrow, rng=rng,
+        )
+        return MethodSetup(name=name, family=family, controller=controller, masked=masked)
+
+    # ------------------------------------------------------------------ dynamic
+    masked = MaskedModel(
+        model, sparsity, distribution=distribution, rng=rng,
+        include_modules=include_modules,
+    )
+    growth, drop, extra = _dynamic_rules(name, c, epsilon, mest_lambda)
+    engine = DynamicSparseEngine(
+        masked,
+        growth,
+        total_steps=total_steps,
+        drop_rule=drop,
+        delta_t=delta_t,
+        drop_fraction=drop_fraction,
+        optimizer=optimizer,
+        rng=rng,
+        stop_fraction=extra.get("stop_fraction", stop_fraction),
+        drop_schedule=extra.get("drop_schedule", "cosine"),
+        global_drop=extra.get("global_drop", False),
+        grow_allocation=extra.get("grow_allocation", "per_layer"),
+    )
+    return MethodSetup(name=name, family=family, controller=engine, masked=masked)
+
+
+def _dynamic_rules(name: str, c: float, epsilon: float, mest_lambda: float):
+    """Growth rule, drop rule and engine overrides per dynamic method."""
+    if name == "set":
+        return RandomGrowth(), MagnitudeDrop(), {"drop_schedule": "constant"}
+    if name == "rigl":
+        return GradientGrowth(), MagnitudeDrop(), {}
+    if name == "rigl_itop":
+        # ITOP setting: keep exploring for the whole run with an un-annealed
+        # drop fraction, maximizing coverage.
+        return GradientGrowth(), MagnitudeDrop(), {
+            "drop_schedule": "constant", "stop_fraction": 1.0,
+        }
+    if name == "dst_ee":
+        return DSTEEGrowth(c=c, epsilon=epsilon), MagnitudeDrop(), {}
+    if name == "snfs":
+        return MomentumGrowth(), MagnitudeDrop(), {}
+    if name == "deepr":
+        return RandomGrowth(), SignFlipDrop(), {"drop_schedule": "constant"}
+    if name == "dsr":
+        return RandomGrowth(), MagnitudeDrop(), {
+            "global_drop": True, "grow_allocation": "proportional",
+        }
+    if name == "mest":
+        return RandomGrowth(), MagnitudeGradientDrop(mest_lambda), {
+            "drop_schedule": "linear",
+        }
+    raise ValueError(f"unknown dynamic method {name!r}")
+
+
+def _static_masks(
+    name: str,
+    model: Module,
+    sparsity: float,
+    loss_fn: Callable | None,
+    saliency_batches: Iterable | None,
+    input_shape: tuple[int, ...] | None,
+    include_modules: Sequence[Module] | None,
+) -> dict[str, np.ndarray]:
+    if name == "synflow":
+        if input_shape is None:
+            raise ValueError("synflow requires input_shape")
+        return synflow_masks(model, input_shape, sparsity, include_modules)
+    if loss_fn is None or saliency_batches is None:
+        raise ValueError(f"{name} requires loss_fn and saliency_batches")
+    batches = list(saliency_batches)
+    if name == "snip":
+        return snip_masks(model, loss_fn, batches, sparsity, include_modules)
+    if name == "grasp":
+        return grasp_masks(model, loss_fn, batches, sparsity, include_modules)
+    raise ValueError(f"unknown static method {name!r}")

@@ -1,0 +1,196 @@
+"""Experiment cell runner: one (method, model, dataset, sparsity) training run.
+
+This is what every Table-I/II bench invokes.  It wires together the data
+loaders, optimizer + cosine schedule (the paper's recipe), the method from
+:mod:`repro.experiments.registry`, and FLOPs accounting, and returns a
+:class:`RunResult` with everything the tables report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import ClassificationData
+from repro.data.loader import DataLoader
+from repro.flops import profile_model, sparse_inference_flops, training_flops_multiplier
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module
+from repro.optim import SGD, CosineAnnealingLR
+from repro.train import Trainer
+from repro.train.callbacks import LambdaCallback
+from repro.experiments.registry import build_method
+
+__all__ = ["RunResult", "run_image_classification", "run_multi_seed"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one training run."""
+
+    method: str
+    dataset: str
+    sparsity: float
+    final_accuracy: float
+    best_accuracy: float
+    train_loss: float
+    epochs: int
+    seconds: float
+    exploration_rate: float | None
+    actual_sparsity: float | None
+    inference_flops_multiplier: float
+    training_flops_multiplier: float
+    history: object = field(repr=False, default=None)
+    masks: dict = field(repr=False, default_factory=dict)
+
+
+def run_image_classification(
+    method: str,
+    model_factory: Callable[[int], Module],
+    data: ClassificationData,
+    *,
+    sparsity: float = 0.9,
+    epochs: int = 5,
+    batch_size: int = 64,
+    lr: float = 0.1,
+    momentum: float = 0.9,
+    weight_decay: float = 5e-4,
+    delta_t: int = 20,
+    drop_fraction: float = 0.3,
+    c: float = 1e-3,
+    epsilon: float = 1.0,
+    distribution: str = "erk",
+    seed: int = 0,
+    eval_every: int = 1,
+) -> RunResult:
+    """Train one method on one dataset and return its table row.
+
+    ``model_factory(seed)`` must build a freshly initialized model; the same
+    seed also drives data order and mask randomness so runs are reproducible.
+    """
+    start = time.time()
+    rng = np.random.default_rng(seed)
+    model = model_factory(seed)
+    train_loader = DataLoader(
+        data.train, batch_size=batch_size, shuffle=True,
+        rng=np.random.default_rng(seed + 1),
+    )
+    test_loader = DataLoader(data.test, batch_size=256)
+    steps_per_epoch = len(train_loader)
+    total_steps = epochs * steps_per_epoch
+
+    optimizer = SGD(
+        model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay
+    )
+    scheduler = CosineAnnealingLR(optimizer, t_max=epochs)
+
+    saliency_batches = None
+    if method in ("snip", "grasp"):
+        saliency_loader = DataLoader(
+            data.train, batch_size=batch_size, shuffle=True,
+            rng=np.random.default_rng(seed + 2),
+        )
+        saliency_batches = [next(iter(saliency_loader))]
+
+    setup = build_method(
+        method,
+        model,
+        optimizer,
+        sparsity,
+        total_steps,
+        distribution=distribution,
+        delta_t=delta_t,
+        drop_fraction=drop_fraction,
+        c=c,
+        epsilon=epsilon,
+        loss_fn=cross_entropy,
+        saliency_batches=saliency_batches,
+        input_shape=data.input_shape,
+        rng=rng,
+    )
+
+    # Track density snapshots per epoch for training-FLOPs accounting of
+    # dense-to-sparse methods (dynamic methods keep a constant budget).
+    density_snapshots: list[dict[str, float]] = []
+
+    def snapshot(record) -> None:
+        if setup.masked is not None:
+            density_snapshots.append(
+                {t.name: t.density for t in setup.masked.targets}
+            )
+
+    trainer = Trainer(
+        model,
+        optimizer,
+        cross_entropy,
+        train_loader,
+        test_loader,
+        scheduler=scheduler,
+        controller=setup.controller,
+        callbacks=[LambdaCallback(snapshot)],
+        eval_every=eval_every,
+    )
+    history = trainer.fit(epochs)
+    if setup.finalize is not None:
+        setup.finalize()
+
+    final_acc = history.final_test_accuracy or 0.0
+    # STR's finalize may change the pattern; re-evaluate to report honestly.
+    if setup.finalize is not None and test_loader is not None:
+        from repro.train.trainer import evaluate_classifier
+
+        final_acc = evaluate_classifier(model, test_loader)
+
+    profile = profile_model(model_factory(seed), data.input_shape)
+    if setup.masked is not None:
+        masks = setup.masked.masks_snapshot()
+        _, infer_mult = sparse_inference_flops(profile, masks)
+        train_mult = training_flops_multiplier(
+            profile, density_snapshots if density_snapshots else masks
+        )
+        actual_sparsity = setup.masked.global_sparsity()
+    else:
+        masks = {}
+        infer_mult = 1.0
+        train_mult = 1.0
+        actual_sparsity = None
+
+    coverage = getattr(setup.controller, "coverage", None)
+    return RunResult(
+        method=method,
+        dataset=data.name,
+        sparsity=sparsity,
+        final_accuracy=final_acc,
+        best_accuracy=history.best_test_accuracy or final_acc,
+        train_loss=history.epochs[-1].train_loss if len(history) else float("nan"),
+        epochs=epochs,
+        seconds=time.time() - start,
+        exploration_rate=coverage.exploration_rate() if coverage else None,
+        actual_sparsity=actual_sparsity,
+        inference_flops_multiplier=infer_mult,
+        training_flops_multiplier=train_mult,
+        history=history,
+        masks=masks,
+    )
+
+
+def run_multi_seed(
+    method: str,
+    model_factory: Callable[[int], Module],
+    data: ClassificationData,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    **kwargs,
+) -> tuple[float, float, list[RunResult]]:
+    """Run several seeds; return (mean accuracy, std, all results).
+
+    Mirrors the paper's "(mean ± std) over three random seeds" protocol.
+    """
+    results = [
+        run_image_classification(method, model_factory, data, seed=seed, **kwargs)
+        for seed in seeds
+    ]
+    scores = np.array([r.final_accuracy for r in results])
+    return float(scores.mean()), float(scores.std()), results

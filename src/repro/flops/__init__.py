@@ -1,0 +1,21 @@
+"""FLOPs accounting (Table II's training/inference cost columns)."""
+
+from repro.flops.count import (
+    LayerProfile,
+    ModelProfile,
+    conv2d_flops,
+    linear_flops,
+    profile_model,
+    sparse_inference_flops,
+    training_flops_multiplier,
+)
+
+__all__ = [
+    "LayerProfile",
+    "ModelProfile",
+    "conv2d_flops",
+    "linear_flops",
+    "profile_model",
+    "sparse_inference_flops",
+    "training_flops_multiplier",
+]

@@ -1,0 +1,28 @@
+"""Evaluation metrics: accuracy, exploration/coverage, exploitation, convergence."""
+
+from repro.metrics.accuracy import accuracy, binary_accuracy, topk_accuracy
+from repro.metrics.exploration import (
+    CohortRecord,
+    GrownWeightCohortTracker,
+    IgnoredImportantAnalysis,
+)
+from repro.metrics.exploitation import exploitation_degree, loss_delta_for_growth
+from repro.metrics.convergence import (
+    GradientNormTracker,
+    fit_decay_rate,
+    mask_incurred_error,
+)
+
+__all__ = [
+    "accuracy",
+    "topk_accuracy",
+    "binary_accuracy",
+    "CohortRecord",
+    "GrownWeightCohortTracker",
+    "IgnoredImportantAnalysis",
+    "exploitation_degree",
+    "loss_delta_for_growth",
+    "GradientNormTracker",
+    "fit_decay_rate",
+    "mask_incurred_error",
+]

@@ -1,0 +1,30 @@
+"""Model zoo: the architectures evaluated in the paper plus scaled stand-ins."""
+
+from repro.models.mlp import MLP
+from repro.models.vgg import VGG, VGG_CONFIGS, vgg11, vgg19
+from repro.models.resnet import (
+    BasicBlock,
+    Bottleneck,
+    ResNet,
+    resnet20,
+    resnet50,
+    resnet50_mini,
+)
+from repro.models.gnn import GCNEncoder, GNNLinkModel, LinkPredictor
+
+__all__ = [
+    "MLP",
+    "VGG",
+    "VGG_CONFIGS",
+    "vgg11",
+    "vgg19",
+    "ResNet",
+    "BasicBlock",
+    "Bottleneck",
+    "resnet20",
+    "resnet50",
+    "resnet50_mini",
+    "GCNEncoder",
+    "GNNLinkModel",
+    "LinkPredictor",
+]

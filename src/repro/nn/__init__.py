@@ -1,0 +1,60 @@
+"""Neural-network layers built on :mod:`repro.autograd`.
+
+The public API mirrors the familiar ``torch.nn`` names at the scale this
+reproduction needs: modules auto-register parameters, ``train()``/``eval()``
+switch stochastic layers, and losses fuse numerically stable primitives.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential, Identity
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.activations import (
+    LeakyReLU,
+    LogSoftmax,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.pooling import AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d
+from repro.nn.dropout import Dropout
+from repro.nn.losses import (
+    BCEWithLogitsLoss,
+    CrossEntropyLoss,
+    MSELoss,
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    mse_loss,
+)
+from repro.nn import functional, init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Identity",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "LogSoftmax",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "CrossEntropyLoss",
+    "BCEWithLogitsLoss",
+    "MSELoss",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "init",
+    "functional",
+]

@@ -1,0 +1,35 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.nn.module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Randomly zero activations with probability ``p`` during training.
+
+    Uses the *inverted* convention: surviving activations are scaled by
+    ``1/(1-p)`` so evaluation mode is the identity.
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x):
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return ops.mul(x, mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

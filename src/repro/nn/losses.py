@@ -1,0 +1,83 @@
+"""Loss functions (cross-entropy, binary cross-entropy with logits, MSE)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, ensure_tensor
+from repro.nn.module import Module
+
+__all__ = [
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "CrossEntropyLoss",
+    "BCEWithLogitsLoss",
+    "MSELoss",
+]
+
+
+def cross_entropy(logits: Tensor, targets) -> Tensor:
+    """Mean cross-entropy between ``logits`` ``(N, C)`` and integer targets ``(N,)``.
+
+    Fuses a numerically-stable log-softmax with negative log-likelihood
+    selection, exactly matching ``torch.nn.functional.cross_entropy`` for
+    hard labels with mean reduction.
+    """
+    logits = ensure_tensor(logits)
+    target_idx = np.asarray(targets.data if isinstance(targets, Tensor) else targets)
+    target_idx = target_idx.astype(np.int64).reshape(-1)
+    if logits.ndim != 2:
+        raise ValueError(f"cross_entropy expects 2-D logits, got shape {logits.shape}")
+    n = logits.shape[0]
+    if target_idx.shape[0] != n:
+        raise ValueError(
+            f"batch mismatch: {n} logits rows vs {target_idx.shape[0]} targets"
+        )
+    log_probs = ops.log_softmax(logits, axis=1)
+    picked = ops.getitem(log_probs, (np.arange(n), target_idx))
+    return ops.neg(ops.mean(picked))
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets) -> Tensor:
+    """Mean BCE over logits, computed in the numerically stable form.
+
+    ``loss = max(z, 0) - z*y + log(1 + exp(-|z|))`` averaged over elements.
+    """
+    logits = ensure_tensor(logits)
+    targets = ensure_tensor(targets)
+    relu_z = ops.relu(logits)
+    linear_term = ops.mul(logits, targets)
+    softplus = ops.log(ops.add(1.0, ops.exp(ops.neg(ops.abs(logits)))))
+    loss = ops.add(ops.sub(relu_z, linear_term), softplus)
+    return ops.mean(loss)
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    prediction = ensure_tensor(prediction)
+    target = ensure_tensor(target)
+    diff = ops.sub(prediction, target)
+    return ops.mean(ops.mul(diff, diff))
+
+
+class CrossEntropyLoss(Module):
+    """Module wrapper around :func:`cross_entropy`."""
+
+    def forward(self, logits, targets):
+        return cross_entropy(logits, targets)
+
+
+class BCEWithLogitsLoss(Module):
+    """Module wrapper around :func:`binary_cross_entropy_with_logits`."""
+
+    def forward(self, logits, targets):
+        return binary_cross_entropy_with_logits(logits, targets)
+
+
+class MSELoss(Module):
+    """Module wrapper around :func:`mse_loss`."""
+
+    def forward(self, prediction, target):
+        return mse_loss(prediction, target)

@@ -1,0 +1,76 @@
+"""Batch normalization layers.
+
+Both layers keep running estimates of mean/variance (buffers) for inference
+and compute batch statistics through the autograd graph during training, so
+gradients flow through the normalization exactly as in the reference
+implementations the paper's experiments rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+__all__ = ["BatchNorm1d", "BatchNorm2d"]
+
+
+class _BatchNorm(Module):
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32), name="gamma")
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    _reduce_axes: tuple[int, ...] = (0,)
+    _param_shape: tuple[int, ...] = (-1,)
+
+    def forward(self, x: Tensor) -> Tensor:
+        shape = self._param_shape
+        if self.training:
+            mu = ops.mean(x, axis=self._reduce_axes, keepdims=True)
+            centered = ops.sub(x, mu)
+            var = ops.mean(ops.mul(centered, centered), axis=self._reduce_axes, keepdims=True)
+            with_eps = ops.add(var, self.eps)
+            inv_std = ops.div(1.0, ops.sqrt(with_eps))
+            x_hat = ops.mul(centered, inv_std)
+            # Update running statistics outside the graph.
+            batch_mean = mu.data.reshape(-1)
+            batch_var = var.data.reshape(-1)
+            m = self.momentum
+            self.register_buffer(
+                "running_mean", ((1 - m) * self.running_mean + m * batch_mean).astype(np.float32)
+            )
+            self.register_buffer(
+                "running_var", ((1 - m) * self.running_var + m * batch_var).astype(np.float32)
+            )
+        else:
+            mean_c = self.running_mean.reshape(shape)
+            var_c = self.running_var.reshape(shape)
+            x_hat = ops.div(ops.sub(x, mean_c), np.sqrt(var_c + self.eps))
+        gamma = ops.reshape(self.weight, shape)
+        beta = ops.reshape(self.bias, shape)
+        return ops.add(ops.mul(x_hat, gamma), beta)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.num_features}, eps={self.eps}, momentum={self.momentum})"
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch norm over ``(N, C)`` activations."""
+
+    _reduce_axes = (0,)
+    _param_shape = (1, -1)
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch norm over ``(N, C, H, W)`` activations, per channel."""
+
+    _reduce_axes = (0, 2, 3)
+    _param_shape = (1, -1, 1, 1)

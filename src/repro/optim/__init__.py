@@ -1,0 +1,22 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.sgd import SGD, Optimizer
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import (
+    CosineAnnealingLR,
+    LRScheduler,
+    MultiStepLR,
+    StepLR,
+    WarmupWrapper,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "CosineAnnealingLR",
+    "StepLR",
+    "MultiStepLR",
+    "WarmupWrapper",
+]

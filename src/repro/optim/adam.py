@@ -1,0 +1,51 @@
+"""Adam optimizer (used by the GNN link-prediction experiments)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.optim.sgd import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias correction, following Kingma & Ba (2015)."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+
+    def step(self) -> None:
+        """Apply one Adam update to every parameter that has a gradient."""
+        for param in self.params:
+            grad = param.grad
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            state = self.state_for(param)
+            step_count = state.get("step", 0) + 1
+            m = state.get("m")
+            v = state.get("v")
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            state.update(step=step_count, m=m, v=v)
+            m_hat = m / (1 - self.beta1**step_count)
+            v_hat = v / (1 - self.beta2**step_count)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,94 @@
+"""Learning-rate schedules.
+
+The paper trains with SGD + cosine annealing; :class:`CosineAnnealingLR` is
+the default in every experiment config.  Schedulers mutate ``optimizer.lr``
+when :meth:`step` is called (once per epoch, as in the paper's setup, or per
+iteration if constructed with the iteration count).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.sgd import Optimizer
+
+__all__ = ["LRScheduler", "CosineAnnealingLR", "StepLR", "MultiStepLR", "WarmupWrapper"]
+
+
+class LRScheduler:
+    """Base class: tracks the epoch counter and the optimizer's base LR."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = -1
+        self.step()  # initialize lr for epoch 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.last_epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = int(t_max)
+        self.eta_min = float(eta_min)
+        super().__init__(optimizer)
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.eta_min + (self.base_lr - self.eta_min) * cosine
+
+
+class StepLR(LRScheduler):
+    """Multiply LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        super().__init__(optimizer)
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply LR by ``gamma`` at each milestone epoch."""
+
+    def __init__(self, optimizer: Optimizer, milestones: list[int], gamma: float = 0.1):
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = float(gamma)
+        super().__init__(optimizer)
+
+    def get_lr(self) -> float:
+        passed = sum(1 for m in self.milestones if m <= self.last_epoch)
+        return self.base_lr * self.gamma**passed
+
+
+class WarmupWrapper(LRScheduler):
+    """Linear warmup for ``warmup_epochs`` steps, then delegate to ``inner``."""
+
+    def __init__(self, optimizer: Optimizer, inner: LRScheduler, warmup_epochs: int):
+        self.inner = inner
+        self.warmup_epochs = int(warmup_epochs)
+        super().__init__(optimizer)
+
+    def get_lr(self) -> float:
+        if self.last_epoch < self.warmup_epochs:
+            return self.base_lr * (self.last_epoch + 1) / self.warmup_epochs
+        return self.inner.get_lr()
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        if self.last_epoch >= self.warmup_epochs:
+            self.inner.step()
+        self.optimizer.lr = self.get_lr()

@@ -1,0 +1,84 @@
+"""Stochastic gradient descent with momentum, weight decay and Nesterov.
+
+The optimizer exposes its per-parameter state (``state[param]``) because the
+dynamic-sparse-training engine must reset the momentum of newly grown weights
+(RigL/DST-EE semantics: regrown weights restart from zero with no velocity).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Optimizer", "SGD"]
+
+
+class Optimizer:
+    """Base optimizer: holds parameters, per-parameter state, and ``lr``."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float):
+        self.params: list[Tensor] = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+        self.state: dict[int, dict[str, np.ndarray]] = {}
+
+    def state_for(self, param: Tensor) -> dict[str, np.ndarray]:
+        """Per-parameter mutable state dict (created on first access)."""
+        return self.state.setdefault(id(param), {})
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all tracked parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with (optionally Nesterov) momentum and decoupled-from-mask weight decay.
+
+    Matches the PyTorch update rule:
+
+    ``v <- mu * v + g + wd * w``;  ``w <- w - lr * (g + mu*v)`` for Nesterov
+    or ``w <- w - lr * v`` for classic momentum.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+
+    def step(self) -> None:
+        """Apply one update to every parameter that has a gradient."""
+        for param in self.params:
+            grad = param.grad
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                state = self.state_for(param)
+                velocity = state.get("momentum")
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                state["momentum"] = velocity
+                update = grad + self.momentum * velocity if self.nesterov else velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update

@@ -1,0 +1,106 @@
+"""Sparse training: the paper's DST-EE algorithm and every compared baseline.
+
+Quick start::
+
+    from repro import nn, optim
+    from repro.sparse import MaskedModel, DynamicSparseEngine, DSTEEGrowth
+
+    masked = MaskedModel(model, sparsity=0.9, distribution="erk")
+    opt = optim.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    engine = DynamicSparseEngine(
+        masked, DSTEEGrowth(c=1e-3), total_steps=total,
+        delta_t=100, optimizer=opt,
+    )
+
+and pass ``engine`` to :class:`repro.train.Trainer`.
+"""
+
+from repro.sparse.masked import MaskedModel, SparseParam, collect_sparsifiable
+from repro.sparse.distribution import (
+    erdos_renyi,
+    erdos_renyi_kernel,
+    layer_densities,
+    uniform_density,
+)
+from repro.sparse.counter import CoverageTracker
+from repro.sparse.scoring import acquisition_score, exploitation_score, exploration_score
+from repro.sparse.schedule import (
+    ConstantSchedule,
+    CosineDecaySchedule,
+    LinearDecaySchedule,
+    UpdateSchedule,
+    make_drop_schedule,
+)
+from repro.sparse.growers import (
+    DSTEEGrowth,
+    GradientGrowth,
+    LayerContext,
+    MagnitudeDrop,
+    MagnitudeGradientDrop,
+    MomentumGrowth,
+    RandomGrowth,
+    SignFlipDrop,
+)
+from repro.sparse.engine import (
+    DynamicSparseEngine,
+    FixedMaskController,
+    SparsityController,
+)
+from repro.sparse.static import global_topk_masks, grasp_masks, snip_masks, synflow_masks
+from repro.sparse.gmp import GMPController, cubic_sparsity
+from repro.sparse.str_prune import STRController
+from repro.sparse.admm import ADMMPruner, project_topk
+from repro.sparse.io import load_sparse_checkpoint, save_sparse_checkpoint
+from repro.sparse.gap import GaPController
+from repro.sparse.inference import (
+    SparseConv2d,
+    SparseLinear,
+    compile_sparse_model,
+    sparse_storage_bytes,
+)
+
+__all__ = [
+    "MaskedModel",
+    "SparseParam",
+    "collect_sparsifiable",
+    "uniform_density",
+    "erdos_renyi",
+    "erdos_renyi_kernel",
+    "layer_densities",
+    "CoverageTracker",
+    "acquisition_score",
+    "exploitation_score",
+    "exploration_score",
+    "ConstantSchedule",
+    "CosineDecaySchedule",
+    "LinearDecaySchedule",
+    "UpdateSchedule",
+    "make_drop_schedule",
+    "LayerContext",
+    "RandomGrowth",
+    "GradientGrowth",
+    "DSTEEGrowth",
+    "MomentumGrowth",
+    "MagnitudeDrop",
+    "MagnitudeGradientDrop",
+    "SignFlipDrop",
+    "SparsityController",
+    "FixedMaskController",
+    "DynamicSparseEngine",
+    "snip_masks",
+    "grasp_masks",
+    "synflow_masks",
+    "global_topk_masks",
+    "GMPController",
+    "cubic_sparsity",
+    "STRController",
+    "ADMMPruner",
+    "project_topk",
+    "save_sparse_checkpoint",
+    "load_sparse_checkpoint",
+    "GaPController",
+    "SparseLinear",
+    "SparseConv2d",
+    "compile_sparse_model",
+    "sparse_storage_bytes",
+]

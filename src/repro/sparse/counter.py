@@ -1,0 +1,75 @@
+"""Coverage counters: the ``N_t`` tensors of Eq. 1 and the ITOP rate ``R``.
+
+Per Algorithm 1 of the paper, each sparsified layer keeps a counter tensor
+``N`` initialized to the initial mask; after every mask update the (new)
+mask is added to it, so ``N[i]`` counts in how many mask-update rounds
+weight ``i`` was active.  The exploration bonus ``c·ln(t)/(N+ε)`` ranks
+never-active weights (N=0) above previously-active ones.
+
+The tracker also maintains the "ever active" sets that define the ITOP
+exploration rate ``R`` — the fraction of all sparsifiable weights activated
+at least once during training (§III.C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.masked import MaskedModel
+
+__all__ = ["CoverageTracker"]
+
+
+class CoverageTracker:
+    """Occurrence counters + ever-active sets for a :class:`MaskedModel`."""
+
+    def __init__(self, masked: MaskedModel):
+        self.masked = masked
+        self.counters: dict[str, np.ndarray] = {}
+        self.ever_active: dict[str, np.ndarray] = {}
+        for target in masked.targets:
+            self.counters[target.name] = target.mask.astype(np.float32)
+            self.ever_active[target.name] = target.mask.copy()
+        self.rounds = 0
+
+    def counter_for(self, name: str) -> np.ndarray:
+        """The ``N`` tensor of one layer."""
+        return self.counters[name]
+
+    def update(self) -> None:
+        """Accumulate the current masks (call once per mask-update round)."""
+        for target in self.masked.targets:
+            self.counters[target.name] += target.mask
+            self.ever_active[target.name] |= target.mask
+        self.rounds += 1
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def exploration_rate(self) -> float:
+        """ITOP rate ``R``: fraction of sparsifiable weights ever activated."""
+        total = sum(t.size for t in self.masked.targets)
+        covered = sum(int(self.ever_active[t.name].sum()) for t in self.masked.targets)
+        return covered / total
+
+    def layer_exploration_rates(self) -> dict[str, float]:
+        """Per-layer ever-active fraction."""
+        return {
+            t.name: float(self.ever_active[t.name].mean()) for t in self.masked.targets
+        }
+
+    def never_active_fraction(self) -> float:
+        """Fraction of weights never activated (complement of ``R``)."""
+        return 1.0 - self.exploration_rate()
+
+    def mean_occupancy(self) -> float:
+        """Average of ``N`` over all weights, normalized by rounds seen.
+
+        1.0 would mean every weight was active in every round; with a fixed
+        non-zero budget this equals the global density when masks never move.
+        """
+        if self.rounds == 0:
+            return self.masked.global_density()
+        total = sum(t.size for t in self.masked.targets)
+        acc = sum(float(self.counters[t.name].sum()) for t in self.masked.targets)
+        return acc / (total * (self.rounds + 1))

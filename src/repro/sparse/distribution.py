@@ -1,0 +1,97 @@
+"""Layer-wise sparsity distributions (uniform, Erdős–Rényi, ERK).
+
+The paper initializes sparsity with **ERK** (Erdős–Rényi-Kernel, introduced
+by SET and used by RigL/ITOP): layer ``l`` gets density proportional to
+``(n_in + n_out + kh + kw) / (n_in * n_out * kh * kw)``, so small/narrow
+layers stay denser than wide ones.  Densities are capped at 1 with the
+standard iterative redistribution: any layer whose proportional density
+exceeds 1 is made fully dense and the remaining budget is re-spread.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["uniform_density", "erdos_renyi", "erdos_renyi_kernel", "layer_densities"]
+
+
+def _validate_density(density: float) -> float:
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"global density must be in (0, 1], got {density}")
+    return float(density)
+
+
+def uniform_density(shapes: Sequence[tuple[int, ...]], density: float) -> list[float]:
+    """Every layer gets the same density (the GNN experiments use this)."""
+    density = _validate_density(density)
+    return [density for _ in shapes]
+
+
+def _proportional(shapes: Sequence[tuple[int, ...]], density: float,
+                  raw_scores: np.ndarray) -> list[float]:
+    """Distribute a global non-zero budget proportionally to ``raw_scores``.
+
+    Iteratively caps layers at density 1 and redistributes the remainder,
+    preserving the total number of non-zero weights.
+    """
+    density = _validate_density(density)
+    sizes = np.array([int(np.prod(s)) for s in shapes], dtype=np.float64)
+    total_nonzero = density * sizes.sum()
+    dense = np.zeros(len(shapes), dtype=bool)
+    for _ in range(len(shapes) + 1):
+        free = ~dense
+        budget = total_nonzero - sizes[dense].sum()
+        if budget <= 0:
+            # Degenerate: dense layers alone exceed the budget; spread evenly.
+            densities = np.where(dense, 1.0, 0.0)
+            break
+        denom = (raw_scores[free] * sizes[free]).sum()
+        scale = budget / denom
+        densities = np.where(dense, 1.0, scale * raw_scores)
+        over = (densities > 1.0) & free
+        if not over.any():
+            break
+        dense |= over
+    densities = np.clip(densities, 0.0, 1.0)
+    return [float(d) for d in densities]
+
+
+def erdos_renyi(shapes: Sequence[tuple[int, ...]], density: float) -> list[float]:
+    """Erdős–Rényi: density ∝ ``(n_in + n_out) / (n_in * n_out)``.
+
+    Kernel dimensions are ignored (original SET formulation for FC layers).
+    """
+    raw = np.array(
+        [(s[0] + s[1]) / (s[0] * s[1]) for s in shapes], dtype=np.float64
+    )
+    return _proportional(shapes, density, raw)
+
+
+def erdos_renyi_kernel(shapes: Sequence[tuple[int, ...]], density: float) -> list[float]:
+    """ERK: density ∝ ``sum(dims) / prod(dims)`` (kernel-aware, paper default)."""
+    raw = np.array(
+        [np.sum(s) / np.prod(s) for s in shapes], dtype=np.float64
+    )
+    return _proportional(shapes, density, raw)
+
+
+_DISTRIBUTIONS = {
+    "uniform": uniform_density,
+    "er": erdos_renyi,
+    "erk": erdos_renyi_kernel,
+}
+
+
+def layer_densities(
+    shapes: Sequence[tuple[int, ...]], density: float, method: str = "erk"
+) -> list[float]:
+    """Dispatch to a named distribution (``"uniform"``, ``"er"``, ``"erk"``)."""
+    try:
+        fn = _DISTRIBUTIONS[method.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown sparsity distribution {method!r}; choose from {sorted(_DISTRIBUTIONS)}"
+        ) from None
+    return fn(shapes, density)

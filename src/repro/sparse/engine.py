@@ -1,0 +1,394 @@
+"""The drop-and-grow engine (Algorithm 1 of the paper) and fixed-mask training.
+
+:class:`DynamicSparseEngine` implements the paper's training loop semantics:
+
+* every iteration, gradients outside the mask are zeroed before the
+  optimizer step, so only active weights train;
+* every ``ΔT`` iterations (while ``t < stop_step``) the optimizer step is
+  *replaced* by a mask update: per layer, ``k_i`` active weights with the
+  lowest drop-rule score are deactivated and ``k_i`` inactive weights with
+  the highest growth-rule score are activated (newly grown weights start at
+  zero with reset optimizer state);
+* the coverage counters ``N`` are advanced after every mask update
+  (``N ← N + M``), driving DST-EE's exploration bonus.
+
+The engine is strategy-agnostic: DST-EE, RigL, SET, SNFS, DeepR, MEST and
+DSR are all configurations of drop rule × growth rule × allocation (see
+:mod:`repro.sparse.growers` and the method registry in
+:mod:`repro.experiments.registry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optim.sgd import Optimizer
+from repro.sparse.counter import CoverageTracker
+from repro.sparse.growers import (
+    DropRule,
+    GrowthRule,
+    LayerContext,
+    MagnitudeDrop,
+)
+from repro.sparse.masked import MaskedModel, SparseParam
+from repro.sparse.schedule import UpdateSchedule, make_drop_schedule
+
+__all__ = ["SparsityController", "FixedMaskController", "DynamicSparseEngine"]
+
+
+class SparsityController:
+    """Protocol between the trainer and any sparsification scheme.
+
+    ``on_backward`` runs after the backward pass; returning True tells the
+    trainer to skip the optimizer step (used by mask-update iterations,
+    Algorithm 1).  ``after_step`` runs after each optimizer step.
+    """
+
+    masked: MaskedModel
+
+    def on_backward(self, step: int) -> bool:
+        raise NotImplementedError
+
+    def after_step(self, step: int) -> None:
+        raise NotImplementedError
+
+    def on_epoch_end(self, epoch: int) -> None:
+        """Optional hook (dense-to-sparse schedules use it)."""
+
+
+class FixedMaskController(SparsityController):
+    """Static-mask sparse training (SNIP/GraSP/SynFlow after pruning)."""
+
+    def __init__(self, masked: MaskedModel):
+        self.masked = masked
+
+    def on_backward(self, step: int) -> bool:
+        self.masked.mask_gradients()
+        return False
+
+    def after_step(self, step: int) -> None:
+        self.masked.apply_masks()
+
+
+@dataclass
+class MaskUpdateRecord:
+    """Bookkeeping for one drop-and-grow round (feeds Fig. 3 and tests)."""
+
+    step: int
+    round_index: int
+    drop_fraction: float
+    total_dropped: int
+    total_grown: int
+    exploration_rate: float
+    global_density: float
+
+
+class DynamicSparseEngine(SparsityController):
+    """Drop-and-grow dynamic sparse training (Algorithm 1).
+
+    Parameters
+    ----------
+    masked:
+        The :class:`MaskedModel` whose masks evolve.
+    growth_rule, drop_rule:
+        Strategy objects from :mod:`repro.sparse.growers`.
+    total_steps:
+        Total training iterations (for schedules).
+    delta_t:
+        Mask-update period ``ΔT``.
+    drop_fraction:
+        Initial fraction of active weights moved per update.
+    drop_schedule:
+        ``"cosine"`` (RigL annealing, default), ``"constant"``, ``"linear"``.
+    stop_fraction:
+        Fraction of training after which the topology is frozen.
+    optimizer:
+        If given, its per-parameter state (momentum) is zeroed at newly
+        grown coordinates.
+    allow_regrow:
+        Whether a weight dropped in this round may be regrown in the same
+        round (off by default, matching ITOP-style implementations).
+    global_drop:
+        Pool the drop ranking across layers (DSR behaviour) instead of
+        per-layer ``k_i``.
+    grow_allocation:
+        ``"per_layer"`` grows exactly where it dropped; ``"proportional"``
+        (DSR) redistributes the global growth budget proportionally to each
+        layer's remaining active count.
+    grad_ema_beta:
+        Smoothing for the dense-gradient EMA (only maintained when the
+        growth rule requires it, e.g. SNFS).
+    rng:
+        Randomness for random growth and tie-breaking.
+    """
+
+    def __init__(
+        self,
+        masked: MaskedModel,
+        growth_rule: GrowthRule,
+        total_steps: int,
+        drop_rule: DropRule | None = None,
+        delta_t: int = 100,
+        drop_fraction: float = 0.3,
+        drop_schedule: str = "cosine",
+        stop_fraction: float = 0.75,
+        optimizer: Optimizer | None = None,
+        allow_regrow: bool = False,
+        global_drop: bool = False,
+        grow_allocation: str = "per_layer",
+        grad_ema_beta: float = 0.9,
+        rng: np.random.Generator | None = None,
+    ):
+        if grow_allocation not in ("per_layer", "proportional"):
+            raise ValueError(f"unknown grow_allocation {grow_allocation!r}")
+        self.masked = masked
+        self.growth_rule = growth_rule
+        self.drop_rule = drop_rule if drop_rule is not None else MagnitudeDrop()
+        self.update_schedule = UpdateSchedule(delta_t, total_steps, stop_fraction)
+        self.drop_schedule = make_drop_schedule(drop_schedule, drop_fraction, total_steps)
+        self.optimizer = optimizer
+        self.allow_regrow = bool(allow_regrow)
+        self.global_drop = bool(global_drop)
+        self.grow_allocation = grow_allocation
+        self.grad_ema_beta = float(grad_ema_beta)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+        self.coverage = CoverageTracker(masked)
+        self.history: list[MaskUpdateRecord] = []
+        self._needs_ema = getattr(growth_rule, "needs_grad_ema", False)
+        self._grad_ema: dict[str, np.ndarray] = {}
+        self._needs_signs = getattr(self.drop_rule, "needs_sign_reference", False)
+        self._sign_refs: dict[str, np.ndarray] = {}
+        if self._needs_signs:
+            for target in masked.targets:
+                self._sign_refs[target.name] = np.sign(target.param.data).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # trainer hooks
+    # ------------------------------------------------------------------
+    def on_backward(self, step: int) -> bool:
+        """Algorithm 1's branch: mask update (skip SGD) or masked gradient step."""
+        if self._needs_ema:
+            self._update_grad_ema()
+        if self.update_schedule.is_update_step(step):
+            self.mask_update(step)
+            return True
+        self.masked.mask_gradients()
+        return False
+
+    def after_step(self, step: int) -> None:
+        """Re-apply masks after the optimizer step (keeps the invariant exact)."""
+        self.masked.apply_masks()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _update_grad_ema(self) -> None:
+        beta = self.grad_ema_beta
+        for target in self.masked.targets:
+            grad = target.param.grad
+            if grad is None:
+                continue
+            ema = self._grad_ema.get(target.name)
+            if ema is None:
+                ema = np.zeros_like(grad)
+            self._grad_ema[target.name] = beta * ema + (1.0 - beta) * grad
+
+    def _context(self, target: SparseParam, step: int) -> LayerContext:
+        return LayerContext(
+            step=step,
+            rng=self.rng,
+            dense_grad=target.param.grad,
+            counter=self.coverage.counter_for(target.name),
+            grad_ema=self._grad_ema.get(target.name),
+            sign_reference=self._sign_refs.get(target.name),
+        )
+
+    def _drop_counts(self, fraction: float) -> list[int]:
+        """Per-layer number of weights to move this round."""
+        counts = []
+        for target in self.masked.targets:
+            active = target.active_count
+            inactive = target.size - active
+            k = int(fraction * active)
+            # Cannot drop more than would leave the layer empty, nor grow
+            # more than the number of inactive positions.
+            k = min(k, max(active - 1, 0), inactive)
+            counts.append(max(k, 0))
+        return counts
+
+    def _global_drop_counts(self, fraction: float, step: int) -> list[int]:
+        """DSR-style: rank all active weights globally, drop the bottom set."""
+        all_scores = []
+        owners = []
+        for index, target in enumerate(self.masked.targets):
+            ctx = self._context(target, step)
+            scores = np.asarray(self.drop_rule.scores(target, ctx), dtype=np.float64)
+            active_scores = scores[target.mask]
+            all_scores.append(active_scores)
+            owners.append(np.full(active_scores.size, index))
+        flat_scores = np.concatenate(all_scores)
+        flat_owners = np.concatenate(owners)
+        k_total = int(fraction * flat_scores.size)
+        if k_total == 0:
+            return [0] * len(self.masked.targets)
+        chosen = np.argpartition(flat_scores, k_total - 1)[:k_total]
+        counts = np.bincount(flat_owners[chosen], minlength=len(self.masked.targets))
+        # Respect per-layer feasibility.
+        feasible = []
+        for target, k in zip(self.masked.targets, counts):
+            inactive = target.size - target.active_count
+            feasible.append(int(min(k, max(target.active_count - 1, 0), inactive)))
+        return feasible
+
+    def _allocate_growth(self, drop_counts: list[int]) -> list[int]:
+        """How many weights each layer grows back this round."""
+        if self.grow_allocation == "per_layer":
+            return list(drop_counts)
+        # Proportional (DSR): redistribute the global budget by active share.
+        total = int(np.sum(drop_counts))
+        if total == 0:
+            return [0] * len(drop_counts)
+        actives = np.array(
+            [t.active_count - k for t, k in zip(self.masked.targets, drop_counts)],
+            dtype=np.float64,
+        )
+        weights = actives / actives.sum() if actives.sum() > 0 else np.ones_like(actives) / len(actives)
+        raw = weights * total
+        alloc = np.floor(raw).astype(int)
+        remainder = total - alloc.sum()
+        order = np.argsort(-(raw - alloc))
+        for i in range(remainder):
+            alloc[order[i % len(alloc)]] += 1
+        # Clamp to available inactive slots per layer; spill leftover to others.
+        for index, target in enumerate(self.masked.targets):
+            capacity = target.size - (target.active_count - drop_counts[index])
+            alloc[index] = min(alloc[index], capacity)
+        return [int(a) for a in alloc]
+
+    def mask_update(self, step: int) -> MaskUpdateRecord:
+        """One drop-and-grow round.  Requires fresh (dense) gradients."""
+        fraction = self.drop_schedule(step)
+        if self.global_drop:
+            drop_counts = self._global_drop_counts(fraction, step)
+        else:
+            drop_counts = self._drop_counts(fraction)
+        grow_counts = self._allocate_growth(drop_counts)
+
+        total_dropped = 0
+        total_grown = 0
+        dropped_indices: list[np.ndarray] = []
+
+        # ---------------- drop phase ----------------
+        for target, k_drop in zip(self.masked.targets, drop_counts):
+            if k_drop <= 0:
+                dropped_indices.append(np.empty(0, dtype=np.int64))
+                continue
+            ctx = self._context(target, step)
+            scores = np.asarray(self.drop_rule.scores(target, ctx), dtype=np.float64).reshape(-1)
+            flat_mask = target.mask.reshape(-1)
+            active_idx = np.flatnonzero(flat_mask)
+            order = np.argpartition(scores[active_idx], k_drop - 1)[:k_drop]
+            drop_idx = active_idx[order]
+            flat_mask[drop_idx] = False
+            dropped_indices.append(drop_idx)
+            total_dropped += int(drop_idx.size)
+
+        # ---------------- grow phase ----------------
+        for target, k_grow, drop_idx in zip(self.masked.targets, grow_counts, dropped_indices):
+            if k_grow <= 0:
+                continue
+            total_grown += self._grow_layer(target, k_grow, drop_idx, step)
+
+        # Keep the global non-zero count exact: if allocation clamping or a
+        # shortage of inactive slots left a deficit, re-activate the best
+        # just-dropped weights anywhere.
+        deficit = total_dropped - total_grown
+        if deficit > 0:
+            total_grown += self._fill_deficit(deficit, dropped_indices)
+
+        # ---------------- bookkeeping ----------------
+        self.masked.apply_masks()
+        self.coverage.update()
+        record = MaskUpdateRecord(
+            step=step,
+            round_index=self.coverage.rounds,
+            drop_fraction=fraction,
+            total_dropped=total_dropped,
+            total_grown=total_grown,
+            exploration_rate=self.coverage.exploration_rate(),
+            global_density=self.masked.global_density(),
+        )
+        self.history.append(record)
+        return record
+
+    def _grow_layer(
+        self, target: SparseParam, k_grow: int, drop_idx: np.ndarray, step: int
+    ) -> int:
+        """Activate up to ``k_grow`` inactive weights in one layer."""
+        flat_mask = target.mask.reshape(-1)
+        candidates = ~flat_mask
+        if not self.allow_regrow and drop_idx.size:
+            candidates = candidates.copy()
+            candidates[drop_idx] = False
+        candidate_idx = np.flatnonzero(candidates)
+        if candidate_idx.size == 0:
+            return 0
+        k = min(k_grow, candidate_idx.size)
+        ctx = self._context(target, step)
+        scores = np.asarray(
+            self.growth_rule.scores(target, ctx), dtype=np.float64
+        ).reshape(-1)
+        candidate_scores = scores[candidate_idx]
+        top = np.argpartition(-candidate_scores, k - 1)[:k] if k < candidate_idx.size else np.arange(candidate_idx.size)
+        grow_idx = candidate_idx[top]
+        flat_mask[grow_idx] = True
+        # Newly grown weights start from zero with fresh optimizer state.
+        flat_weights = target.param.data.reshape(-1)
+        flat_weights[grow_idx] = 0.0
+        self._reset_optimizer_state(target, grow_idx)
+        if self._needs_signs:
+            # DeepR assigns a random sign to re-activated connections.
+            signs = self._sign_refs[target.name].reshape(-1)
+            signs[grow_idx] = self.rng.choice([-1.0, 1.0], size=grow_idx.size)
+        return int(grow_idx.size)
+
+    def _fill_deficit(self, deficit: int, dropped_indices: list[np.ndarray]) -> int:
+        """Re-activate the highest-|w| just-dropped weights to keep k fixed."""
+        filled = 0
+        entries = []
+        for target, drop_idx in zip(self.masked.targets, dropped_indices):
+            if drop_idx.size == 0:
+                continue
+            flat = target.param.data.reshape(-1)
+            for idx in drop_idx:
+                entries.append((abs(float(flat[idx])), target, int(idx)))
+        entries.sort(key=lambda e: -e[0])
+        for magnitude, target, idx in entries:
+            if filled >= deficit:
+                break
+            flat_mask = target.mask.reshape(-1)
+            if flat_mask[idx]:
+                continue  # already re-grown this round
+            flat_mask[idx] = True
+            filled += 1
+        return filled
+
+    def _reset_optimizer_state(self, target: SparseParam, grow_idx: np.ndarray) -> None:
+        if self.optimizer is None:
+            return
+        state = self.optimizer.state.get(id(target.param))
+        if not state:
+            return
+        for value in state.values():
+            if isinstance(value, np.ndarray) and value.shape == target.param.shape:
+                value.reshape(-1)[grow_idx] = 0.0
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def exploration_curve(self) -> list[tuple[int, float]]:
+        """``(round, exploration_rate)`` series — the Fig. 3 left panels."""
+        return [(r.round_index, r.exploration_rate) for r in self.history]

@@ -1,0 +1,141 @@
+"""Compiled sparse inference: turn a trained MaskedModel into CSR kernels.
+
+Table II reports inference FLOPs of the sparse models; this module makes
+those savings *runnable*: after training, :func:`compile_sparse_model`
+swaps every masked :class:`~repro.nn.Linear` / :class:`~repro.nn.Conv2d`
+for an inference-only replacement whose weight is stored in scipy CSR form,
+so the matrix products skip zeros entirely.  At the paper's 90–98%
+sparsities this is both smaller (CSR storage ∝ non-zeros) and, for large
+enough layers, faster than the dense kernels.
+
+Compiled modules are inference-only: they raise if the model is in
+training mode, and they do not participate in autograd.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import nn
+from repro.autograd.conv import _im2col
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.sparse.masked import MaskedModel
+
+__all__ = ["SparseLinear", "SparseConv2d", "compile_sparse_model", "sparse_storage_bytes"]
+
+
+class SparseLinear(Module):
+    """Inference-only linear layer with a CSR weight matrix."""
+
+    def __init__(self, dense: nn.Linear):
+        super().__init__()
+        self.in_features = dense.in_features
+        self.out_features = dense.out_features
+        self.weight_csr = sp.csr_matrix(dense.weight.data)
+        self.bias_data = None if dense.bias is None else dense.bias.data.copy()
+
+    @property
+    def nnz(self) -> int:
+        return int(self.weight_csr.nnz)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            raise RuntimeError("SparseLinear is inference-only; call model.eval()")
+        data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        out = np.asarray(self.weight_csr @ data.T).T
+        if self.bias_data is not None:
+            out = out + self.bias_data
+        return Tensor(np.ascontiguousarray(out, dtype=np.float32))
+
+    def __repr__(self) -> str:
+        density = self.nnz / (self.in_features * self.out_features)
+        return (
+            f"SparseLinear(in={self.in_features}, out={self.out_features}, "
+            f"nnz={self.nnz}, density={density:.3f})"
+        )
+
+
+class SparseConv2d(Module):
+    """Inference-only conv layer: im2col + CSR filter-matrix product."""
+
+    def __init__(self, dense: nn.Conv2d):
+        super().__init__()
+        self.in_channels = dense.in_channels
+        self.out_channels = dense.out_channels
+        self.kernel_size = dense.kernel_size
+        self.stride = dense.stride
+        self.padding = dense.padding
+        kh, kw = self.kernel_size
+        self.weight_csr = sp.csr_matrix(
+            dense.weight.data.reshape(self.out_channels, self.in_channels * kh * kw)
+        )
+        self.bias_data = None if dense.bias is None else dense.bias.data.copy()
+
+    @property
+    def nnz(self) -> int:
+        return int(self.weight_csr.nnz)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            raise RuntimeError("SparseConv2d is inference-only; call model.eval()")
+        data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        kh, kw = self.kernel_size
+        stride = self.stride if isinstance(self.stride, tuple) else (self.stride, self.stride)
+        padding = self.padding if isinstance(self.padding, tuple) else (self.padding, self.padding)
+        cols, _, out_h, out_w = _im2col(data, kh, kw, stride, padding)
+        n = data.shape[0]
+        cols_mat = np.ascontiguousarray(cols).reshape(
+            n * out_h * out_w, self.in_channels * kh * kw
+        )
+        out_mat = np.asarray(self.weight_csr @ cols_mat.T).T
+        out = out_mat.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        if self.bias_data is not None:
+            out = out + self.bias_data.reshape(1, -1, 1, 1)
+        return Tensor(np.ascontiguousarray(out, dtype=np.float32))
+
+    def __repr__(self) -> str:
+        kh, kw = self.kernel_size
+        size = self.out_channels * self.in_channels * kh * kw
+        return (
+            f"SparseConv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel={self.kernel_size}, nnz={self.nnz}, density={self.nnz / size:.3f})"
+        )
+
+
+def compile_sparse_model(masked: MaskedModel) -> Module:
+    """Replace every masked Linear/Conv2d in the model with a CSR version.
+
+    The masks are applied first, so the CSR structure matches the trained
+    sparsity pattern exactly.  Returns the (mutated) model in eval mode.
+    The original :class:`MaskedModel` should not be trained afterwards.
+    """
+    masked.apply_masks()
+    masked_params = {id(t.param) for t in masked.targets}
+    model = masked.model
+
+    def compile_children(module: Module) -> None:
+        for name, child in list(module._modules.items()):
+            if isinstance(child, nn.Linear) and id(child.weight) in masked_params:
+                module.add_module(name, SparseLinear(child))
+            elif isinstance(child, nn.Conv2d) and id(child.weight) in masked_params:
+                module.add_module(name, SparseConv2d(child))
+            else:
+                compile_children(child)
+
+    compile_children(model)
+    model.eval()
+    return model
+
+
+def sparse_storage_bytes(model: Module) -> tuple[int, int]:
+    """(CSR bytes, equivalent dense bytes) over all compiled sparse layers."""
+    csr_bytes = 0
+    dense_bytes = 0
+    for module in model.modules():
+        if isinstance(module, (SparseLinear, SparseConv2d)):
+            matrix = module.weight_csr
+            csr_bytes += matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+            dense_bytes += int(np.prod(matrix.shape)) * 4
+    return csr_bytes, dense_bytes

@@ -1,0 +1,95 @@
+"""Save / load sparse checkpoints (weights + masks + coverage counters).
+
+A sparse checkpoint stores everything needed to resume dynamic sparse
+training or to deploy the final sparse model:
+
+* all model parameters and buffers (``model.state_dict()``),
+* the boolean mask of every sparsified layer,
+* optionally the coverage counters ``N`` (so DST-EE's exploration state
+  survives a restart).
+
+The file format is a single compressed ``.npz``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.sparse.counter import CoverageTracker
+from repro.sparse.masked import MaskedModel
+
+__all__ = ["save_sparse_checkpoint", "load_sparse_checkpoint"]
+
+_PARAM_PREFIX = "param::"
+_MASK_PREFIX = "mask::"
+_COUNTER_PREFIX = "counter::"
+_EVER_PREFIX = "ever::"
+_META_SPARSITY = "meta::sparsity"
+_META_ROUNDS = "meta::rounds"
+
+
+def save_sparse_checkpoint(
+    masked: MaskedModel,
+    path,
+    coverage: CoverageTracker | None = None,
+) -> None:
+    """Write model state + masks (+ optional coverage) to ``path`` (.npz)."""
+    payload: dict[str, np.ndarray] = {}
+    for name, value in masked.model.state_dict().items():
+        payload[_PARAM_PREFIX + name] = value
+    for target in masked.targets:
+        payload[_MASK_PREFIX + target.name] = target.mask
+    payload[_META_SPARSITY] = np.array(masked.sparsity)
+    if coverage is not None:
+        for name, counter in coverage.counters.items():
+            payload[_COUNTER_PREFIX + name] = counter
+        for name, ever in coverage.ever_active.items():
+            payload[_EVER_PREFIX + name] = ever
+        payload[_META_ROUNDS] = np.array(coverage.rounds)
+    np.savez_compressed(pathlib.Path(path), **payload)
+
+
+def load_sparse_checkpoint(
+    model: Module,
+    path,
+    include_modules=None,
+) -> tuple[MaskedModel, CoverageTracker | None]:
+    """Restore a sparse checkpoint into ``model``.
+
+    Returns a :class:`MaskedModel` wrapping the restored masks and, when the
+    checkpoint contains coverage state, a restored
+    :class:`CoverageTracker` (otherwise None).
+    """
+    archive = np.load(pathlib.Path(path))
+    state = {
+        key[len(_PARAM_PREFIX):]: archive[key]
+        for key in archive.files
+        if key.startswith(_PARAM_PREFIX)
+    }
+    model.load_state_dict(state)
+    masks = {
+        key[len(_MASK_PREFIX):]: archive[key].astype(bool)
+        for key in archive.files
+        if key.startswith(_MASK_PREFIX)
+    }
+    sparsity = float(archive[_META_SPARSITY])
+    masked = MaskedModel(
+        model, sparsity, masks=masks, include_modules=include_modules
+    )
+
+    coverage = None
+    counter_keys = [key for key in archive.files if key.startswith(_COUNTER_PREFIX)]
+    if counter_keys:
+        coverage = CoverageTracker(masked)
+        for key in counter_keys:
+            name = key[len(_COUNTER_PREFIX):]
+            coverage.counters[name] = archive[key].astype(np.float32)
+        for key in archive.files:
+            if key.startswith(_EVER_PREFIX):
+                name = key[len(_EVER_PREFIX):]
+                coverage.ever_active[name] = archive[key].astype(bool)
+        coverage.rounds = int(archive[_META_ROUNDS])
+    return masked, coverage

@@ -1,0 +1,220 @@
+"""Mask bookkeeping: which parameters are sparsified, and their masks.
+
+:class:`MaskedModel` walks a model, selects the sparsifiable weights
+(Linear/Conv2d ``weight`` tensors by default — biases and norm parameters
+stay dense, as in RigL/ITOP/the paper), assigns each a boolean mask drawn
+from a layer-wise density distribution, and enforces the masks on the weight
+values.  All sparsifiers (dynamic, static, dense-to-sparse, ADMM) operate
+through this class, so the sparsity invariants live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+from repro.sparse.distribution import layer_densities
+
+__all__ = ["SparseParam", "MaskedModel", "collect_sparsifiable"]
+
+
+@dataclass
+class SparseParam:
+    """One sparsified weight tensor and its mask/bookkeeping state."""
+
+    name: str
+    param: Parameter
+    mask: np.ndarray  # bool, same shape as param
+    target_density: float
+
+    @property
+    def size(self) -> int:
+        return self.param.size
+
+    @property
+    def active_count(self) -> int:
+        return int(self.mask.sum())
+
+    @property
+    def density(self) -> float:
+        return self.active_count / self.size
+
+    def apply(self) -> None:
+        """Zero the weight values outside the mask."""
+        self.param.data = self.param.data * self.mask
+
+    def mask_gradient(self) -> None:
+        """Zero the gradient outside the mask (keeps momentum clean)."""
+        if self.param.grad is not None:
+            self.param.grad = self.param.grad * self.mask
+
+
+def collect_sparsifiable(
+    model: Module,
+    include_modules: Sequence[Module] | None = None,
+) -> list[tuple[str, Parameter]]:
+    """Return ``(name, weight)`` pairs of sparsifiable parameters.
+
+    By default: the ``weight`` of every :class:`~repro.nn.Linear` and
+    :class:`~repro.nn.Conv2d` in the model.  Pass ``include_modules`` to
+    restrict to specific layers (e.g. the GNN experiments sparsify only the
+    two predictor FC layers).
+    """
+    allowed = None if include_modules is None else {id(m) for m in include_modules}
+    pairs: list[tuple[str, Parameter]] = []
+    for name, module in model.named_modules():
+        if not isinstance(module, (nn.Linear, nn.Conv2d)):
+            continue
+        if allowed is not None and id(module) not in allowed:
+            continue
+        pairs.append((f"{name}.weight" if name else "weight", module.weight))
+    if not pairs:
+        raise ValueError("no sparsifiable parameters found in model")
+    return pairs
+
+
+class MaskedModel:
+    """A model plus per-layer masks at a global sparsity level.
+
+    Parameters
+    ----------
+    model:
+        The network to sparsify.
+    sparsity:
+        Global fraction of *zero* weights among sparsifiable parameters
+        (e.g. 0.9 for the paper's 90% setting).
+    distribution:
+        ``"erk"`` (paper default), ``"er"``, or ``"uniform"``.
+    rng:
+        Generator for the random initial masks.
+    include_modules:
+        Optional restriction of which layers get sparsified.
+    dense_layer_names:
+        Names (suffix match) of layers to keep dense, e.g. the first conv —
+        their mask is all-ones and they are excluded from the global budget.
+    masks:
+        Optional precomputed masks keyed by parameter name (static pruners
+        compute them on the dense model *before* constructing this class).
+        When given, the random initialization is skipped entirely.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        sparsity: float,
+        distribution: str = "erk",
+        rng: np.random.Generator | None = None,
+        include_modules: Sequence[Module] | None = None,
+        dense_layer_names: Iterable[str] = (),
+        masks: dict[str, np.ndarray] | None = None,
+    ):
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+        self.model = model
+        self.sparsity = float(sparsity)
+        self.distribution = distribution
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+        pairs = collect_sparsifiable(model, include_modules)
+        dense_names = tuple(dense_layer_names)
+        sparse_pairs = [
+            (name, p) for name, p in pairs
+            if not any(name.endswith(d) or name.startswith(d) for d in dense_names)
+        ]
+        density = 1.0 - self.sparsity
+        densities = layer_densities([p.shape for _, p in sparse_pairs], density, distribution)
+        self.targets: list[SparseParam] = []
+        for (name, param), layer_density in zip(sparse_pairs, densities):
+            if masks is not None:
+                if name not in masks:
+                    raise KeyError(f"precomputed masks missing layer {name!r}")
+                mask = masks[name].astype(bool)
+                if mask.shape != param.shape:
+                    raise ValueError(
+                        f"mask shape mismatch for {name!r}: {mask.shape} vs {param.shape}"
+                    )
+                layer_density = float(mask.mean())
+            else:
+                mask = self._random_mask(param.shape, layer_density)
+            self.targets.append(
+                SparseParam(name=name, param=param, mask=mask, target_density=layer_density)
+            )
+        self.apply_masks()
+
+    # ------------------------------------------------------------------
+    def _random_mask(self, shape: tuple[int, ...], density: float) -> np.ndarray:
+        size = int(np.prod(shape))
+        n_active = int(round(density * size))
+        n_active = max(1, min(size, n_active)) if density > 0 else 0
+        mask = np.zeros(size, dtype=bool)
+        if n_active:
+            idx = self._rng.choice(size, size=n_active, replace=False)
+            mask[idx] = True
+        return mask.reshape(shape)
+
+    # ------------------------------------------------------------------
+    # invariant enforcement
+    # ------------------------------------------------------------------
+    def apply_masks(self) -> None:
+        """Zero every weight outside its mask."""
+        for target in self.targets:
+            target.apply()
+
+    def mask_gradients(self) -> None:
+        """Zero gradients outside the masks (call after ``backward``)."""
+        for target in self.targets:
+            target.mask_gradient()
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_size(self) -> int:
+        return sum(t.size for t in self.targets)
+
+    @property
+    def total_active(self) -> int:
+        return sum(t.active_count for t in self.targets)
+
+    def global_density(self) -> float:
+        """Fraction of sparsifiable weights currently active."""
+        return self.total_active / self.total_size
+
+    def global_sparsity(self) -> float:
+        """Fraction of sparsifiable weights currently zeroed."""
+        return 1.0 - self.global_density()
+
+    def layer_summary(self) -> list[dict]:
+        """Per-layer stats: name, shape, density, active count."""
+        return [
+            {
+                "name": t.name,
+                "shape": t.param.shape,
+                "density": t.density,
+                "active": t.active_count,
+                "size": t.size,
+            }
+            for t in self.targets
+        ]
+
+    def masks_snapshot(self) -> dict[str, np.ndarray]:
+        """Copy of all masks keyed by parameter name."""
+        return {t.name: t.mask.copy() for t in self.targets}
+
+    def set_masks(self, masks: dict[str, np.ndarray]) -> None:
+        """Replace masks (e.g. from a static pruner) and re-apply them."""
+        by_name = {t.name: t for t in self.targets}
+        for name, mask in masks.items():
+            if name not in by_name:
+                raise KeyError(f"unknown masked parameter {name!r}")
+            target = by_name[name]
+            if mask.shape != target.mask.shape:
+                raise ValueError(
+                    f"mask shape mismatch for {name!r}: {mask.shape} vs {target.mask.shape}"
+                )
+            target.mask = mask.astype(bool)
+        self.apply_masks()

@@ -1,0 +1,18 @@
+"""Training harness."""
+
+from repro.train.trainer import Trainer, evaluate_classifier
+from repro.train.history import EpochRecord, History
+from repro.train.callbacks import Callback, EarlyStopping, LambdaCallback
+from repro.train.loggers import ConsoleLogger, CSVLogger
+
+__all__ = [
+    "Trainer",
+    "evaluate_classifier",
+    "History",
+    "EpochRecord",
+    "Callback",
+    "EarlyStopping",
+    "LambdaCallback",
+    "CSVLogger",
+    "ConsoleLogger",
+]

@@ -1,0 +1,52 @@
+"""Trainer callbacks (epoch-granularity hooks)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.train.history import EpochRecord
+
+__all__ = ["Callback", "LambdaCallback", "EarlyStopping"]
+
+
+class Callback:
+    """Base callback: override any subset of hooks."""
+
+    def on_epoch_end(self, record: EpochRecord) -> None:
+        """Called after each epoch's evaluation."""
+
+    def should_stop(self) -> bool:
+        """Return True to stop training early."""
+        return False
+
+
+class LambdaCallback(Callback):
+    """Wrap a plain function as an epoch-end callback."""
+
+    def __init__(self, on_epoch_end: Callable[[EpochRecord], None]):
+        self._fn = on_epoch_end
+
+    def on_epoch_end(self, record: EpochRecord) -> None:
+        self._fn(record)
+
+
+class EarlyStopping(Callback):
+    """Stop when test accuracy has not improved for ``patience`` epochs."""
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0):
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best = -float("inf")
+        self.stale = 0
+
+    def on_epoch_end(self, record: EpochRecord) -> None:
+        if record.test_accuracy is None:
+            return
+        if record.test_accuracy > self.best + self.min_delta:
+            self.best = record.test_accuracy
+            self.stale = 0
+        else:
+            self.stale += 1
+
+    def should_stop(self) -> bool:
+        return self.stale >= self.patience

@@ -1,0 +1,65 @@
+"""Training loggers (CSV history export, console progress)."""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+import sys
+from typing import IO
+
+from repro.train.callbacks import Callback
+from repro.train.history import EpochRecord
+
+__all__ = ["CSVLogger", "ConsoleLogger"]
+
+_FIELDS = (
+    "epoch",
+    "train_loss",
+    "train_accuracy",
+    "test_accuracy",
+    "learning_rate",
+    "sparsity",
+    "exploration_rate",
+)
+
+
+class CSVLogger(Callback):
+    """Append one CSV row per epoch to ``path`` (header written once)."""
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self._initialized = self.path.exists() and self.path.stat().st_size > 0
+
+    def on_epoch_end(self, record: EpochRecord) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+            if not self._initialized:
+                writer.writeheader()
+                self._initialized = True
+            writer.writerow({field: getattr(record, field) for field in _FIELDS})
+
+
+class ConsoleLogger(Callback):
+    """Print a one-line summary per epoch."""
+
+    def __init__(self, stream: IO[str] | None = None, every: int = 1):
+        self.stream = stream if stream is not None else sys.stdout
+        self.every = max(1, int(every))
+
+    def on_epoch_end(self, record: EpochRecord) -> None:
+        if record.epoch % self.every:
+            return
+        parts = [
+            f"epoch {record.epoch:3d}",
+            f"loss {record.train_loss:.4f}",
+            f"train_acc {record.train_accuracy:.3f}",
+        ]
+        if record.test_accuracy is not None:
+            parts.append(f"test_acc {record.test_accuracy:.3f}")
+        parts.append(f"lr {record.learning_rate:.4f}")
+        if record.sparsity is not None:
+            parts.append(f"sparsity {record.sparsity:.3f}")
+        if record.exploration_rate is not None:
+            parts.append(f"R {record.exploration_rate:.3f}")
+        print("  ".join(parts), file=self.stream)

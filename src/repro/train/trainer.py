@@ -1,0 +1,153 @@
+"""Training loop with sparse-training hooks.
+
+The :class:`Trainer` implements the iteration structure of Algorithm 1:
+forward → backward → ``controller.on_backward(t)``; when the controller
+signals a mask-update step the optimizer step is *skipped* for that
+iteration (the paper replaces the SGD update with the drop-and-grow), and
+otherwise gradients outside the mask have already been zeroed so only
+active weights move.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.data.loader import DataLoader
+from repro.metrics.accuracy import accuracy
+from repro.nn.module import Module
+from repro.optim.lr_scheduler import LRScheduler
+from repro.optim.sgd import Optimizer
+from repro.sparse.engine import SparsityController
+from repro.train.callbacks import Callback
+from repro.train.history import EpochRecord, History
+
+__all__ = ["Trainer", "evaluate_classifier"]
+
+
+def evaluate_classifier(model: Module, loader: DataLoader) -> float:
+    """Top-1 accuracy over a loader (eval mode, no graph recording)."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    total = 0
+    with no_grad():
+        for inputs, targets in loader:
+            logits = model(inputs)
+            predictions = logits.data.argmax(axis=1)
+            correct += int((predictions == targets).sum())
+            total += len(targets)
+    model.train(was_training)
+    return correct / max(total, 1)
+
+
+class Trainer:
+    """Epoch-based trainer for classification models.
+
+    Parameters
+    ----------
+    model, optimizer, loss_fn:
+        The usual triple; ``loss_fn(logits, targets) -> Tensor``.
+    train_loader, test_loader:
+        Data; ``test_loader=None`` skips evaluation.
+    scheduler:
+        Optional LR scheduler stepped once per epoch (paper setup).
+    controller:
+        Optional :class:`~repro.sparse.engine.SparsityController` (fixed
+        mask, drop-and-grow engine, GMP, STR...).
+    callbacks:
+        Epoch-end hooks.
+    eval_every:
+        Evaluate every N epochs (always evaluates on the final epoch).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn: Callable,
+        train_loader: DataLoader,
+        test_loader: DataLoader | None = None,
+        scheduler: LRScheduler | None = None,
+        controller: SparsityController | None = None,
+        callbacks: Sequence[Callback] = (),
+        eval_every: int = 1,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.train_loader = train_loader
+        self.test_loader = test_loader
+        self.scheduler = scheduler
+        self.controller = controller
+        self.callbacks = list(callbacks)
+        self.eval_every = max(1, int(eval_every))
+        self.history = History()
+        self.global_step = 0
+
+    def fit(self, epochs: int) -> History:
+        """Train for ``epochs`` epochs; returns the history."""
+        for epoch in range(epochs):
+            train_loss, train_acc = self._train_epoch()
+            if self.scheduler is not None:
+                self.scheduler.step()
+            if self.controller is not None:
+                self.controller.on_epoch_end(epoch)
+
+            test_acc = None
+            if self.test_loader is not None and (
+                (epoch + 1) % self.eval_every == 0 or epoch == epochs - 1
+            ):
+                test_acc = evaluate_classifier(self.model, self.test_loader)
+
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=train_loss,
+                train_accuracy=train_acc,
+                test_accuracy=test_acc,
+                learning_rate=self.optimizer.lr,
+                sparsity=(
+                    self.controller.masked.global_sparsity()
+                    if self.controller is not None
+                    else None
+                ),
+                exploration_rate=self._exploration_rate(),
+            )
+            self.history.append(record)
+            for callback in self.callbacks:
+                callback.on_epoch_end(record)
+            if any(callback.should_stop() for callback in self.callbacks):
+                break
+        return self.history
+
+    # ------------------------------------------------------------------
+    def _train_epoch(self) -> tuple[float, float]:
+        self.model.train()
+        losses = []
+        accuracies = []
+        for inputs, targets in self.train_loader:
+            self.global_step += 1
+            self.model.zero_grad()
+            logits = self.model(inputs)
+            loss = self.loss_fn(logits, targets)
+            loss.backward()
+
+            skip_step = False
+            if self.controller is not None:
+                skip_step = self.controller.on_backward(self.global_step)
+            if not skip_step:
+                self.optimizer.step()
+                if self.controller is not None:
+                    self.controller.after_step(self.global_step)
+
+            losses.append(loss.item())
+            accuracies.append(accuracy(logits, targets))
+        return float(np.mean(losses)), float(np.mean(accuracies))
+
+    def _exploration_rate(self) -> float | None:
+        coverage = getattr(self.controller, "coverage", None)
+        if coverage is None:
+            return None
+        return coverage.exploration_rate()

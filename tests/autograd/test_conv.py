@@ -1,0 +1,134 @@
+"""Convolution and pooling: shapes, known values, gradchecks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd.conv import avg_pool2d, conv2d, conv_output_size, max_pool2d, pad2d
+
+RNG = np.random.default_rng(7)
+
+
+def t64(array):
+    return Tensor(np.asarray(array, dtype=np.float64), requires_grad=True)
+
+
+class TestOutputSizes:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [(8, 3, 1, 1, 8), (8, 3, 2, 1, 4), (7, 3, 1, 0, 5), (4, 2, 2, 0, 2), (5, 5, 1, 2, 5)],
+    )
+    def test_conv_output_size(self, size, kernel, stride, padding, expected):
+        assert conv_output_size(size, kernel, stride, padding) == expected
+
+    def test_conv2d_shape(self):
+        x = Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        w = Tensor(np.zeros((5, 3, 3, 3), dtype=np.float32))
+        assert conv2d(x, w, stride=2, padding=1).shape == (2, 5, 4, 4)
+
+    def test_channel_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 2, 4, 4), dtype=np.float32))
+        w = Tensor(np.zeros((3, 4, 3, 3), dtype=np.float32))
+        with pytest.raises(ValueError, match="channel mismatch"):
+            conv2d(x, w)
+
+
+class TestKnownValues:
+    def test_identity_kernel(self):
+        x = RNG.standard_normal((1, 1, 5, 5)).astype(np.float32)
+        w = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        w[0, 0, 1, 1] = 1.0  # delta kernel = identity with padding 1
+        out = conv2d(Tensor(x), Tensor(w), padding=1)
+        assert np.allclose(out.data, x, atol=1e-6)
+
+    def test_averaging_kernel(self):
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        w = np.full((1, 1, 2, 2), 0.25, dtype=np.float32)
+        out = conv2d(Tensor(x), Tensor(w), stride=2)
+        assert np.allclose(out.data, 1.0, atol=1e-6)
+
+    def test_multichannel_sums_channels(self):
+        x = np.ones((1, 3, 2, 2), dtype=np.float32)
+        w = np.ones((1, 3, 1, 1), dtype=np.float32)
+        out = conv2d(Tensor(x), Tensor(w))
+        assert np.allclose(out.data, 3.0)
+
+    def test_bias_added_per_channel(self):
+        x = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        w = np.zeros((2, 1, 1, 1), dtype=np.float32)
+        b = np.array([1.0, -2.0], dtype=np.float32)
+        out = conv2d(Tensor(x), Tensor(w), bias=Tensor(b))
+        assert np.allclose(out.data[0, 0], 1.0)
+        assert np.allclose(out.data[0, 1], -2.0)
+
+    def test_matches_scipy_correlate(self):
+        from scipy import ndimage
+
+        x = RNG.standard_normal((1, 1, 6, 6))
+        w = RNG.standard_normal((1, 1, 3, 3))
+        out = conv2d(t64(x), t64(w), padding=1).data[0, 0]
+        expected = ndimage.correlate(x[0, 0], w[0, 0], mode="constant")
+        assert np.allclose(out, expected, atol=1e-6)
+
+    def test_max_pool_values(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        out = max_pool2d(Tensor(x), 2)
+        assert out.data[0, 0, 0, 0] == pytest.approx(4.0)
+
+    def test_avg_pool_values(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        out = avg_pool2d(Tensor(x), 2)
+        assert out.data[0, 0, 0, 0] == pytest.approx(2.5)
+
+    def test_pad2d_values(self):
+        x = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32))
+        out = pad2d(x, 1)
+        assert out.shape == (1, 1, 4, 4)
+        assert out.data[0, 0, 0, 0] == 0.0
+        assert out.data[0, 0, 1, 1] == 1.0
+
+
+class TestGradients:
+    def test_conv2d_gradcheck(self):
+        x = t64(RNG.standard_normal((2, 2, 5, 5)))
+        w = t64(RNG.standard_normal((3, 2, 3, 3)) * 0.5)
+        b = t64(RNG.standard_normal(3))
+        gradcheck(
+            lambda xx, ww, bb: conv2d(xx, ww, bias=bb, stride=1, padding=1),
+            [x, w, b], atol=1e-3, rtol=1e-3,
+        )
+
+    def test_conv2d_strided_gradcheck(self):
+        x = t64(RNG.standard_normal((1, 2, 6, 6)))
+        w = t64(RNG.standard_normal((2, 2, 3, 3)) * 0.5)
+        gradcheck(
+            lambda xx, ww: conv2d(xx, ww, stride=2, padding=1),
+            [x, w], atol=1e-3, rtol=1e-3,
+        )
+
+    def test_max_pool_gradcheck(self):
+        # Distinct values → unique argmax, differentiable point.
+        values = RNG.permutation(64).astype(np.float64).reshape(1, 1, 8, 8)
+        gradcheck(lambda x: max_pool2d(x, 2), [t64(values)], atol=1e-4, rtol=1e-4)
+
+    def test_max_pool_overlapping_gradcheck(self):
+        values = RNG.permutation(36).astype(np.float64).reshape(1, 1, 6, 6)
+        gradcheck(lambda x: max_pool2d(x, 3, stride=1), [t64(values)], atol=1e-4, rtol=1e-4)
+
+    def test_avg_pool_gradcheck(self):
+        x = t64(RNG.standard_normal((2, 2, 4, 4)))
+        gradcheck(lambda v: avg_pool2d(v, 2), [x], atol=1e-4, rtol=1e-4)
+
+    def test_pad2d_gradcheck(self):
+        x = t64(RNG.standard_normal((1, 2, 3, 3)))
+        gradcheck(lambda v: pad2d(v, 2), [x], atol=1e-6, rtol=1e-6)
+
+    def test_max_pool_routes_gradient_to_argmax(self):
+        x = Tensor(
+            np.array([[[[1.0, 5.0], [2.0, 3.0]]]], dtype=np.float32), requires_grad=True
+        )
+        out = max_pool2d(x, 2)
+        out.backward(np.ones_like(out.data))
+        expected = np.zeros((1, 1, 2, 2))
+        expected[0, 0, 0, 1] = 1.0
+        assert np.allclose(x.grad, expected)

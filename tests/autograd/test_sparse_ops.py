@@ -1,0 +1,51 @@
+"""spmm: sparse adjacency × dense features with gradients."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor
+from repro.autograd.sparse_ops import spmm
+
+
+class TestSpmm:
+    def test_forward_matches_dense(self):
+        rng = np.random.default_rng(0)
+        dense_a = (rng.random((5, 5)) < 0.4).astype(np.float32)
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        out = spmm(sp.csr_matrix(dense_a), Tensor(x))
+        assert np.allclose(out.data, dense_a @ x, atol=1e-6)
+
+    def test_backward_uses_transpose(self):
+        rng = np.random.default_rng(1)
+        dense_a = (rng.random((4, 4)) < 0.5).astype(np.float32)
+        x = Tensor(rng.standard_normal((4, 2)).astype(np.float32), requires_grad=True)
+        out = spmm(sp.csr_matrix(dense_a), x)
+        grad_out = rng.standard_normal(out.shape).astype(np.float32)
+        out.backward(grad_out)
+        assert np.allclose(x.grad, dense_a.T @ grad_out, atol=1e-5)
+
+    def test_rectangular(self):
+        a = sp.csr_matrix(np.ones((2, 6), dtype=np.float32))
+        x = Tensor(np.ones((6, 3), dtype=np.float32), requires_grad=True)
+        out = spmm(a, x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data, 6.0)
+
+    def test_rejects_dense_matrix(self):
+        with pytest.raises(TypeError, match="sparse"):
+            spmm(np.ones((3, 3)), Tensor(np.ones((3, 2))))
+
+    def test_rejects_non_2d_features(self):
+        a = sp.eye(3, format="csr")
+        with pytest.raises(ValueError, match="2-D"):
+            spmm(a, Tensor(np.ones(3)))
+
+    def test_chained_with_other_ops(self):
+        from repro.autograd import ops
+
+        a = sp.eye(3, format="csr", dtype=np.float32)
+        x = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+        loss = ops.sum(ops.relu(spmm(a, x)))
+        loss.backward()
+        assert np.allclose(x.grad, 1.0)

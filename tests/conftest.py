@@ -1,0 +1,33 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import cifar10_like, make_image_classification
+from repro.models import MLP
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_data():
+    """A very small but learnable 4-class image task."""
+    return make_image_classification(
+        n_classes=4, n_train=160, n_test=80, image_size=8,
+        noise=0.6, seed=11, name="tiny",
+    )
+
+
+@pytest.fixture
+def tiny_mlp_factory():
+    """Factory for a small MLP matching ``tiny_data``'s input."""
+
+    def factory(seed: int = 0) -> MLP:
+        return MLP(in_features=3 * 8 * 8, hidden=(64, 32), num_classes=4, seed=seed)
+
+    return factory

@@ -1,0 +1,56 @@
+"""Dataset container edge cases and indexing."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, ClassificationData, make_image_classification
+
+
+class TestArrayDataset:
+    def test_getitem_single(self):
+        ds = ArrayDataset(np.arange(10.0).reshape(5, 2), np.arange(5))
+        x, y = ds[3]
+        assert np.array_equal(x, [6.0, 7.0])
+        assert y == 3
+
+    def test_getitem_slice(self):
+        ds = ArrayDataset(np.arange(10.0).reshape(5, 2), np.arange(5))
+        x, y = ds[1:3]
+        assert x.shape == (2, 2)
+        assert np.array_equal(y, [1, 2])
+
+    def test_getitem_fancy(self):
+        ds = ArrayDataset(np.arange(10.0).reshape(5, 2), np.arange(5))
+        idx = np.array([0, 4])
+        x, y = ds[idx]
+        assert np.array_equal(y, [0, 4])
+
+    def test_len(self):
+        assert len(ArrayDataset(np.zeros((7, 1)), np.zeros(7))) == 7
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            ArrayDataset(np.zeros((3, 1)), np.zeros(2))
+
+
+class TestClassificationData:
+    def test_fields(self):
+        data = make_image_classification(3, 30, 12, image_size=6, seed=0, name="x")
+        assert isinstance(data, ClassificationData)
+        assert data.name == "x"
+        assert len(data.train) == 30
+        assert len(data.test) == 12
+        assert data.input_shape == (3, 6, 6)
+
+    def test_train_test_distinct(self):
+        data = make_image_classification(3, 30, 30, image_size=6, seed=0)
+        assert not np.array_equal(data.train.inputs, data.test.inputs)
+
+    def test_channels_knob(self):
+        data = make_image_classification(2, 10, 5, image_size=6, channels=1, seed=0)
+        assert data.input_shape == (1, 6, 6)
+        assert data.train.inputs.shape[1] == 1
+
+    def test_no_shift_variant(self):
+        data = make_image_classification(2, 10, 5, image_size=6, max_shift=0, seed=0)
+        assert len(data.train) == 10  # parameterization accepted

@@ -1,0 +1,102 @@
+"""Graph datasets: splits, negatives, normalization, determinism."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data import (
+    ia_email_like,
+    make_link_prediction_data,
+    normalized_adjacency,
+    wiki_talk_like,
+)
+
+
+class TestNormalizedAdjacency:
+    def test_symmetric(self):
+        g = nx.path_graph(6)
+        a = normalized_adjacency(g)
+        assert np.allclose(a.toarray(), a.T.toarray(), atol=1e-6)
+
+    def test_self_loops_added(self):
+        g = nx.empty_graph(4)
+        a = normalized_adjacency(g)
+        assert np.allclose(a.toarray(), np.eye(4), atol=1e-6)
+
+    def test_spectral_radius_at_most_one(self):
+        g = nx.barabasi_albert_graph(30, 2, seed=0)
+        a = normalized_adjacency(g).toarray()
+        eigenvalues = np.linalg.eigvalsh(a)
+        assert eigenvalues.max() <= 1.0 + 1e-5
+
+
+class TestLinkSplit:
+    def make(self, seed=0):
+        g = nx.barabasi_albert_graph(80, 3, seed=seed)
+        return g, make_link_prediction_data(g, test_fraction=0.25, seed=seed)
+
+    def test_split_sizes(self):
+        g, data = self.make()
+        n_edges = g.number_of_edges()
+        expected_test = int(0.25 * n_edges)
+        assert len(data.test_pos) == expected_test
+        assert len(data.train_pos) == n_edges - expected_test
+        assert len(data.test_neg) == expected_test
+        assert len(data.train_neg) == len(data.train_pos)
+
+    def test_test_pos_not_in_training_graph(self):
+        g, data = self.make()
+        # Training adjacency must not contain held-out edges: check through
+        # the normalized matrix sparsity pattern (self-loops aside).
+        adj = data.adjacency.toarray()
+        for u, v in data.test_pos:
+            assert adj[u, v] == pytest.approx(0.0, abs=1e-8)
+
+    def test_negatives_are_non_edges(self):
+        g, data = self.make()
+        for u, v in np.vstack([data.train_neg, data.test_neg]):
+            assert not g.has_edge(int(u), int(v))
+            assert u != v
+
+    def test_train_test_negatives_disjoint(self):
+        g, data = self.make()
+        train_set = {tuple(e) for e in data.train_neg}
+        test_set = {tuple(e) for e in data.test_neg}
+        assert not (train_set & test_set)
+
+    def test_features_standardized(self):
+        g, data = self.make()
+        assert data.features.shape[0] == g.number_of_nodes()
+        assert np.allclose(data.features.mean(axis=0), 0.0, atol=1e-4)
+
+    def test_deterministic(self):
+        _, a = self.make(seed=5)
+        _, b = self.make(seed=5)
+        assert np.array_equal(a.test_pos, b.test_pos)
+        assert np.array_equal(a.features, b.features)
+
+    def test_invalid_fraction(self):
+        g = nx.path_graph(5)
+        with pytest.raises(ValueError):
+            make_link_prediction_data(g, test_fraction=1.5)
+
+
+class TestNamedGraphs:
+    def test_wiki_talk_like(self):
+        data = wiki_talk_like(n_nodes=100, seed=0)
+        assert data.name == "wiki-talk-like"
+        assert data.n_nodes == 100
+        assert sp.issparse(data.adjacency)
+
+    def test_ia_email_like(self):
+        data = ia_email_like(n_nodes=90, seed=0)
+        assert data.name == "ia-email-like"
+        assert data.n_nodes == 90
+
+    def test_heavy_tailed_degrees(self):
+        # BA graphs must have a max degree far above the median.
+        data = wiki_talk_like(n_nodes=300, seed=1)
+        adjacency = data.adjacency
+        degrees = np.asarray((adjacency > 0).sum(axis=1)).reshape(-1)
+        assert degrees.max() > 4 * np.median(degrees)

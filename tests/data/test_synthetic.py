@@ -1,0 +1,85 @@
+"""Synthetic image datasets: shapes, determinism, learnability signal."""
+
+import numpy as np
+import pytest
+
+from repro.data import cifar10_like, cifar100_like, imagenet_like, make_image_classification
+
+
+class TestGenerator:
+    def test_shapes_and_dtypes(self):
+        data = make_image_classification(5, 100, 40, image_size=10, seed=0)
+        assert data.train.inputs.shape == (100, 3, 10, 10)
+        assert data.test.inputs.shape == (40, 3, 10, 10)
+        assert data.train.inputs.dtype == np.float32
+        assert data.train.targets.dtype == np.int64
+        assert data.num_classes == 5
+        assert data.input_shape == (3, 10, 10)
+
+    def test_deterministic_given_seed(self):
+        a = make_image_classification(4, 50, 20, seed=3)
+        b = make_image_classification(4, 50, 20, seed=3)
+        assert np.array_equal(a.train.inputs, b.train.inputs)
+        assert np.array_equal(a.train.targets, b.train.targets)
+
+    def test_different_seeds_differ(self):
+        a = make_image_classification(4, 50, 20, seed=3)
+        b = make_image_classification(4, 50, 20, seed=4)
+        assert not np.array_equal(a.train.inputs, b.train.inputs)
+
+    def test_labels_cover_classes(self):
+        data = make_image_classification(6, 600, 100, seed=0)
+        assert set(np.unique(data.train.targets)) == set(range(6))
+
+    def test_inputs_standardized(self):
+        data = make_image_classification(4, 400, 100, seed=1)
+        assert data.train.inputs.mean() == pytest.approx(0.0, abs=0.05)
+        assert data.train.inputs.std() == pytest.approx(1.0, abs=0.05)
+
+    def test_signal_exists_at_low_noise(self):
+        # Class-mean images should be closer to their own prototype than to
+        # other classes' — a nearest-centroid classifier must beat chance.
+        data = make_image_classification(4, 400, 200, noise=0.5, max_shift=0, seed=2)
+        centroids = np.stack([
+            data.train.inputs[data.train.targets == c].mean(axis=0).reshape(-1)
+            for c in range(4)
+        ])
+        test_flat = data.test.inputs.reshape(len(data.test.inputs), -1)
+        distances = ((test_flat[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        acc = (predictions == data.test.targets).mean()
+        assert acc > 0.5  # chance = 0.25
+
+    def test_noise_makes_task_harder(self):
+        def centroid_acc(noise):
+            data = make_image_classification(4, 400, 200, noise=noise, max_shift=0, seed=2)
+            centroids = np.stack([
+                data.train.inputs[data.train.targets == c].mean(axis=0).reshape(-1)
+                for c in range(4)
+            ])
+            flat = data.test.inputs.reshape(len(data.test.inputs), -1)
+            pred = ((flat[:, None, :] - centroids[None]) ** 2).sum(axis=2).argmin(axis=1)
+            return (pred == data.test.targets).mean()
+
+        assert centroid_acc(0.3) > centroid_acc(20.0)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            make_image_classification(1, 10, 10)
+
+
+class TestNamedVariants:
+    def test_cifar10_like(self):
+        data = cifar10_like(n_train=64, n_test=32)
+        assert data.num_classes == 10
+        assert data.name == "cifar10-like"
+
+    def test_cifar100_like_class_knob(self):
+        data = cifar100_like(n_train=64, n_test=32, n_classes=25)
+        assert data.num_classes == 25
+        assert data.name == "cifar100-like"
+
+    def test_imagenet_like(self):
+        data = imagenet_like(n_train=64, n_test=32, image_size=14, n_classes=7)
+        assert data.num_classes == 7
+        assert data.input_shape == (3, 14, 14)

@@ -1,0 +1,68 @@
+"""Augmentation transforms on NCHW batches."""
+
+import numpy as np
+import pytest
+
+from repro.data import Compose, Normalize, RandomCrop, RandomHorizontalFlip
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestFlip:
+    def test_p1_flips_everything(self):
+        batch = RNG.standard_normal((4, 3, 5, 5)).astype(np.float32)
+        out = RandomHorizontalFlip(p=1.0)(batch, np.random.default_rng(0))
+        assert np.allclose(out, batch[:, :, :, ::-1])
+
+    def test_p0_identity(self):
+        batch = RNG.standard_normal((4, 3, 5, 5)).astype(np.float32)
+        out = RandomHorizontalFlip(p=0.0)(batch, np.random.default_rng(0))
+        assert np.array_equal(out, batch)
+
+    def test_does_not_mutate_input(self):
+        batch = RNG.standard_normal((4, 3, 5, 5)).astype(np.float32)
+        original = batch.copy()
+        RandomHorizontalFlip(p=1.0)(batch, np.random.default_rng(0))
+        assert np.array_equal(batch, original)
+
+
+class TestCrop:
+    def test_output_shape_unchanged(self):
+        batch = RNG.standard_normal((3, 3, 8, 8)).astype(np.float32)
+        out = RandomCrop(padding=2)(batch, np.random.default_rng(0))
+        assert out.shape == batch.shape
+
+    def test_zero_padding_identity(self):
+        batch = RNG.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out = RandomCrop(padding=0)(batch, np.random.default_rng(0))
+        assert np.array_equal(out, batch)
+
+    def test_content_is_shifted_window(self):
+        batch = np.arange(16.0, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = RandomCrop(padding=1)(batch, np.random.default_rng(1))
+        # Every output pixel is either 0 (padding) or comes from the input.
+        assert set(np.unique(out)).issubset(set(np.unique(batch)) | {0.0})
+
+
+class TestNormalize:
+    def test_channel_statistics(self):
+        batch = np.stack([
+            np.full((2, 3, 3), 4.0), np.full((2, 3, 3), 10.0)
+        ]).astype(np.float32).reshape(2, 2, 3, 3)
+        out = Normalize(mean=[4.0, 4.0], std=[2.0, 2.0])(batch, np.random.default_rng(0))
+        assert out.shape == batch.shape
+
+    def test_exact_values(self):
+        batch = np.full((1, 2, 2, 2), 6.0, dtype=np.float32)
+        out = Normalize(mean=[2.0, 6.0], std=[2.0, 1.0])(batch, np.random.default_rng(0))
+        assert np.allclose(out[0, 0], 2.0)
+        assert np.allclose(out[0, 1], 0.0)
+
+
+class TestCompose:
+    def test_applies_in_order(self):
+        double = lambda b, rng: b * 2
+        plus_one = lambda b, rng: b + 1
+        out = Compose([double, plus_one])(np.ones((1, 1, 1, 1), np.float32), RNG)
+        assert out[0, 0, 0, 0] == pytest.approx(3.0)  # (1*2)+1

@@ -1,0 +1,67 @@
+"""CLI argument parsing and command dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "dst_ee"
+        assert args.dataset == "cifar10"
+        assert args.sparsity == pytest.approx(0.9)
+
+    def test_run_custom(self):
+        args = build_parser().parse_args([
+            "run", "--method", "rigl", "--dataset", "cifar100",
+            "--model", "resnet50_mini", "--sparsity", "0.98", "--c", "0.01",
+        ])
+        assert args.method == "rigl"
+        assert args.dataset == "cifar100"
+        assert args.model == "resnet50_mini"
+        assert args.sparsity == pytest.approx(0.98)
+        assert args.c == pytest.approx(0.01)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--method", "lottery"])
+
+    def test_gnn_defaults(self):
+        args = build_parser().parse_args(["gnn"])
+        assert args.dataset == "wiki_talk"
+        assert args.method == "dst_ee"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_methods_lists_all(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "dst_ee" in out
+        assert "dynamic" in out
+        assert "rigl" in out
+
+    def test_run_tiny_end_to_end(self, capsys):
+        exit_code = main([
+            "run", "--method", "dst_ee", "--model", "mlp",
+            "--n-train", "96", "--n-test", "48", "--image-size", "8",
+            "--epochs", "1", "--delta-t", "2",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+        assert "exploration rate" in out
+
+    def test_gnn_tiny_end_to_end(self, capsys):
+        exit_code = main([
+            "gnn", "--dataset", "ia_email", "--method", "dense",
+            "--nodes", "80", "--epochs", "2",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "best accuracy" in out

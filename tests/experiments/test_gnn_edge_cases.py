@@ -1,0 +1,99 @@
+"""GNN pipeline edge cases and protocol details."""
+
+import numpy as np
+import pytest
+
+from repro.data import wiki_talk_like
+from repro.data.graphs import degree_corrected_partition_graph
+from repro.experiments.gnn import (
+    _edge_batches,
+    evaluate_link_prediction,
+    run_gnn_dst_ee,
+    train_link_predictor,
+)
+from repro.models import GNNLinkModel
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return wiki_talk_like(n_nodes=100, seed=3)
+
+
+class TestEdgeBatches:
+    def test_covers_all_training_edges(self, graph):
+        rng = np.random.default_rng(0)
+        seen = 0
+        for edges, labels in _edge_batches(graph, rng, batch_size=64):
+            assert edges.shape[1] == 2
+            assert len(edges) == len(labels)
+            seen += len(edges)
+        assert seen == len(graph.train_pos) + len(graph.train_neg)
+
+    def test_labels_match_membership(self, graph):
+        rng = np.random.default_rng(0)
+        positives = {tuple(e) for e in graph.train_pos}
+        for edges, labels in _edge_batches(graph, rng, batch_size=32):
+            for edge, label in zip(edges, labels):
+                assert (tuple(edge) in positives) == bool(label)
+
+    def test_shuffled_between_epochs(self, graph):
+        rng = np.random.default_rng(0)
+        first = next(_edge_batches(graph, rng, batch_size=32))[0].copy()
+        second = next(_edge_batches(graph, rng, batch_size=32))[0]
+        assert not np.array_equal(first, second)
+
+
+class TestEvaluation:
+    def test_eval_does_not_switch_mode_permanently(self, graph):
+        model = GNNLinkModel(graph.n_features, seed=0)
+        model.train()
+        evaluate_link_prediction(model, graph)
+        assert model.training
+
+    def test_untrained_model_near_chance(self, graph):
+        model = GNNLinkModel(graph.n_features, seed=0)
+        accuracy = evaluate_link_prediction(model, graph)
+        assert 0.2 <= accuracy <= 0.8  # untrained: no strong signal either way
+
+
+class TestDSTEEProtocol:
+    def test_uniform_distribution_on_predictor(self, graph):
+        result = run_gnn_dst_ee(graph, sparsity=0.9, epochs=2, seed=0)
+        # Uniform sparsity: the actual sparsity is exactly the target on the
+        # two FC layers combined.
+        assert result.actual_sparsity == pytest.approx(0.9, abs=0.02)
+
+    def test_custom_optimizer_passthrough(self, graph):
+        from repro.optim import Adam
+
+        model = GNNLinkModel(graph.n_features, seed=0)
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        best, final, returned = train_link_predictor(
+            model, graph, epochs=2, optimizer=optimizer, seed=0
+        )
+        assert returned is optimizer
+
+
+class TestGraphGenerator:
+    def test_mixing_bounds_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            degree_corrected_partition_graph(50, 4, 8.0, 0.0, 2.0, rng)
+        with pytest.raises(ValueError):
+            degree_corrected_partition_graph(50, 0, 8.0, 0.5, 2.0, rng)
+
+    def test_community_structure_increases_internal_edges(self):
+        rng = np.random.default_rng(1)
+        graph, communities = degree_corrected_partition_graph(
+            200, 4, 10.0, 0.05, 2.0, rng
+        )
+        internal = sum(
+            1 for u, v in graph.edges() if communities[u] == communities[v]
+        )
+        assert internal > graph.number_of_edges() * 0.5  # vs ~0.25 at random
+
+    def test_mean_degree_approximate(self):
+        rng = np.random.default_rng(2)
+        graph, _ = degree_corrected_partition_graph(300, 5, 12.0, 0.1, 2.0, rng)
+        mean_degree = 2 * graph.number_of_edges() / graph.number_of_nodes()
+        assert mean_degree == pytest.approx(12.0, rel=0.5)

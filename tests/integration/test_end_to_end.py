@@ -1,0 +1,111 @@
+"""End-to-end integration: full training runs exercising the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_image_classification
+from repro.experiments import run_image_classification
+from repro.models import MLP, vgg11
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_image_classification(
+        n_classes=4, n_train=256, n_test=128, image_size=8, noise=0.7, seed=21,
+        name="integration",
+    )
+
+
+def mlp_factory(seed):
+    return MLP(in_features=3 * 8 * 8, hidden=(64, 32), num_classes=4, seed=seed)
+
+
+def cnn_factory(seed):
+    return vgg11(num_classes=4, width_mult=0.1, input_size=8, seed=seed)
+
+
+class TestLearning:
+    def test_dense_mlp_learns(self, data):
+        result = run_image_classification(
+            "dense", mlp_factory, data, epochs=6, batch_size=32, lr=0.08
+        )
+        assert result.final_accuracy > 0.6  # chance = 0.25
+
+    def test_dst_ee_learns_at_90_sparsity(self, data):
+        result = run_image_classification(
+            "dst_ee", mlp_factory, data, sparsity=0.9, epochs=6,
+            batch_size=32, lr=0.08, delta_t=4,
+        )
+        assert result.final_accuracy > 0.5
+        assert result.actual_sparsity == pytest.approx(0.9, abs=0.02)
+
+    def test_cnn_pipeline(self, data):
+        result = run_image_classification(
+            "dst_ee", cnn_factory, data, sparsity=0.8, epochs=3,
+            batch_size=32, lr=0.05, delta_t=4,
+        )
+        assert result.final_accuracy > 0.4
+
+    def test_sparse_closes_most_of_dense_gap(self, data):
+        dense = run_image_classification(
+            "dense", mlp_factory, data, epochs=6, batch_size=32, lr=0.08
+        )
+        sparse = run_image_classification(
+            "dst_ee", mlp_factory, data, sparsity=0.8, epochs=6,
+            batch_size=32, lr=0.08, delta_t=4,
+        )
+        assert sparse.final_accuracy > dense.final_accuracy - 0.25
+
+
+class TestPaperShapeProperties:
+    def test_dst_ee_explores_more_than_rigl(self, data):
+        """DST-EE's exploration bonus must cover more weights than greedy RigL
+        (the mechanism behind Fig. 3's coverage-accuracy link)."""
+        kwargs = dict(sparsity=0.9, epochs=6, batch_size=32, lr=0.08, delta_t=3)
+        dst = run_image_classification(
+            "dst_ee", mlp_factory, data, c=5e-2, **kwargs
+        )
+        rigl = run_image_classification("rigl", mlp_factory, data, **kwargs)
+        assert dst.exploration_rate >= rigl.exploration_rate - 1e-6
+
+    def test_larger_c_explores_more(self, data):
+        """Fig. 3 left panels: larger trade-off coefficient ⇒ higher coverage."""
+        kwargs = dict(sparsity=0.9, epochs=6, batch_size=32, lr=0.08, delta_t=3)
+        low = run_image_classification("dst_ee", mlp_factory, data, c=1e-5, **kwargs)
+        high = run_image_classification("dst_ee", mlp_factory, data, c=1e-1, **kwargs)
+        assert high.exploration_rate > low.exploration_rate
+
+    def test_erk_densities_survive_training(self, data):
+        result = run_image_classification(
+            "rigl", cnn_factory, data, sparsity=0.9, epochs=2,
+            batch_size=32, lr=0.05, delta_t=4,
+        )
+        densities = {name: mask.mean() for name, mask in result.masks.items()}
+        # ERK: not all layers at the same density.
+        values = list(densities.values())
+        assert max(values) - min(values) > 0.05
+
+    def test_flops_multiplier_consistent_with_sparsity(self, data):
+        result = run_image_classification(
+            "set", mlp_factory, data, sparsity=0.9, epochs=2,
+            batch_size=32, lr=0.08, delta_t=4,
+        )
+        assert result.inference_flops_multiplier < 0.4
+        assert result.training_flops_multiplier < 0.4
+
+    def test_static_mask_never_moves(self, data):
+        result = run_image_classification(
+            "snip", mlp_factory, data, sparsity=0.9, epochs=3,
+            batch_size=32, lr=0.08,
+        )
+        # exploration_rate is None: no coverage tracking because no engine.
+        assert result.exploration_rate is None
+        assert result.actual_sparsity == pytest.approx(0.9, abs=0.02)
+
+    def test_all_methods_hold_final_budget(self, data):
+        for method in ("set", "rigl", "dst_ee", "mest", "deepr"):
+            result = run_image_classification(
+                method, mlp_factory, data, sparsity=0.85, epochs=2,
+                batch_size=32, lr=0.08, delta_t=4,
+            )
+            assert result.actual_sparsity == pytest.approx(0.85, abs=0.02), method

@@ -1,0 +1,92 @@
+"""Functional API parity with the module layer implementations."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, no_grad
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(11)
+
+
+class TestLinear:
+    def test_matches_module(self):
+        layer = nn.Linear(6, 4, rng=np.random.default_rng(0))
+        x = Tensor(RNG.standard_normal((3, 6)).astype(np.float32))
+        module_out = layer(x).data
+        functional_out = F.linear(x, layer.weight, layer.bias).data
+        assert np.allclose(module_out, functional_out, atol=1e-6)
+
+    def test_no_bias(self):
+        weight = Tensor(RNG.standard_normal((4, 6)).astype(np.float32))
+        x = Tensor(RNG.standard_normal((2, 6)).astype(np.float32))
+        out = F.linear(x, weight)
+        assert np.allclose(out.data, x.data @ weight.data.T, atol=1e-6)
+
+    def test_gradients_flow(self):
+        weight = Tensor(RNG.standard_normal((2, 3)).astype(np.float32), requires_grad=True)
+        out = F.linear(Tensor(np.ones((4, 3), dtype=np.float32)), weight)
+        out.sum().backward()
+        assert weight.grad is not None
+
+
+class TestDropout:
+    def test_eval_identity(self):
+        x = Tensor(np.ones((5, 5), dtype=np.float32))
+        assert F.dropout(x, p=0.5, training=False) is x
+
+    def test_train_scales(self):
+        x = Tensor(np.ones((200, 200), dtype=np.float32))
+        out = F.dropout(x, p=0.5, training=True, rng=np.random.default_rng(0))
+        surviving = out.data[out.data != 0]
+        assert np.allclose(surviving, 2.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), p=1.5)
+
+
+class TestBatchNorm:
+    def test_inference_matches_module(self):
+        bn = nn.BatchNorm2d(3)
+        bn.register_buffer("running_mean", np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        bn.register_buffer("running_var", np.array([1.0, 4.0, 9.0], dtype=np.float32))
+        bn.weight.data = np.array([1.5, 1.0, 0.5], dtype=np.float32)
+        bn.bias.data = np.array([0.0, 1.0, -1.0], dtype=np.float32)
+        bn.eval()
+        x = Tensor(RNG.standard_normal((2, 3, 4, 4)).astype(np.float32))
+        with no_grad():
+            module_out = bn(x).data
+        functional_out = F.batch_norm(
+            x, bn.running_mean, bn.running_var,
+            weight=bn.weight, bias=bn.bias, training=False, eps=bn.eps,
+        ).data
+        assert np.allclose(module_out, functional_out, atol=1e-5)
+
+    def test_training_normalizes(self):
+        x = Tensor((RNG.standard_normal((8, 2, 3, 3)) * 5 + 3).astype(np.float32))
+        out = F.batch_norm(
+            x, np.zeros(2, dtype=np.float32), np.ones(2, dtype=np.float32),
+            training=True,
+        ).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+
+    def test_1d_input(self):
+        x = Tensor(RNG.standard_normal((10, 4)).astype(np.float32))
+        out = F.batch_norm(
+            x, np.zeros(4, dtype=np.float32), np.ones(4, dtype=np.float32),
+        )
+        assert out.shape == (10, 4)
+
+
+class TestMisc:
+    def test_flatten(self):
+        x = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert F.flatten(x).shape == (2, 12)
+        assert F.flatten(x, start_dim=0).shape == (24,)
+
+    def test_reexports_work(self):
+        x = Tensor(np.array([-1.0, 1.0], dtype=np.float32))
+        assert np.allclose(F.relu(x).data, [0.0, 1.0])
+        assert F.softmax(Tensor(np.zeros((1, 4), dtype=np.float32))).data.sum() == pytest.approx(1.0)

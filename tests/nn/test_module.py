@@ -1,0 +1,146 @@
+"""Module system: registration, traversal, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter, Sequential, Identity
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2), dtype=np.float32))
+        self.register_buffer("stat", np.zeros(2, dtype=np.float32))
+
+    def forward(self, x):
+        return x
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.left = Leaf()
+        self.right = Leaf()
+        self.bias = Parameter(np.zeros(3, dtype=np.float32))
+
+    def forward(self, x):
+        return x
+
+
+class TestRegistration:
+    def test_parameters_found(self):
+        tree = Tree()
+        names = [name for name, _ in tree.named_parameters()]
+        assert names == ["bias", "left.weight", "right.weight"]
+
+    def test_parameter_count(self):
+        tree = Tree()
+        assert tree.num_parameters() == 3 + 4 + 4
+
+    def test_modules_traversal(self):
+        tree = Tree()
+        kinds = [type(m).__name__ for m in tree.modules()]
+        assert kinds == ["Tree", "Leaf", "Leaf"]
+
+    def test_named_modules(self):
+        tree = Tree()
+        names = dict(tree.named_modules())
+        assert "" in names and "left" in names and "right" in names
+
+    def test_children(self):
+        tree = Tree()
+        assert len(list(tree.children())) == 2
+
+    def test_buffers(self):
+        tree = Tree()
+        buffer_names = [name for name, _ in tree.named_buffers()]
+        assert buffer_names == ["left.stat", "right.stat"]
+
+    def test_reassignment_replaces(self):
+        leaf = Leaf()
+        leaf.weight = Parameter(np.zeros((3, 3), dtype=np.float32))
+        assert dict(leaf.named_parameters())["weight"].shape == (3, 3)
+        assert len(list(leaf.parameters())) == 1
+
+    def test_add_module(self):
+        seq = Module()
+        seq.add_module("layer0", Leaf())
+        assert "layer0" in dict(seq.named_modules())
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        tree = Tree()
+        assert tree.training and tree.left.training
+        tree.eval()
+        assert not tree.training and not tree.left.training and not tree.right.training
+        tree.train()
+        assert tree.training and tree.right.training
+
+    def test_zero_grad(self):
+        tree = Tree()
+        for p in tree.parameters():
+            p.grad = np.ones(p.shape, dtype=np.float32)
+        tree.zero_grad()
+        assert all(p.grad is None for p in tree.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Tree(), Tree()
+        for p in a.parameters():
+            p.data = p.data + 5.0
+        b.load_state_dict(a.state_dict())
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+    def test_state_dict_copies(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["bias"][0] = 99.0
+        assert tree.bias.data[0] == 0.0
+
+    def test_buffers_roundtrip(self):
+        a, b = Tree(), Tree()
+        a.left.register_buffer("stat", np.array([7.0, 8.0], dtype=np.float32))
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(b.left.stat, [7.0, 8.0])
+
+    def test_shape_mismatch_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["bias"] = np.zeros(99)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            tree.load_state_dict(state)
+
+    def test_unknown_key_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["nonexistent.weight"] = np.zeros(2)
+        with pytest.raises(KeyError):
+            tree.load_state_dict(state)
+
+
+class TestSequential:
+    def test_forward_chains(self):
+        from repro.autograd import Tensor
+
+        seq = Sequential(nn.Linear(4, 3, rng=np.random.default_rng(0)), nn.ReLU())
+        out = seq(Tensor(np.ones((2, 4), dtype=np.float32)))
+        assert out.shape == (2, 3)
+        assert np.all(out.data >= 0)
+
+    def test_len_iter_getitem(self):
+        seq = Sequential(Identity(), Identity(), Identity())
+        assert len(seq) == 3
+        assert len(list(seq)) == 3
+        assert isinstance(seq[1], Identity)
+
+    def test_forward_unimplemented_raises(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_identity(self):
+        x = object()
+        assert Identity()(x) is x

@@ -1,0 +1,80 @@
+"""Batch normalization: statistics, modes, running averages, gradients."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+
+RNG = np.random.default_rng(5)
+
+
+class TestBatchNorm2d:
+    def test_training_output_normalized(self):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor((RNG.standard_normal((8, 3, 4, 4)) * 3 + 2).astype(np.float32))
+        out = bn(x).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self):
+        bn = nn.BatchNorm2d(2)
+        bn.weight.data = np.array([2.0, 3.0], dtype=np.float32)
+        bn.bias.data = np.array([1.0, -1.0], dtype=np.float32)
+        x = Tensor(RNG.standard_normal((16, 2, 3, 3)).astype(np.float32))
+        out = bn(x).data
+        assert out[:, 0].mean() == pytest.approx(1.0, abs=1e-3)
+        assert out[:, 1].mean() == pytest.approx(-1.0, abs=1e-3)
+        assert out[:, 0].std() == pytest.approx(2.0, abs=1e-2)
+
+    def test_running_stats_updated(self):
+        bn = nn.BatchNorm2d(1, momentum=0.5)
+        x = Tensor(np.full((4, 1, 2, 2), 10.0, dtype=np.float32))
+        bn(x)
+        assert bn.running_mean[0] == pytest.approx(5.0)  # 0.5*0 + 0.5*10
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm2d(1)
+        bn.register_buffer("running_mean", np.array([4.0], dtype=np.float32))
+        bn.register_buffer("running_var", np.array([4.0], dtype=np.float32))
+        bn.eval()
+        x = Tensor(np.full((2, 1, 2, 2), 8.0, dtype=np.float32))
+        out = bn(x).data
+        assert np.allclose(out, (8.0 - 4.0) / 2.0, atol=1e-3)
+
+    def test_eval_does_not_update_running_stats(self):
+        bn = nn.BatchNorm2d(1)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(np.full((2, 1, 2, 2), 100.0, dtype=np.float32)))
+        assert np.allclose(bn.running_mean, before)
+
+    def test_gradcheck(self):
+        bn = nn.BatchNorm2d(2)
+        bn.weight.data = bn.weight.data.astype(np.float64)
+        bn.bias.data = bn.bias.data.astype(np.float64)
+        x = Tensor(RNG.standard_normal((4, 2, 3, 3)), requires_grad=True)
+        gradcheck(lambda v: bn(v), [x], atol=1e-3, rtol=1e-3)
+
+    def test_parameters_registered(self):
+        bn = nn.BatchNorm2d(4)
+        assert len(list(bn.parameters())) == 2
+        assert {n for n, _ in bn.named_buffers()} == {"running_mean", "running_var"}
+
+
+class TestBatchNorm1d:
+    def test_training_normalizes_columns(self):
+        bn = nn.BatchNorm1d(3)
+        x = Tensor((RNG.standard_normal((32, 3)) * 5 - 1).astype(np.float32))
+        out = bn(x).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_eval_mode_shape(self):
+        bn = nn.BatchNorm1d(3)
+        bn.eval()
+        out = bn(Tensor(np.ones((4, 3), dtype=np.float32)))
+        assert out.shape == (4, 3)
+
+    def test_repr(self):
+        assert "BatchNorm1d(3" in repr(nn.BatchNorm1d(3))

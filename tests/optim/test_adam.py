@@ -1,0 +1,62 @@
+"""Adam optimizer math and convergence."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.optim import Adam
+
+
+def make_param(value):
+    return Tensor(np.array(value, dtype=np.float32), requires_grad=True)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        # With bias correction, the first Adam step ≈ lr * sign(grad).
+        p = make_param([0.0])
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([10.0], dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_matches_manual_two_steps(self):
+        p = make_param([1.0])
+        lr, b1, b2, eps = 0.1, 0.9, 0.999, 1e-8
+        opt = Adam([p], lr=lr, betas=(b1, b2), eps=eps)
+        w = 1.0
+        m = v = 0.0
+        for t in range(1, 3):
+            g = 2.0 * w  # f = w^2
+            p.grad = np.array([g], dtype=np.float32)
+            opt.step()
+            m = b1 * m + (1 - b1) * g
+            v = b2 * v + (1 - b2) * g * g
+            m_hat = m / (1 - b1**t)
+            v_hat = v / (1 - b2**t)
+            w = w - lr * m_hat / (np.sqrt(v_hat) + eps)
+            assert p.data[0] == pytest.approx(w, rel=1e-4)
+
+    def test_weight_decay(self):
+        p = make_param([1.0])
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 1.0  # decay produces a step even with zero grad
+
+    def test_state_contains_moments(self):
+        p = make_param([0.0])
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        state = opt.state_for(p)
+        assert set(state) == {"step", "m", "v"}
+        assert state["step"] == 1
+
+    def test_minimizes_quadratic(self):
+        p = make_param([5.0])
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            p.grad = (p.data - 3.0).astype(np.float32)
+            opt.step()
+        assert p.data[0] == pytest.approx(3.0, abs=1e-2)

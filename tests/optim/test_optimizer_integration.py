@@ -1,0 +1,81 @@
+"""Optimizer behaviour through full model training loops."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.models import MLP
+from repro.optim import SGD, Adam, CosineAnnealingLR
+
+
+def batch(seed=0, n=32):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((n, 12)).astype(np.float32))
+    y = rng.integers(0, 3, n)
+    return x, y
+
+
+def steps(model, optimizer, n_steps=30, seed=0):
+    x, y = batch(seed)
+    losses = []
+    for _ in range(n_steps):
+        model.zero_grad()
+        loss = nn.cross_entropy(model(x), y)
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    return losses
+
+
+class TestOptimizersOnModels:
+    def test_sgd_fits_batch(self):
+        model = MLP(12, (24,), 3, seed=0)
+        losses = steps(model, SGD(model.parameters(), lr=0.2, momentum=0.9))
+        assert losses[-1] < 0.3 * losses[0]
+
+    def test_adam_fits_batch(self):
+        model = MLP(12, (24,), 3, seed=0)
+        losses = steps(model, Adam(model.parameters(), lr=5e-3))
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_weight_decay_shrinks_norms(self):
+        model_wd = MLP(12, (24,), 3, seed=0)
+        model_free = MLP(12, (24,), 3, seed=0)
+        steps(model_wd, SGD(model_wd.parameters(), lr=0.1, weight_decay=0.1))
+        steps(model_free, SGD(model_free.parameters(), lr=0.1))
+        norm_wd = sum(float((p.data**2).sum()) for p in model_wd.parameters())
+        norm_free = sum(float((p.data**2).sum()) for p in model_free.parameters())
+        assert norm_wd < norm_free
+
+    def test_scheduler_plus_optimizer(self):
+        model = MLP(12, (24,), 3, seed=0)
+        optimizer = SGD(model.parameters(), lr=0.2, momentum=0.9)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10)
+        x, y = batch()
+        for _ in range(10):
+            model.zero_grad()
+            nn.cross_entropy(model(x), y).backward()
+            optimizer.step()
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.0, abs=1e-8)
+
+    def test_state_isolated_per_parameter(self):
+        model = MLP(12, (24,), 3, seed=0)
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        steps(model, optimizer, n_steps=2)
+        state_ids = {id(p): optimizer.state_for(p) for p in model.parameters()}
+        buffers = [
+            s["momentum"] for s in state_ids.values() if "momentum" in s
+        ]
+        assert len(buffers) == len(list(model.parameters()))
+        assert len({id(b) for b in buffers}) == len(buffers)
+
+    def test_sgd_and_adam_diverge_in_trajectory(self):
+        sgd_model = MLP(12, (24,), 3, seed=0)
+        adam_model = MLP(12, (24,), 3, seed=0)
+        steps(sgd_model, SGD(sgd_model.parameters(), lr=0.05), n_steps=5)
+        steps(adam_model, Adam(adam_model.parameters(), lr=0.05), n_steps=5)
+        first_sgd = next(iter(sgd_model.parameters())).data
+        first_adam = next(iter(adam_model.parameters())).data
+        assert not np.allclose(first_sgd, first_adam, atol=1e-5)

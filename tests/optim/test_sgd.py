@@ -1,0 +1,97 @@
+"""SGD: plain, momentum, Nesterov, weight decay — against manual math."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.optim import SGD
+
+
+def make_param(value):
+    p = Tensor(np.array(value, dtype=np.float32), requires_grad=True)
+    return p
+
+
+class TestPlainSGD:
+    def test_single_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [0.95, 2.05])
+
+    def test_skips_params_without_grad(self):
+        p = make_param([1.0])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_zero_grad_clears(self):
+        p = make_param([1.0])
+        p.grad = np.ones(1, dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestMomentum:
+    def test_two_steps_match_manual(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v=1, w=-1
+        assert np.allclose(p.data, [-1.0])
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v=1.9, w=-2.9
+        assert np.allclose(p.data, [-2.9])
+
+    def test_momentum_state_exposed(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([2.0], dtype=np.float32)
+        opt.step()
+        state = opt.state_for(p)
+        assert "momentum" in state
+        assert np.allclose(state["momentum"], [2.0])
+
+    def test_nesterov_differs_from_classic(self):
+        p1, p2 = make_param([0.0]), make_param([0.0])
+        classic = SGD([p1], lr=1.0, momentum=0.9)
+        nesterov = SGD([p2], lr=1.0, momentum=0.9, nesterov=True)
+        for _ in range(2):
+            p1.grad = np.array([1.0], dtype=np.float32)
+            p2.grad = np.array([1.0], dtype=np.float32)
+            classic.step()
+            nesterov.step()
+        assert not np.allclose(p1.data, p2.data)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([0.0])], lr=0.1, nesterov=True)
+
+
+class TestWeightDecay:
+    def test_decay_added_to_gradient(self):
+        p = make_param([2.0])
+        p.grad = np.zeros(1, dtype=np.float32)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        # effective grad = 0 + 0.5*2 = 1 → w = 2 - 0.1
+        assert np.allclose(p.data, [1.9])
+
+    def test_no_decay_without_grad(self):
+        p = make_param([2.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert np.allclose(p.data, [2.0])
+
+
+class TestConvergence:
+    def test_minimizes_quadratic(self):
+        # f(w) = 0.5 (w - 3)^2, gradient = w - 3
+        p = make_param([0.0])
+        opt = SGD([p], lr=0.3, momentum=0.5)
+        for _ in range(60):
+            p.grad = (p.data - 3.0).astype(np.float32)
+            opt.step()
+        assert p.data[0] == pytest.approx(3.0, abs=1e-3)

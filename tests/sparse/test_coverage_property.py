@@ -1,0 +1,86 @@
+"""Hypothesis property tests for coverage counters and acquisition scores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.scoring import acquisition_score, exploration_score
+
+
+class TestScoringProperties:
+    @given(
+        step=st.integers(min_value=2, max_value=10**6),
+        c=st.floats(min_value=1e-6, max_value=10.0),
+        epsilon=st.floats(min_value=1e-3, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exploration_monotone_decreasing_in_counter(self, step, c, epsilon):
+        counters = np.array([0.0, 1.0, 2.0, 10.0, 100.0])
+        scores = exploration_score(counters, step, c, epsilon)
+        assert np.all(np.diff(scores) < 0)
+
+    @given(
+        c=st.floats(min_value=1e-6, max_value=10.0),
+        count=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exploration_monotone_increasing_in_step(self, c, count):
+        counters = np.array([count])
+        early = exploration_score(counters, 10, c)[0]
+        late = exploration_score(counters, 1000, c)[0]
+        assert late > early
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        c=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_acquisition_dominates_exploitation(self, seed, c):
+        # The acquisition score is exploitation plus a non-negative bonus.
+        rng = np.random.default_rng(seed)
+        grad = rng.standard_normal(20)
+        counter = rng.integers(0, 10, 20).astype(float)
+        combined = acquisition_score(grad, counter, step=50, c=c)
+        assert np.all(combined >= np.abs(grad) - 1e-12)
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_never_active_weight_wins_ties(self, seed):
+        # Among weights with identical gradients, the never-active one has
+        # the strictly highest acquisition score.
+        rng = np.random.default_rng(seed)
+        gradient_magnitude = float(np.abs(rng.standard_normal()))
+        grad = np.full(5, gradient_magnitude)
+        counter = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        scores = acquisition_score(grad, counter, step=100, c=1e-3)
+        assert scores.argmax() == 0
+
+
+class TestCounterProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        rounds=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_counter_bounded_by_rounds(self, seed, rounds):
+        from repro.models import MLP
+        from repro.sparse import CoverageTracker, MaskedModel
+
+        model = MLP(in_features=8, hidden=(10,), num_classes=3, seed=seed)
+        masked = MaskedModel(model, 0.5, rng=np.random.default_rng(seed))
+        tracker = CoverageTracker(masked)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(rounds):
+            for target in masked.targets:
+                flat = target.mask.reshape(-1)
+                flat[:] = rng.random(flat.size) < 0.5
+            tracker.update()
+        for target in masked.targets:
+            counter = tracker.counters[target.name]
+            # Initial mask + one increment per round.
+            assert counter.max() <= rounds + 1
+            assert counter.min() >= 0
+            # Ever-active is exactly the support of the counter.
+            assert np.array_equal(
+                tracker.ever_active[target.name], counter > 0
+            )

@@ -1,0 +1,104 @@
+"""Sparsity distributions: budget preservation, caps, ERK semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import erdos_renyi, erdos_renyi_kernel, layer_densities, uniform_density
+
+
+SHAPES = [(64, 32, 3, 3), (128, 64, 3, 3), (10, 128)]
+
+
+def total_nonzeros(shapes, densities):
+    return sum(d * np.prod(s) for s, d in zip(shapes, densities))
+
+
+class TestUniform:
+    def test_all_equal(self):
+        densities = uniform_density(SHAPES, 0.1)
+        assert all(d == pytest.approx(0.1) for d in densities)
+
+    def test_budget(self):
+        densities = uniform_density(SHAPES, 0.2)
+        total = sum(np.prod(s) for s in SHAPES)
+        assert total_nonzeros(SHAPES, densities) == pytest.approx(0.2 * total)
+
+
+class TestERK:
+    def test_budget_preserved(self):
+        for density in (0.02, 0.05, 0.1, 0.2, 0.5):
+            densities = erdos_renyi_kernel(SHAPES, density)
+            total = sum(np.prod(s) for s in SHAPES)
+            assert total_nonzeros(SHAPES, densities) == pytest.approx(
+                density * total, rel=1e-6
+            )
+
+    def test_densities_within_bounds(self):
+        densities = erdos_renyi_kernel(SHAPES, 0.1)
+        assert all(0.0 < d <= 1.0 for d in densities)
+
+    def test_small_layers_denser(self):
+        # ERK gives narrow layers (the 10x128 head) more density than wide convs.
+        densities = erdos_renyi_kernel(SHAPES, 0.1)
+        assert densities[2] > densities[0]
+        assert densities[2] > densities[1]
+
+    def test_cap_and_redistribute(self):
+        # A tiny layer would get >1 density; it must be capped at 1 and the
+        # global budget preserved by raising the others.
+        shapes = [(4, 4), (512, 512)]
+        densities = erdos_renyi_kernel(shapes, 0.3)
+        assert densities[0] == pytest.approx(1.0)
+        total = sum(np.prod(s) for s in shapes)
+        assert total_nonzeros(shapes, densities) == pytest.approx(0.3 * total, rel=1e-6)
+
+    def test_full_density(self):
+        densities = erdos_renyi_kernel(SHAPES, 1.0)
+        assert all(d == pytest.approx(1.0) for d in densities)
+
+    def test_er_ignores_kernel_dims(self):
+        # ER treats (64, 32, 3, 3) like (64, 32); ERK does not.
+        er = erdos_renyi([(64, 32, 3, 3), (64, 32)], 0.1)
+        assert er[0] == pytest.approx(er[1] * 1.0, rel=1e-6)
+
+    def test_dispatch(self):
+        for name in ("uniform", "er", "erk"):
+            densities = layer_densities(SHAPES, 0.1, name)
+            assert len(densities) == len(SHAPES)
+
+    def test_dispatch_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown sparsity distribution"):
+            layer_densities(SHAPES, 0.1, "banana")
+
+    def test_invalid_density_raises(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_kernel(SHAPES, 0.0)
+        with pytest.raises(ValueError):
+            erdos_renyi_kernel(SHAPES, 1.5)
+
+
+class TestERKProperty:
+    @given(
+        density=st.floats(min_value=0.01, max_value=0.99),
+        n_layers=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_budget_and_bounds_hold(self, density, n_layers, seed):
+        rng = np.random.default_rng(seed)
+        shapes = []
+        for _ in range(n_layers):
+            if rng.random() < 0.5:
+                shapes.append((int(rng.integers(2, 64)), int(rng.integers(2, 64))))
+            else:
+                shapes.append(
+                    (int(rng.integers(2, 32)), int(rng.integers(2, 32)), 3, 3)
+                )
+        densities = erdos_renyi_kernel(shapes, density)
+        assert all(0.0 <= d <= 1.0 + 1e-9 for d in densities)
+        total = sum(np.prod(s) for s in shapes)
+        achieved = total_nonzeros(shapes, densities)
+        # Budget holds unless every layer is saturated at density 1.
+        if not all(d >= 1.0 - 1e-9 for d in densities):
+            assert achieved == pytest.approx(density * total, rel=1e-4)

@@ -1,0 +1,42 @@
+"""Distribution edge cases at extreme sparsity and odd layer mixes."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import erdos_renyi_kernel, layer_densities, uniform_density
+
+
+class TestExtremeSparsity:
+    def test_very_high_sparsity(self):
+        shapes = [(256, 256, 3, 3), (512, 256, 3, 3), (10, 512)]
+        densities = erdos_renyi_kernel(shapes, 0.01)
+        total = sum(np.prod(s) for s in shapes)
+        achieved = sum(d * np.prod(s) for s, d in zip(shapes, densities))
+        assert achieved == pytest.approx(0.01 * total, rel=1e-4)
+        assert all(d > 0 for d in densities)
+
+    def test_single_layer(self):
+        densities = erdos_renyi_kernel([(64, 64)], 0.3)
+        assert densities == [pytest.approx(0.3)]
+
+    def test_many_tiny_layers_all_capped(self):
+        # Tiny layers: proportional densities would all exceed 1 → all capped.
+        shapes = [(2, 2), (3, 2), (2, 3)]
+        densities = erdos_renyi_kernel(shapes, 0.9)
+        assert all(d <= 1.0 for d in densities)
+
+    def test_mixed_conv_and_fc(self):
+        shapes = [(32, 16, 3, 3), (100, 200), (10, 100)]
+        for method in ("erk", "er", "uniform"):
+            densities = layer_densities(shapes, 0.1, method)
+            assert len(densities) == 3
+            assert all(0 < d <= 1 for d in densities)
+
+    def test_identical_layers_equal_density(self):
+        shapes = [(64, 32, 3, 3)] * 4
+        densities = erdos_renyi_kernel(shapes, 0.15)
+        assert all(d == pytest.approx(densities[0]) for d in densities)
+
+    def test_uniform_unaffected_by_shapes(self):
+        wild = [(2, 2), (1000, 1000), (7, 13, 3, 3)]
+        assert uniform_density(wild, 0.25) == [0.25, 0.25, 0.25]

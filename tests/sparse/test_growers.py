@@ -1,0 +1,125 @@
+"""Growth and drop rules in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.models import MLP
+from repro.sparse import MaskedModel
+from repro.sparse.growers import (
+    DSTEEGrowth,
+    GradientGrowth,
+    LayerContext,
+    MagnitudeDrop,
+    MagnitudeGradientDrop,
+    MomentumGrowth,
+    RandomGrowth,
+    SignFlipDrop,
+)
+
+
+@pytest.fixture
+def target():
+    model = MLP(in_features=6, hidden=(8,), num_classes=2, seed=0)
+    masked = MaskedModel(model, 0.5, rng=np.random.default_rng(0))
+    return masked.targets[0]
+
+
+def ctx(**kwargs):
+    defaults = dict(step=100, rng=np.random.default_rng(0))
+    defaults.update(kwargs)
+    return LayerContext(**defaults)
+
+
+class TestGrowthRules:
+    def test_random_scores_shape_and_range(self, target):
+        scores = RandomGrowth().scores(target, ctx())
+        assert scores.shape == target.param.shape
+        assert np.all((scores >= 0) & (scores < 1))
+
+    def test_random_uses_rng(self, target):
+        a = RandomGrowth().scores(target, ctx(rng=np.random.default_rng(1)))
+        b = RandomGrowth().scores(target, ctx(rng=np.random.default_rng(1)))
+        assert np.array_equal(a, b)
+
+    def test_gradient_rule_absolute(self, target):
+        grad = np.random.default_rng(0).standard_normal(target.param.shape)
+        scores = GradientGrowth().scores(target, ctx(dense_grad=grad))
+        assert np.allclose(scores, np.abs(grad))
+
+    def test_gradient_rule_requires_grad(self, target):
+        with pytest.raises(RuntimeError, match="dense gradient"):
+            GradientGrowth().scores(target, ctx())
+
+    def test_dstee_combines_terms(self, target):
+        grad = np.full(target.param.shape, 0.1)
+        counter = np.zeros(target.param.shape)
+        scores = DSTEEGrowth(c=1e-2, epsilon=1.0).scores(
+            target, ctx(dense_grad=grad, counter=counter)
+        )
+        expected = 0.1 + 1e-2 * np.log(100.0)
+        assert np.allclose(scores, expected)
+
+    def test_dstee_requires_counter(self, target):
+        with pytest.raises(RuntimeError, match="coverage counter"):
+            DSTEEGrowth().scores(target, ctx(dense_grad=np.zeros(target.param.shape)))
+
+    def test_dstee_rejects_negative_c(self):
+        with pytest.raises(ValueError):
+            DSTEEGrowth(c=-1.0)
+
+    def test_dstee_step_guard(self, target):
+        # step=1 is clamped to 2 internally so ln(t) > 0.
+        scores = DSTEEGrowth(c=1.0).scores(
+            target,
+            ctx(step=1, dense_grad=np.zeros(target.param.shape),
+                counter=np.zeros(target.param.shape)),
+        )
+        assert np.all(scores > 0)
+
+    def test_momentum_rule(self, target):
+        ema = np.random.default_rng(0).standard_normal(target.param.shape)
+        scores = MomentumGrowth().scores(target, ctx(grad_ema=ema))
+        assert np.allclose(scores, np.abs(ema))
+
+    def test_momentum_requires_ema(self, target):
+        with pytest.raises(RuntimeError, match="EMA"):
+            MomentumGrowth().scores(target, ctx())
+
+    def test_flags(self):
+        assert GradientGrowth.needs_dense_grad
+        assert DSTEEGrowth.needs_counter
+        assert MomentumGrowth.needs_grad_ema
+        assert not RandomGrowth.needs_dense_grad
+
+
+class TestDropRules:
+    def test_magnitude_drop_scores(self, target):
+        target.param.data = np.random.default_rng(0).standard_normal(
+            target.param.shape
+        ).astype(np.float32)
+        scores = MagnitudeDrop().scores(target, ctx())
+        assert np.allclose(scores, np.abs(target.param.data))
+
+    def test_magnitude_gradient_drop(self, target):
+        rng = np.random.default_rng(0)
+        target.param.data = rng.standard_normal(target.param.shape).astype(np.float32)
+        grad = rng.standard_normal(target.param.shape)
+        scores = MagnitudeGradientDrop(lam=2.0).scores(target, ctx(dense_grad=grad))
+        assert np.allclose(scores, np.abs(target.param.data) + 2.0 * np.abs(grad))
+
+    def test_sign_flip_ranks_flipped_first(self, target):
+        signs = np.ones(target.param.shape, dtype=np.float32)
+        target.param.data = np.full(target.param.shape, -0.5, dtype=np.float32)
+        scores = SignFlipDrop().scores(target, ctx(sign_reference=signs))
+        # All flipped: scores are negative magnitudes.
+        assert np.all(scores < 0)
+
+    def test_sign_flip_stable_weights_positive(self, target):
+        signs = np.ones(target.param.shape, dtype=np.float32)
+        target.param.data = np.full(target.param.shape, 0.5, dtype=np.float32)
+        scores = SignFlipDrop().scores(target, ctx(sign_reference=signs))
+        assert np.all(scores > 0)
+
+    def test_sign_flip_requires_reference(self, target):
+        with pytest.raises(RuntimeError, match="sign"):
+            SignFlipDrop().scores(target, ctx())

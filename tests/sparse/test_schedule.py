@@ -1,0 +1,81 @@
+"""Drop-fraction and update schedules."""
+
+import math
+
+import pytest
+
+from repro.sparse import (
+    ConstantSchedule,
+    CosineDecaySchedule,
+    LinearDecaySchedule,
+    UpdateSchedule,
+    make_drop_schedule,
+)
+
+
+class TestDropSchedules:
+    def test_constant(self):
+        sched = ConstantSchedule(0.3)
+        assert sched(0) == sched(500) == 0.3
+
+    def test_cosine_starts_at_fraction(self):
+        sched = CosineDecaySchedule(0.3, total_steps=100)
+        assert sched(0) == pytest.approx(0.3)
+
+    def test_cosine_halfway(self):
+        sched = CosineDecaySchedule(0.3, total_steps=100)
+        assert sched(50) == pytest.approx(0.15)
+
+    def test_cosine_ends_at_zero(self):
+        sched = CosineDecaySchedule(0.3, total_steps=100)
+        assert sched(100) == pytest.approx(0.0, abs=1e-9)
+        assert sched(200) == pytest.approx(0.0, abs=1e-9)  # clamped
+
+    def test_cosine_monotone(self):
+        sched = CosineDecaySchedule(0.5, total_steps=50)
+        values = [sched(t) for t in range(51)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_linear(self):
+        sched = LinearDecaySchedule(0.4, total_steps=100, end_fraction=0.1)
+        assert sched(0) == pytest.approx(0.4)
+        assert sched(50) == pytest.approx(0.25)
+        assert sched(100) == pytest.approx(0.1)
+
+    def test_factory(self):
+        assert isinstance(make_drop_schedule("constant", 0.3, 10), ConstantSchedule)
+        assert isinstance(make_drop_schedule("cosine", 0.3, 10), CosineDecaySchedule)
+        assert isinstance(make_drop_schedule("linear", 0.3, 10), LinearDecaySchedule)
+
+    def test_factory_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown drop schedule"):
+            make_drop_schedule("exp", 0.3, 10)
+
+    def test_invalid_fractions_raise(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+        with pytest.raises(ValueError):
+            CosineDecaySchedule(1.5, 10)
+
+
+class TestUpdateSchedule:
+    def test_updates_every_delta_t(self):
+        sched = UpdateSchedule(delta_t=10, total_steps=100, stop_fraction=1.0)
+        update_steps = [t for t in range(1, 101) if sched.is_update_step(t)]
+        assert update_steps == [10, 20, 30, 40, 50, 60, 70, 80, 90]
+
+    def test_stop_fraction_freezes_topology(self):
+        sched = UpdateSchedule(delta_t=10, total_steps=100, stop_fraction=0.75)
+        assert sched.is_update_step(70)
+        assert not sched.is_update_step(80)
+        assert not sched.is_update_step(90)
+
+    def test_step_zero_never_updates(self):
+        sched = UpdateSchedule(delta_t=10, total_steps=100)
+        assert not sched.is_update_step(0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            UpdateSchedule(0, 100)
+        with pytest.raises(ValueError):
+            UpdateSchedule(10, 100, stop_fraction=0.0)

@@ -1,0 +1,154 @@
+"""Static pruners: SNIP, GraSP, SynFlow, global top-k."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.data import make_image_classification, DataLoader
+from repro.models import MLP, vgg11
+from repro.sparse import global_topk_masks, grasp_masks, snip_masks, synflow_masks
+from repro.sparse.masked import collect_sparsifiable
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = make_image_classification(4, 96, 32, image_size=8, noise=0.6, seed=0)
+    loader = DataLoader(data.train, batch_size=32, shuffle=True, rng=np.random.default_rng(0))
+    batches = [next(iter(loader))]
+    model_factory = lambda: MLP(in_features=3 * 8 * 8, hidden=(32, 16), num_classes=4, seed=0)
+    return data, batches, model_factory
+
+
+def density_of(masks):
+    total = sum(m.size for m in masks.values())
+    active = sum(int(m.sum()) for m in masks.values())
+    return active / total
+
+
+class TestGlobalTopK:
+    def test_keeps_exact_fraction(self):
+        rng = np.random.default_rng(0)
+        scores = {"a": rng.random((10, 10)), "b": rng.random((5, 4))}
+        masks = global_topk_masks(scores, density=0.25)
+        assert density_of(masks) == pytest.approx(0.25, abs=0.01)
+
+    def test_largest_kept(self):
+        scores = {"a": np.array([[1.0, 5.0, 3.0, 2.0]])}
+        masks = global_topk_masks(scores, density=0.5)
+        assert masks["a"].tolist() == [[False, True, True, False]]
+
+    def test_smallest_kept(self):
+        scores = {"a": np.array([[1.0, 5.0, 3.0, 2.0]])}
+        masks = global_topk_masks(scores, density=0.5, keep="smallest")
+        assert masks["a"].tolist() == [[True, False, False, True]]
+
+    def test_layer_never_severed(self):
+        scores = {"tiny": np.zeros((1, 2)), "big": np.ones((10, 10))}
+        masks = global_topk_masks(scores, density=0.1)
+        assert masks["tiny"].sum() >= 1
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            global_topk_masks({"a": np.ones((2, 2))}, density=0.0)
+
+
+class TestSNIP:
+    def test_target_density(self, setup):
+        _, batches, factory = setup
+        model = factory()
+        masks = snip_masks(model, nn.cross_entropy, batches, sparsity=0.8)
+        assert density_of(masks) == pytest.approx(0.2, abs=0.02)
+
+    def test_masks_cover_all_layers(self, setup):
+        _, batches, factory = setup
+        model = factory()
+        masks = snip_masks(model, nn.cross_entropy, batches, sparsity=0.8)
+        expected = {name for name, _ in collect_sparsifiable(model)}
+        assert set(masks) == expected
+
+    def test_keeps_high_saliency_weights(self, setup):
+        _, batches, factory = setup
+        model = factory()
+        masks = snip_masks(model, nn.cross_entropy, batches, sparsity=0.5)
+        # Recompute saliency and verify kept scores dominate pruned ones.
+        model.zero_grad()
+        x, y = batches[0]
+        nn.cross_entropy(model(x), y).backward()
+        for name, param in collect_sparsifiable(model):
+            saliency = np.abs(param.grad * param.data)
+            kept = saliency[masks[name]]
+            pruned = saliency[~masks[name]]
+            if kept.size and pruned.size:
+                assert np.median(kept) >= np.median(pruned)
+
+    def test_does_not_change_weights(self, setup):
+        _, batches, factory = setup
+        model = factory()
+        before = {n: p.data.copy() for n, p in collect_sparsifiable(model)}
+        snip_masks(model, nn.cross_entropy, batches, sparsity=0.8)
+        for name, param in collect_sparsifiable(model):
+            assert np.array_equal(param.data, before[name])
+
+    def test_requires_batches(self, setup):
+        _, _, factory = setup
+        with pytest.raises(ValueError, match="no batches"):
+            snip_masks(factory(), nn.cross_entropy, [], sparsity=0.5)
+
+
+class TestGraSP:
+    def test_target_density(self, setup):
+        _, batches, factory = setup
+        model = factory()
+        masks = grasp_masks(model, nn.cross_entropy, batches, sparsity=0.8)
+        assert density_of(masks) == pytest.approx(0.2, abs=0.02)
+
+    def test_restores_weights(self, setup):
+        _, batches, factory = setup
+        model = factory()
+        before = {n: p.data.copy() for n, p in collect_sparsifiable(model)}
+        grasp_masks(model, nn.cross_entropy, batches, sparsity=0.8)
+        for name, param in collect_sparsifiable(model):
+            assert np.allclose(param.data, before[name], atol=1e-6)
+
+    def test_differs_from_snip(self, setup):
+        _, batches, factory = setup
+        model = factory()
+        snip = snip_masks(model, nn.cross_entropy, batches, sparsity=0.9)
+        grasp = grasp_masks(model, nn.cross_entropy, batches, sparsity=0.9)
+        same = all(np.array_equal(snip[k], grasp[k]) for k in snip)
+        assert not same
+
+
+class TestSynFlow:
+    def test_target_density(self, setup):
+        _, _, factory = setup
+        model = factory()
+        masks = synflow_masks(model, (3, 8, 8), sparsity=0.8, rounds=10)
+        assert density_of(masks) == pytest.approx(0.2, abs=0.02)
+
+    def test_restores_weights_and_mode(self, setup):
+        _, _, factory = setup
+        model = factory()
+        before = {n: p.data.copy() for n, p in collect_sparsifiable(model)}
+        model.train()
+        synflow_masks(model, (3, 8, 8), sparsity=0.8, rounds=5)
+        assert model.training
+        for name, param in collect_sparsifiable(model):
+            assert np.array_equal(param.data, before[name])
+
+    def test_data_free(self):
+        # SynFlow needs no data — works straight on a conv net.
+        model = vgg11(num_classes=4, width_mult=0.1, input_size=8, seed=0)
+        masks = synflow_masks(model, (3, 8, 8), sparsity=0.9, rounds=5)
+        assert density_of(masks) == pytest.approx(0.1, abs=0.02)
+
+    def test_no_layer_severed_at_high_sparsity(self):
+        model = vgg11(num_classes=4, width_mult=0.1, input_size=8, seed=0)
+        masks = synflow_masks(model, (3, 8, 8), sparsity=0.98, rounds=10)
+        assert all(m.sum() >= 1 for m in masks.values())
+
+    def test_invalid_rounds(self, setup):
+        _, _, factory = setup
+        with pytest.raises(ValueError):
+            synflow_masks(factory(), (3, 8, 8), sparsity=0.5, rounds=0)

@@ -1,0 +1,45 @@
+"""History container edge cases."""
+
+import pytest
+
+from repro.train import EpochRecord, History
+
+
+def record(epoch, test_acc):
+    return EpochRecord(
+        epoch=epoch, train_loss=1.0, train_accuracy=0.5,
+        test_accuracy=test_acc, learning_rate=0.1,
+    )
+
+
+class TestHistory:
+    def test_empty_history(self):
+        history = History()
+        assert len(history) == 0
+        assert history.final_test_accuracy is None
+        assert history.best_test_accuracy is None
+
+    def test_final_skips_none_entries(self):
+        history = History()
+        history.append(record(0, 0.7))
+        history.append(record(1, None))
+        assert history.final_test_accuracy == pytest.approx(0.7)
+
+    def test_best_over_mixed_entries(self):
+        history = History()
+        for epoch, acc in enumerate([0.5, None, 0.9, 0.6]):
+            history.append(record(epoch, acc))
+        assert history.best_test_accuracy == pytest.approx(0.9)
+
+    def test_series(self):
+        history = History()
+        history.append(record(0, 0.5))
+        history.append(record(1, 0.6))
+        assert history.series("epoch") == [0, 1]
+        assert history.series("test_accuracy") == [0.5, 0.6]
+
+    def test_all_none_best_is_none(self):
+        history = History()
+        history.append(record(0, None))
+        assert history.best_test_accuracy is None
+        assert history.final_test_accuracy is None

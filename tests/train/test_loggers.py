@@ -1,0 +1,94 @@
+"""CSV and console loggers."""
+
+import csv
+import io
+
+import pytest
+
+from repro.train.history import EpochRecord
+from repro.train.loggers import CSVLogger, ConsoleLogger
+
+
+def record(epoch=0, test_acc=0.8, sparsity=None, exploration=None):
+    return EpochRecord(
+        epoch=epoch, train_loss=1.5, train_accuracy=0.6,
+        test_accuracy=test_acc, learning_rate=0.1,
+        sparsity=sparsity, exploration_rate=exploration,
+    )
+
+
+class TestCSVLogger:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = tmp_path / "history.csv"
+        logger = CSVLogger(path)
+        logger.on_epoch_end(record(0))
+        logger.on_epoch_end(record(1, test_acc=0.9))
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["epoch"] == "0"
+        assert rows[1]["test_accuracy"] == "0.9"
+
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "history.csv"
+        CSVLogger(path).on_epoch_end(record(0))
+        CSVLogger(path).on_epoch_end(record(1))  # new logger, existing file
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("epoch,")
+        assert sum(1 for line in lines if line.startswith("epoch,")) == 1
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "history.csv"
+        CSVLogger(path).on_epoch_end(record(0))
+        assert path.exists()
+
+    def test_sparsity_column(self, tmp_path):
+        path = tmp_path / "history.csv"
+        CSVLogger(path).on_epoch_end(record(0, sparsity=0.9, exploration=0.2))
+        with open(path) as handle:
+            row = next(csv.DictReader(handle))
+        assert row["sparsity"] == "0.9"
+        assert row["exploration_rate"] == "0.2"
+
+    def test_integrates_with_trainer(self, tmp_path, tiny_data):
+        import numpy as np
+        from repro import nn
+        from repro.data import DataLoader
+        from repro.models import MLP
+        from repro.optim import SGD
+        from repro.train import Trainer
+
+        path = tmp_path / "run.csv"
+        model = MLP(in_features=3 * 8 * 8, hidden=(16,), num_classes=4, seed=0)
+        trainer = Trainer(
+            model, SGD(model.parameters(), lr=0.1), nn.cross_entropy,
+            DataLoader(tiny_data.train, batch_size=32,
+                       rng=np.random.default_rng(0)),
+            callbacks=[CSVLogger(path)],
+        )
+        trainer.fit(2)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+
+
+class TestConsoleLogger:
+    def test_prints_summary(self):
+        stream = io.StringIO()
+        ConsoleLogger(stream=stream).on_epoch_end(record(3, sparsity=0.9))
+        out = stream.getvalue()
+        assert "epoch   3" in out
+        assert "sparsity 0.900" in out
+
+    def test_every_skips(self):
+        stream = io.StringIO()
+        logger = ConsoleLogger(stream=stream, every=2)
+        for epoch in range(4):
+            logger.on_epoch_end(record(epoch))
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2  # epochs 0 and 2
+
+    def test_no_test_accuracy_omitted(self):
+        stream = io.StringIO()
+        ConsoleLogger(stream=stream).on_epoch_end(record(0, test_acc=None))
+        assert "test_acc" not in stream.getvalue()
