@@ -13,7 +13,13 @@ __all__ = ["Conv2d"]
 
 
 class Conv2d(Module):
-    """2-D convolution with weight shape ``(out_ch, in_ch, kh, kw)``."""
+    """2-D convolution with weight shape ``(out_ch, in_ch, kh, kw)``.
+
+    ``forward_backend`` is an optional execution backend (installed by
+    :func:`repro.sparse.kernels.install_training_backends`): a callable
+    that either returns the layer output or ``None`` to decline, in which
+    case the built-in dense path runs.
+    """
 
     def __init__(
         self,
@@ -41,8 +47,14 @@ class Conv2d(Module):
             self.bias = Parameter(np.zeros(out_channels, dtype=np.float32), name="bias")
         else:
             self.bias = None
+        self.forward_backend = None
 
     def forward(self, x: Tensor) -> Tensor:
+        backend = self.forward_backend
+        if backend is not None:
+            out = backend(x)
+            if out is not None:
+                return out
         return conv_ops.conv2d(
             x, self.weight, bias=self.bias, stride=self.stride, padding=self.padding
         )

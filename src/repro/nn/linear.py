@@ -18,6 +18,11 @@ class Linear(Module):
     The ``(out, in)`` layout matches PyTorch so the ERK sparsity formulas in
     :mod:`repro.sparse.distribution` can use ``shape[0]``/``shape[1]``
     directly as fan-out/fan-in.
+
+    ``forward_backend`` is an optional execution backend (installed by
+    :func:`repro.sparse.kernels.install_training_backends`): a callable
+    that either returns the layer output or ``None`` to decline, in which
+    case the built-in dense path runs.
     """
 
     def __init__(
@@ -39,8 +44,14 @@ class Linear(Module):
             self.bias = Parameter(np.zeros(out_features, dtype=np.float32), name="bias")
         else:
             self.bias = None
+        self.forward_backend = None
 
     def forward(self, x: Tensor) -> Tensor:
+        backend = self.forward_backend
+        if backend is not None:
+            out = backend(x)
+            if out is not None:
+                return out
         out = ops.matmul(x, ops.transpose(self.weight))
         if self.bias is not None:
             out = ops.add(out, self.bias)

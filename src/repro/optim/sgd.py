@@ -3,11 +3,27 @@
 The optimizer exposes its per-parameter state (``state[param]``) because the
 dynamic-sparse-training engine must reset the momentum of newly grown weights
 (RigL/DST-EE semantics: regrown weights restart from zero with no velocity).
+
+Two hot-path features support sparse training:
+
+* **Sparse coordinate updates** — :meth:`Optimizer.bind_sparse_indices`
+  registers per-parameter active-index providers (wired up by
+  :meth:`repro.sparse.masked.MaskedModel.bind_optimizer`).  Bound
+  parameters are updated only at their active coordinates, so the step
+  cost scales with the non-zero count instead of the layer size and
+  inactive weights stay exactly zero.  This is observationally identical
+  to the dense update: gradients outside the mask are zero, inactive
+  weights are re-zeroed by the mask invariant, and the engine resets
+  optimizer state at regrown coordinates.
+* **In-place dense updates** — velocity buffers are updated with
+  ``np.multiply/np.add(..., out=)`` and the weight delta goes through a
+  reusable per-parameter scratch buffer, so a dense step allocates
+  nothing after the first iteration.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -25,10 +41,38 @@ class Optimizer:
             raise ValueError("optimizer received no parameters")
         self.lr = float(lr)
         self.state: dict[int, dict[str, np.ndarray]] = {}
+        self._sparse_indices: dict[int, Callable[[], np.ndarray]] = {}
+        self._scratch: dict[int, np.ndarray] = {}
 
     def state_for(self, param: Tensor) -> dict[str, np.ndarray]:
         """Per-parameter mutable state dict (created on first access)."""
         return self.state.setdefault(id(param), {})
+
+    def bind_sparse_indices(
+        self, providers: dict[int, Callable[[], np.ndarray]]
+    ) -> None:
+        """Register active-index providers keyed by ``id(param)``.
+
+        A bound parameter is updated only at the flat indices its provider
+        returns (re-queried every step, so mask updates are picked up
+        automatically).  Use
+        :meth:`repro.sparse.masked.MaskedModel.bind_optimizer` rather than
+        calling this directly.
+        """
+        self._sparse_indices.update(providers)
+
+    def active_indices_for(self, param: Tensor) -> np.ndarray | None:
+        """Flat active indices of a bound parameter, or ``None`` if unbound."""
+        provider = self._sparse_indices.get(id(param))
+        return None if provider is None else provider()
+
+    def scratch_for(self, param: Tensor) -> np.ndarray:
+        """Reusable parameter-shaped temporary (contents are undefined)."""
+        buffer = self._scratch.get(id(param))
+        if buffer is None or buffer.shape != param.data.shape:
+            buffer = np.empty_like(param.data)
+            self._scratch[id(param)] = buffer
+        return buffer
 
     def zero_grad(self) -> None:
         """Clear gradients of all tracked parameters."""
@@ -69,16 +113,68 @@ class SGD(Optimizer):
             grad = param.grad
             if grad is None:
                 continue
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            if self.momentum:
-                state = self.state_for(param)
-                velocity = state.get("momentum")
-                if velocity is None:
-                    velocity = np.zeros_like(param.data)
-                velocity = self.momentum * velocity + grad
-                state["momentum"] = velocity
-                update = grad + self.momentum * velocity if self.nesterov else velocity
+            indices = self.active_indices_for(param)
+            if (
+                indices is not None
+                and indices.size < param.size
+                and param.data.flags.c_contiguous
+            ):
+                self._sparse_step(param, grad, indices)
             else:
-                update = grad
-            param.data = param.data - self.lr * update
+                self._dense_step(param, grad)
+
+    def _velocity_for(self, param: Tensor) -> np.ndarray:
+        state = self.state_for(param)
+        velocity = state.get("momentum")
+        if velocity is None:
+            velocity = np.zeros_like(param.data)
+            state["momentum"] = velocity
+        return velocity
+
+    def _dense_step(self, param: Tensor, grad: np.ndarray) -> None:
+        scratch = self.scratch_for(param)
+        if self.weight_decay:
+            np.multiply(param.data, self.weight_decay, out=scratch)
+            np.add(scratch, grad, out=scratch)
+            grad = scratch
+        if self.momentum:
+            velocity = self._velocity_for(param)
+            np.multiply(velocity, self.momentum, out=velocity)
+            np.add(velocity, grad, out=velocity)
+            if self.nesterov:
+                # w -= lr*(g + mu*v), applied as two axpy passes through the
+                # scratch buffer so this path allocates nothing either.
+                np.multiply(grad, -self.lr, out=scratch)
+                np.add(param.data, scratch, out=param.data)
+                np.multiply(velocity, -self.lr * self.momentum, out=scratch)
+                np.add(param.data, scratch, out=param.data)
+                return
+            update = velocity
+        else:
+            update = grad
+        if update is scratch:
+            np.multiply(scratch, -self.lr, out=scratch)
+        else:
+            np.multiply(update, -self.lr, out=scratch)
+        np.add(param.data, scratch, out=param.data)
+
+    def _sparse_step(self, param: Tensor, grad: np.ndarray, indices: np.ndarray) -> None:
+        """Update only the active coordinates (cost ∝ non-zeros)."""
+        flat_weight = param.data.reshape(-1)
+        grad_active = grad.reshape(-1)[indices]
+        if self.weight_decay:
+            grad_active += self.weight_decay * flat_weight[indices]
+        if self.momentum:
+            flat_velocity = self._velocity_for(param).reshape(-1)
+            velocity_active = flat_velocity[indices]
+            velocity_active *= self.momentum
+            velocity_active += grad_active
+            flat_velocity[indices] = velocity_active
+            if self.nesterov:
+                update = grad_active + self.momentum * velocity_active
+            else:
+                update = velocity_active
+        else:
+            update = grad_active
+        update *= self.lr
+        flat_weight[indices] -= update

@@ -58,6 +58,12 @@ from repro.sparse.inference import (
     compile_sparse_model,
     sparse_storage_bytes,
 )
+from repro.sparse.kernels import (
+    CsrMatmul,
+    install_training_backends,
+    remove_training_backends,
+    select_backend,
+)
 
 __all__ = [
     "MaskedModel",
@@ -103,4 +109,8 @@ __all__ = [
     "SparseConv2d",
     "compile_sparse_model",
     "sparse_storage_bytes",
+    "CsrMatmul",
+    "install_training_backends",
+    "remove_training_backends",
+    "select_backend",
 ]

@@ -31,16 +31,38 @@ class CoverageTracker:
             self.counters[target.name] = target.mask.astype(np.float32)
             self.ever_active[target.name] = target.mask.copy()
         self.rounds = 0
+        self._total_size = sum(t.size for t in masked.targets)
+        self._covered = masked.total_active
 
     def counter_for(self, name: str) -> np.ndarray:
         """The ``N`` tensor of one layer."""
         return self.counters[name]
 
+    def recount(self) -> None:
+        """Refresh the cached ever-active total after replacing the buffers
+        directly (checkpoint restore does this)."""
+        self._covered = sum(
+            int(np.count_nonzero(self.ever_active[t.name]))
+            for t in self.masked.targets
+        )
+
     def update(self) -> None:
-        """Accumulate the current masks (call once per mask-update round)."""
+        """Accumulate the current masks (call once per mask-update round).
+
+        Both accumulations run in place on the preallocated buffers; the
+        ever-active total is maintained incrementally so the exploration
+        rate is O(1) to read.
+        """
+        covered = 0
         for target in self.masked.targets:
-            self.counters[target.name] += target.mask
-            self.ever_active[target.name] |= target.mask
+            np.add(
+                self.counters[target.name], target.mask,
+                out=self.counters[target.name],
+            )
+            ever = self.ever_active[target.name]
+            np.logical_or(ever, target.mask, out=ever)
+            covered += int(np.count_nonzero(ever))
+        self._covered = covered
         self.rounds += 1
 
     # ------------------------------------------------------------------
@@ -48,9 +70,7 @@ class CoverageTracker:
     # ------------------------------------------------------------------
     def exploration_rate(self) -> float:
         """ITOP rate ``R``: fraction of sparsifiable weights ever activated."""
-        total = sum(t.size for t in self.masked.targets)
-        covered = sum(int(self.ever_active[t.name].sum()) for t in self.masked.targets)
-        return covered / total
+        return self._covered / self._total_size
 
     def layer_exploration_rates(self) -> dict[str, float]:
         """Per-layer ever-active fraction."""
@@ -70,6 +90,5 @@ class CoverageTracker:
         """
         if self.rounds == 0:
             return self.masked.global_density()
-        total = sum(t.size for t in self.masked.targets)
         acc = sum(float(self.counters[t.name].sum()) for t in self.masked.targets)
-        return acc / (total * (self.rounds + 1))
+        return acc / (self._total_size * (self.rounds + 1))

@@ -131,6 +131,7 @@ class GMPController(SparsityController):
             if flat_mask.sum() == 0:  # never sever a layer
                 best = int(np.argmax(np.abs(target.param.data)))
                 flat_mask[best] = True
+            target.mark_mask_dirty()
         if allow_regrow and self.regrow_fraction > 0.0:
             self._regrow(int(self.regrow_fraction * to_remove))
         self.masked.apply_masks()
@@ -162,6 +163,7 @@ class GMPController(SparsityController):
         for score, layer_index, pos in entries[:count]:
             target = self.masked.targets[layer_index]
             target.mask.reshape(-1)[pos] = True
+            target.mark_mask_dirty()
             target.param.data.reshape(-1)[pos] = 0.0
             grown += 1
         if grown:

@@ -66,7 +66,13 @@ class GrowthRule(Protocol):
 
 
 class DropRule(Protocol):
-    """Scores active weights; the bottom-k are deactivated."""
+    """Scores active weights; the bottom-k are deactivated.
+
+    Rules may additionally implement ``scores_at(target, ctx, flat_idx)``
+    returning scores only at the given flat indices; the engine uses it so
+    drop-ranking cost scales with the active count, not the layer size.
+    ``scores_at`` must agree with ``scores(...)[flat_idx]`` exactly.
+    """
 
     needs_dense_grad: bool
     needs_sign_reference: bool
@@ -162,6 +168,11 @@ class MagnitudeDrop:
     def scores(self, target: SparseParam, ctx: LayerContext) -> np.ndarray:
         return np.abs(target.param.data)
 
+    def scores_at(
+        self, target: SparseParam, ctx: LayerContext, flat_idx: np.ndarray
+    ) -> np.ndarray:
+        return np.abs(target.param.data.reshape(-1)[flat_idx])
+
 
 class MagnitudeGradientDrop:
     """MEST: importance ``|w| + λ|∇w|`` — drop the least important."""
@@ -176,6 +187,15 @@ class MagnitudeGradientDrop:
         if ctx.dense_grad is None:
             raise RuntimeError("MagnitudeGradientDrop requires the dense gradient")
         return np.abs(target.param.data) + self.lam * np.abs(ctx.dense_grad)
+
+    def scores_at(
+        self, target: SparseParam, ctx: LayerContext, flat_idx: np.ndarray
+    ) -> np.ndarray:
+        if ctx.dense_grad is None:
+            raise RuntimeError("MagnitudeGradientDrop requires the dense gradient")
+        weights = target.param.data.reshape(-1)[flat_idx]
+        grads = ctx.dense_grad.reshape(-1)[flat_idx]
+        return np.abs(weights) + self.lam * np.abs(grads)
 
 
 class SignFlipDrop:
@@ -195,3 +215,13 @@ class SignFlipDrop:
         magnitude = np.abs(target.param.data)
         flipped = target.param.data * ctx.sign_reference < 0
         return np.where(flipped, -magnitude, magnitude)
+
+    def scores_at(
+        self, target: SparseParam, ctx: LayerContext, flat_idx: np.ndarray
+    ) -> np.ndarray:
+        if ctx.sign_reference is None:
+            raise RuntimeError("SignFlipDrop requires the activation-time sign snapshot")
+        weights = target.param.data.reshape(-1)[flat_idx]
+        references = ctx.sign_reference.reshape(-1)[flat_idx]
+        magnitude = np.abs(weights)
+        return np.where(weights * references < 0, -magnitude, magnitude)

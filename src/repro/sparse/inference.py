@@ -8,6 +8,11 @@ so the matrix products skip zeros entirely.  At the paper's 90–98%
 sparsities this is both smaller (CSR storage ∝ non-zeros) and, for large
 enough layers, faster than the dense kernels.
 
+The matmuls route through the same :class:`~repro.sparse.kernels.CsrMatmul`
+helper as the training backends: the transposed CSR structure is
+precomputed once, so ``x @ W.T`` runs as a single sparse product with one
+contiguous output — no double-transpose copy of either operand's result.
+
 Compiled modules are inference-only: they raise if the model is in
 training mode, and they do not participate in autograd.
 """
@@ -15,15 +20,23 @@ training mode, and they do not participate in autograd.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro import nn
 from repro.autograd.conv import _im2col
 from repro.autograd.tensor import Tensor
 from repro.nn.module import Module
+from repro.sparse.kernels import CsrMatmul
 from repro.sparse.masked import MaskedModel
 
 __all__ = ["SparseLinear", "SparseConv2d", "compile_sparse_model", "sparse_storage_bytes"]
+
+
+def _frozen_matmul(weight2d: np.ndarray) -> CsrMatmul:
+    """Mask-structured CSR pair for a fixed (already masked) 2-D weight."""
+    matmul = CsrMatmul(weight2d.shape)
+    flat = np.ascontiguousarray(weight2d, dtype=np.float32).reshape(-1)
+    matmul.sync(flat, np.flatnonzero(flat != 0.0), version=0)
+    return matmul
 
 
 class SparseLinear(Module):
@@ -33,7 +46,9 @@ class SparseLinear(Module):
         super().__init__()
         self.in_features = dense.in_features
         self.out_features = dense.out_features
-        self.weight_csr = sp.csr_matrix(dense.weight.data)
+        self._matmul = _frozen_matmul(dense.weight.data)
+        self.weight_csr = self._matmul.csr
+        self.weight_csr_t = self._matmul.csr_t
         self.bias_data = None if dense.bias is None else dense.bias.data.copy()
 
     @property
@@ -44,10 +59,10 @@ class SparseLinear(Module):
         if self.training:
             raise RuntimeError("SparseLinear is inference-only; call model.eval()")
         data = x.data if isinstance(x, Tensor) else np.asarray(x)
-        out = np.asarray(self.weight_csr @ data.T).T
+        out = self._matmul.matmul_xwt(data)
         if self.bias_data is not None:
-            out = out + self.bias_data
-        return Tensor(np.ascontiguousarray(out, dtype=np.float32))
+            np.add(out, self.bias_data, out=out)
+        return Tensor(out)
 
     def __repr__(self) -> str:
         density = self.nnz / (self.in_features * self.out_features)
@@ -68,9 +83,11 @@ class SparseConv2d(Module):
         self.stride = dense.stride
         self.padding = dense.padding
         kh, kw = self.kernel_size
-        self.weight_csr = sp.csr_matrix(
+        self._matmul = _frozen_matmul(
             dense.weight.data.reshape(self.out_channels, self.in_channels * kh * kw)
         )
+        self.weight_csr = self._matmul.csr
+        self.weight_csr_t = self._matmul.csr_t
         self.bias_data = None if dense.bias is None else dense.bias.data.copy()
 
     @property
@@ -89,7 +106,7 @@ class SparseConv2d(Module):
         cols_mat = np.ascontiguousarray(cols).reshape(
             n * out_h * out_w, self.in_channels * kh * kw
         )
-        out_mat = np.asarray(self.weight_csr @ cols_mat.T).T
+        out_mat = np.ascontiguousarray(self._matmul.matmul_xwt(cols_mat))
         out = out_mat.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
         if self.bias_data is not None:
             out = out + self.bias_data.reshape(1, -1, 1, 1)

@@ -92,4 +92,5 @@ def load_sparse_checkpoint(
                 name = key[len(_EVER_PREFIX):]
                 coverage.ever_active[name] = archive[key].astype(bool)
         coverage.rounds = int(archive[_META_ROUNDS])
+        coverage.recount()
     return masked, coverage

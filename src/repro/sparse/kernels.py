@@ -1,0 +1,350 @@
+"""Training-time sparse kernel backends for masked Linear/Conv2d layers.
+
+The drop-and-grow engine keeps masks as dense booleans, but at the paper's
+90–98% sparsities the *compute* should exploit the sparse structure too
+(RigL and the Graphcore dynamic-sparsity stack both make this point).  This
+module provides that compute path for **training**:
+
+* :class:`CsrMatmul` — a mask-structured CSR form of one 2-D weight view.
+  The structure (``indices``/``indptr`` plus the value-gather permutations)
+  is rebuilt only when the owning layer's ``mask_version`` changes, i.e.
+  only for layers whose masks actually moved in a drop-and-grow round;
+  values are refreshed from the dense parameter by a single ``np.take``
+  into the preallocated CSR ``data`` arrays — no per-step allocation.
+* :class:`LinearKernel` / :class:`Conv2dKernel` — backend objects installed
+  on ``module.forward_backend`` (see :mod:`repro.nn.linear` /
+  :mod:`repro.nn.conv`).  They run the masked forward through scipy CSR
+  matmuls and register an autograd closure whose input gradient also uses
+  the CSR structure.  The **weight** gradient stays dense — growth rules
+  (RigL, DST-EE, SNFS) score *inactive* weights by dense-gradient
+  magnitude, so the dense GEMM ``gradᵀ @ x`` is part of the algorithm, not
+  overhead.
+* A dispatch layer: per layer, ``dense`` vs ``csr`` is auto-selected from
+  the layer's density and size; the mode and thresholds are overridable per
+  call or process-wide via environment variables.
+
+Both matmul orientations use the documented ``dense @ sparse`` product with
+a *stored transposed structure* (``W`` and ``W.T`` share their nnz values
+through two cached gather permutations), so neither direction pays the
+double-transpose copy that a naive ``(csr @ x.T).T`` incurs.  The outputs
+are Fortran-contiguous, which makes chained sparse layers copy-free: the
+next layer's ``x.T`` ravel is then already C-ordered.
+
+Environment overrides
+---------------------
+``REPRO_SPARSE_BACKEND``            ``auto`` (default) / ``dense`` / ``csr``
+``REPRO_SPARSE_DENSITY_THRESHOLD``  density at/below which ``auto`` picks CSR
+``REPRO_SPARSE_MIN_SIZE``           minimum weight size for the CSR backend
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import nn
+from repro.autograd.conv import _col2im, _im2col, _pair
+from repro.autograd.tensor import Tensor, ensure_tensor
+from repro.sparse.masked import MaskedModel, SparseParam
+
+__all__ = [
+    "BACKEND_ENV",
+    "DENSITY_THRESHOLD_ENV",
+    "MIN_SIZE_ENV",
+    "DEFAULT_DENSITY_THRESHOLD",
+    "DEFAULT_MIN_SIZE",
+    "CsrMatmul",
+    "LinearKernel",
+    "Conv2dKernel",
+    "resolve_mode",
+    "select_backend",
+    "install_training_backends",
+    "remove_training_backends",
+]
+
+BACKEND_ENV = "REPRO_SPARSE_BACKEND"
+DENSITY_THRESHOLD_ENV = "REPRO_SPARSE_DENSITY_THRESHOLD"
+MIN_SIZE_ENV = "REPRO_SPARSE_MIN_SIZE"
+
+# On this CPU the scipy CSR kernels run ~7x fewer effective FLOP/s than the
+# dense BLAS GEMM, so CSR wins once it does ~7x less work; 0.12 leaves some
+# margin (90/95/98% sparsity -> CSR, 80% -> dense).  See docs/performance.md.
+DEFAULT_DENSITY_THRESHOLD = 0.12
+# Below this weight size the per-call overhead dominates; stay dense.
+DEFAULT_MIN_SIZE = 16384
+
+_MODES = ("auto", "dense", "csr")
+
+
+def resolve_mode(mode: str | None = None) -> str:
+    """Explicit argument > ``REPRO_SPARSE_BACKEND`` env var > ``auto``."""
+    resolved = mode if mode is not None else os.environ.get(BACKEND_ENV, "auto")
+    resolved = resolved.lower()
+    if resolved not in _MODES:
+        raise ValueError(f"unknown sparse backend {resolved!r}; choose from {_MODES}")
+    return resolved
+
+
+def _float_env(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return default if raw is None else float(raw)
+
+
+def select_backend(
+    density: float,
+    size: int,
+    mode: str = "auto",
+    density_threshold: float | None = None,
+    min_size: int | None = None,
+) -> str:
+    """Pick ``"dense"`` or ``"csr"`` for one layer."""
+    if mode in ("dense", "csr"):
+        return mode
+    if density_threshold is None:
+        density_threshold = _float_env(DENSITY_THRESHOLD_ENV, DEFAULT_DENSITY_THRESHOLD)
+    if min_size is None:
+        min_size = int(_float_env(MIN_SIZE_ENV, DEFAULT_MIN_SIZE))
+    if size >= min_size and density <= density_threshold:
+        return "csr"
+    return "dense"
+
+
+class CsrMatmul:
+    """CSR (and transposed CSR) form of a 2-D weight view, mask-structured.
+
+    ``sync`` refreshes the nnz values from the flat dense weight on every
+    call (one cached gather per orientation) and rebuilds the index
+    structure only when ``version`` changed since the last sync.
+    """
+
+    def __init__(self, shape2d: tuple[int, int]):
+        self.shape2d = (int(shape2d[0]), int(shape2d[1]))
+        self._version = -1
+        self.csr: sp.csr_matrix | None = None  # W      (rows, cols)
+        self.csr_t: sp.csr_matrix | None = None  # W.T  (cols, rows)
+        self._gather: np.ndarray | None = None
+        self._perm_t: np.ndarray | None = None
+
+    @property
+    def structure_version(self) -> int:
+        """Mask version the current index structure was built from."""
+        return self._version
+
+    def sync(self, flat_values: np.ndarray, active_idx: np.ndarray, version: int) -> None:
+        if version != self._version:
+            self._rebuild(active_idx)
+            self._version = version
+        np.take(flat_values, self._gather, out=self.csr.data)
+        # The transposed values are a permutation of the ones just gathered;
+        # permuting the nnz-sized buffer stays cache-resident, unlike a
+        # second strided gather from the full dense weight.
+        np.take(self.csr.data, self._perm_t, out=self.csr_t.data)
+
+    def _rebuild(self, active_idx: np.ndarray) -> None:
+        n_rows, n_cols = self.shape2d
+        rows, cols = np.divmod(active_idx, n_cols)
+        nnz = int(active_idx.size)
+
+        indptr = np.zeros(n_rows + 1, dtype=np.int32)
+        np.cumsum(np.bincount(rows, minlength=n_rows), out=indptr[1:])
+        self.csr = sp.csr_matrix(
+            (np.empty(nnz, dtype=np.float32), cols.astype(np.int32), indptr),
+            shape=self.shape2d,
+        )
+        self._gather = active_idx
+
+        # Transposed structure: the same nnz set ordered by (col, row).
+        order = np.lexsort((rows, cols))
+        t_indptr = np.zeros(n_cols + 1, dtype=np.int32)
+        np.cumsum(np.bincount(cols, minlength=n_cols), out=t_indptr[1:])
+        self.csr_t = sp.csr_matrix(
+            (np.empty(nnz, dtype=np.float32), rows[order].astype(np.int32), t_indptr),
+            shape=(n_cols, n_rows),
+        )
+        self._perm_t = order
+
+        for matrix in (self.csr, self.csr_t):
+            matrix.has_sorted_indices = True
+            matrix.has_canonical_format = True
+
+    # Both products keep the sparse operand on the left internally (scipy's
+    # fast path) by routing through the pre-transposed structure.
+    def matmul_xwt(self, x2d: np.ndarray) -> np.ndarray:
+        """``x @ W.T`` for row-major ``x`` of shape (N, cols) -> (N, rows)."""
+        return np.asarray(x2d @ self.csr_t)
+
+    def matmul_gw(self, g2d: np.ndarray) -> np.ndarray:
+        """``g @ W`` for row-major ``g`` of shape (N, rows) -> (N, cols)."""
+        return np.asarray(g2d @ self.csr)
+
+
+class _KernelBase:
+    """Shared dispatch logic: re-evaluate dense-vs-CSR when the mask moves."""
+
+    def __init__(self, module, target: SparseParam, mode: str,
+                 density_threshold: float | None, min_size: int | None):
+        self.module = module
+        self.target = target
+        self.mode = mode
+        self.density_threshold = density_threshold
+        self.min_size = min_size
+        self._choice = "dense"
+        self._choice_version = -1
+
+    def backend(self) -> str:
+        target = self.target
+        if target.mask_version != self._choice_version:
+            self._choice = select_backend(
+                target.density, target.size, self.mode,
+                self.density_threshold, self.min_size,
+            )
+            self._choice_version = target.mask_version
+        return self._choice
+
+
+class LinearKernel(_KernelBase):
+    """CSR-backed training forward for a masked :class:`~repro.nn.Linear`.
+
+    Returns ``None`` (declining the call, so the module falls back to its
+    dense path) when dispatch picks dense or the input is unsupported.
+    """
+
+    def __init__(self, module, target, mode="auto",
+                 density_threshold=None, min_size=None):
+        super().__init__(module, target, mode, density_threshold, min_size)
+        self.matmul = CsrMatmul(module.weight.shape)
+
+    def __call__(self, x) -> Tensor | None:
+        if self.backend() != "csr":
+            return None
+        x = ensure_tensor(x)
+        data = x.data
+        if data.ndim != 2 or data.dtype != np.float32:
+            return None
+        weight = self.module.weight
+        bias = self.module.bias
+        target = self.target
+        matmul = self.matmul
+        matmul.sync(weight.data.reshape(-1), target.active_indices, target.mask_version)
+
+        out = matmul.matmul_xwt(data)
+        if bias is not None:
+            np.add(out, bias.data, out=out)
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def backward(grad: np.ndarray) -> None:
+            if weight.requires_grad:
+                # Dense by design: growth rules score inactive weights too.
+                weight._accumulate(grad.T @ data)
+            if x.requires_grad:
+                x._accumulate(matmul.matmul_gw(grad))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=0))
+
+        return Tensor._make(out, parents, backward)
+
+
+class Conv2dKernel(_KernelBase):
+    """CSR-backed training forward for a masked :class:`~repro.nn.Conv2d`.
+
+    Lowers to im2col exactly like :func:`repro.autograd.conv.conv2d`, but
+    the filter-matrix products (forward and input-gradient) run on the
+    mask-structured CSR matrices.
+    """
+
+    def __init__(self, module, target, mode="auto",
+                 density_threshold=None, min_size=None):
+        super().__init__(module, target, mode, density_threshold, min_size)
+        c_out, c_in, kh, kw = module.weight.shape
+        self.matmul = CsrMatmul((c_out, c_in * kh * kw))
+
+    def __call__(self, x) -> Tensor | None:
+        if self.backend() != "csr":
+            return None
+        x = ensure_tensor(x)
+        data = x.data
+        if data.ndim != 4 or data.dtype != np.float32:
+            return None
+        module = self.module
+        weight = module.weight
+        bias = module.bias
+        target = self.target
+        matmul = self.matmul
+        c_out, c_in, kh, kw = weight.shape
+        if data.shape[1] != c_in:
+            raise ValueError(
+                f"conv2d channel mismatch: input has {data.shape[1]}, weight expects {c_in}"
+            )
+        stride = _pair(module.stride)
+        padding = _pair(module.padding)
+        matmul.sync(weight.data.reshape(-1), target.active_indices, target.mask_version)
+
+        cols, padded_shape, out_h, out_w = _im2col(data, kh, kw, stride, padding)
+        n = data.shape[0]
+        cols_mat = np.ascontiguousarray(cols).reshape(n * out_h * out_w, c_in * kh * kw)
+        out_mat = matmul.matmul_xwt(cols_mat)  # (N*oh*ow, c_out)
+        out_data = np.ascontiguousarray(out_mat).reshape(n, out_h, out_w, c_out)
+        out_data = out_data.transpose(0, 3, 1, 2)
+        if bias is not None:
+            out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_mat = grad.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c_out)
+            if weight.requires_grad:
+                # Dense by design: growth rules score inactive weights too.
+                weight._accumulate((grad_mat.T @ cols_mat).reshape(weight.shape))
+            if x.requires_grad:
+                grad_cols = np.ascontiguousarray(matmul.matmul_gw(grad_mat))
+                grad_cols = grad_cols.reshape(n, out_h, out_w, c_in, kh, kw)
+                x._accumulate(
+                    _col2im(grad_cols, padded_shape, kh, kw, stride, padding, x.shape)
+                )
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+
+        return Tensor._make(out_data, parents, backward)
+
+
+def install_training_backends(
+    masked: MaskedModel,
+    mode: str | None = None,
+    density_threshold: float | None = None,
+    min_size: int | None = None,
+) -> dict[str, str]:
+    """Attach kernel backends to every masked Linear/Conv2d of ``masked``.
+
+    Returns the per-layer backend choice at install time (dispatch is
+    re-evaluated automatically whenever a layer's mask changes).  With
+    ``mode="dense"`` any previously installed backends are removed.
+    """
+    resolved = resolve_mode(mode)
+    by_param = {id(t.param): t for t in masked.targets}
+    report: dict[str, str] = {}
+    for _, module in masked.model.named_modules():
+        if not isinstance(module, (nn.Linear, nn.Conv2d)):
+            continue
+        target = by_param.get(id(module.weight))
+        if target is None:
+            continue
+        if resolved == "dense":
+            module.forward_backend = None
+            report[target.name] = "dense"
+            continue
+        kernel_cls = LinearKernel if isinstance(module, nn.Linear) else Conv2dKernel
+        module.forward_backend = kernel_cls(
+            module, target, resolved, density_threshold, min_size
+        )
+        report[target.name] = module.forward_backend.backend()
+    return report
+
+
+def remove_training_backends(model) -> None:
+    """Detach any kernel backends installed on ``model``'s layers."""
+    for module in model.modules():
+        if isinstance(module, (nn.Linear, nn.Conv2d)):
+            module.forward_backend = None

@@ -6,11 +6,17 @@ stay dense, as in RigL/ITOP/the paper), assigns each a boolean mask drawn
 from a layer-wise density distribution, and enforces the masks on the weight
 values.  All sparsifiers (dynamic, static, dense-to-sparse, ADMM) operate
 through this class, so the sparsity invariants live in exactly one place.
+
+Masks are *versioned*: every replacement bumps ``mask_version`` and drops
+the cached flat active/inactive index sets, so CSR kernel structures (see
+:mod:`repro.sparse.kernels`) rebuild only for layers whose masks actually
+changed, and index lookups between mask edits are O(1).  Code that mutates
+a mask in place (the drop-and-grow engine, GMP) must report the edit via
+:meth:`SparseParam.mark_mask_dirty`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -22,35 +28,100 @@ from repro.sparse.distribution import layer_densities
 __all__ = ["SparseParam", "MaskedModel", "collect_sparsifiable"]
 
 
-@dataclass
 class SparseParam:
     """One sparsified weight tensor and its mask/bookkeeping state."""
 
-    name: str
-    param: Parameter
-    mask: np.ndarray  # bool, same shape as param
-    target_density: float
+    __slots__ = (
+        "name",
+        "param",
+        "target_density",
+        "_mask",
+        "_mask_version",
+        "_active_idx",
+        "_inactive_idx",
+    )
 
+    def __init__(
+        self, name: str, param: Parameter, mask: np.ndarray, target_density: float
+    ):
+        self.name = name
+        self.param = param
+        self.target_density = float(target_density)
+        self._mask = np.ascontiguousarray(mask, dtype=bool)
+        self._mask_version = 0
+        self._active_idx: np.ndarray | None = None
+        self._inactive_idx: np.ndarray | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseParam(name={self.name!r}, shape={self.param.shape}, "
+            f"density={self.density:.4f})"
+        )
+
+    # ------------------------------------------------------------------
+    # mask access & versioning
+    # ------------------------------------------------------------------
+    @property
+    def mask(self) -> np.ndarray:
+        return self._mask
+
+    @mask.setter
+    def mask(self, value: np.ndarray) -> None:
+        self._mask = np.ascontiguousarray(value, dtype=bool)
+        self.mark_mask_dirty()
+
+    @property
+    def mask_version(self) -> int:
+        """Monotonic counter; changes iff the mask may have changed."""
+        return self._mask_version
+
+    def mark_mask_dirty(self) -> None:
+        """Invalidate cached index sets after an in-place mask edit."""
+        self._mask_version += 1
+        self._active_idx = None
+        self._inactive_idx = None
+
+    @property
+    def active_indices(self) -> np.ndarray:
+        """Sorted flat indices of active weights (cached between edits)."""
+        if self._active_idx is None:
+            self._active_idx = np.flatnonzero(self._mask)
+        return self._active_idx
+
+    @property
+    def inactive_indices(self) -> np.ndarray:
+        """Sorted flat indices of inactive weights (cached between edits)."""
+        if self._inactive_idx is None:
+            self._inactive_idx = np.flatnonzero(~self._mask)
+        return self._inactive_idx
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
     @property
     def size(self) -> int:
         return self.param.size
 
     @property
     def active_count(self) -> int:
-        return int(self.mask.sum())
+        return int(self.active_indices.size)
 
     @property
     def density(self) -> float:
         return self.active_count / self.size
 
+    # ------------------------------------------------------------------
+    # invariant enforcement (in place: the hot path allocates nothing)
+    # ------------------------------------------------------------------
     def apply(self) -> None:
         """Zero the weight values outside the mask."""
-        self.param.data = self.param.data * self.mask
+        np.multiply(self.param.data, self._mask, out=self.param.data)
 
     def mask_gradient(self) -> None:
         """Zero the gradient outside the mask (keeps momentum clean)."""
-        if self.param.grad is not None:
-            self.param.grad = self.param.grad * self.mask
+        grad = self.param.grad
+        if grad is not None:
+            np.multiply(grad, self._mask, out=grad)
 
 
 def collect_sparsifiable(
@@ -118,6 +189,7 @@ class MaskedModel:
         self.sparsity = float(sparsity)
         self.distribution = distribution
         self._rng = rng if rng is not None else np.random.default_rng()
+        self._bound_optimizer = None
 
         pairs = collect_sparsifiable(model, include_modules)
         dense_names = tuple(dense_layer_names)
@@ -170,6 +242,30 @@ class MaskedModel:
             target.mask_gradient()
 
     # ------------------------------------------------------------------
+    # sparse-aware optimizer coupling
+    # ------------------------------------------------------------------
+    def bind_optimizer(self, optimizer) -> None:
+        """Restrict ``optimizer`` updates of masked weights to active coordinates.
+
+        After binding, the optimizer's step touches only ``active_indices``
+        of each masked weight, so inactive weights stay exactly zero between
+        mask updates and the per-step ``apply_masks`` pass becomes
+        unnecessary (controllers consult :attr:`per_step_apply_needed`).
+        The semantics are unchanged: gradients at inactive coordinates are
+        zero (masked) and the engine resets optimizer state at regrown
+        coordinates, so skipped inactive-state decay is never observable.
+        """
+        optimizer.bind_sparse_indices(
+            {id(t.param): (lambda t=t: t.active_indices) for t in self.targets}
+        )
+        self._bound_optimizer = optimizer
+
+    @property
+    def per_step_apply_needed(self) -> bool:
+        """Whether controllers must re-apply masks after every optimizer step."""
+        return self._bound_optimizer is None
+
+    # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
     @property
@@ -206,7 +302,11 @@ class MaskedModel:
         return {t.name: t.mask.copy() for t in self.targets}
 
     def set_masks(self, masks: dict[str, np.ndarray]) -> None:
-        """Replace masks (e.g. from a static pruner) and re-apply them."""
+        """Replace masks (e.g. from a static pruner) and re-apply them.
+
+        ``target_density`` is refreshed from the new mask so downstream
+        drop-count math never works from a stale density.
+        """
         by_name = {t.name: t for t in self.targets}
         for name, mask in masks.items():
             if name not in by_name:
@@ -217,4 +317,5 @@ class MaskedModel:
                     f"mask shape mismatch for {name!r}: {mask.shape} vs {target.mask.shape}"
                 )
             target.mask = mask.astype(bool)
+            target.target_density = float(target.mask.mean())
         self.apply_masks()

@@ -54,5 +54,17 @@ def acquisition_score(
     c: float,
     epsilon: float = 1.0,
 ) -> np.ndarray:
-    """Full DST-EE acquisition score (Eq. 1)."""
-    return exploitation_score(grad) + exploration_score(counter, step, c, epsilon)
+    """Full DST-EE acquisition score (Eq. 1).
+
+    Computed with two buffers and in-place ufuncs — this runs over the full
+    dense weight shape every mask-update round, so temporaries matter.
+    """
+    if step < 1:
+        raise ValueError(f"step must be >= 1 for ln(t), got {step}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    score = np.abs(grad)
+    bonus = counter + epsilon
+    np.divide(c * np.log(float(step)), bonus, out=bonus)
+    np.add(score, bonus, out=score)
+    return score

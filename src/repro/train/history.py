@@ -18,6 +18,7 @@ class EpochRecord:
     learning_rate: float
     sparsity: float | None = None
     exploration_rate: float | None = None
+    steps_per_sec: float | None = None
 
 
 @dataclass

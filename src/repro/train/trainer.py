@@ -10,6 +10,7 @@ active weights move.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Sequence
 
 import numpy as np
@@ -61,6 +62,12 @@ class Trainer:
         Epoch-end hooks.
     eval_every:
         Evaluate every N epochs (always evaluates on the final epoch).
+    sparse_backend:
+        Optional execution backend for the controller's masked layers:
+        ``"auto"``, ``"csr"`` or ``"dense"`` (see
+        :mod:`repro.sparse.kernels`).  Installed at the start of ``fit``;
+        non-dense modes also bind the optimizer for sparse coordinate
+        updates.  ``None`` (default) leaves the model untouched.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class Trainer:
         controller: SparsityController | None = None,
         callbacks: Sequence[Callback] = (),
         eval_every: int = 1,
+        sparse_backend: str | None = None,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -84,13 +92,30 @@ class Trainer:
         self.controller = controller
         self.callbacks = list(callbacks)
         self.eval_every = max(1, int(eval_every))
+        self.sparse_backend = sparse_backend
         self.history = History()
         self.global_step = 0
 
+    def _install_sparse_backend(self) -> None:
+        if self.sparse_backend is None or self.controller is None:
+            return
+        from repro.sparse.kernels import install_training_backends, resolve_mode
+
+        mode = resolve_mode(self.sparse_backend)
+        install_training_backends(self.controller.masked, mode=mode)
+        if mode != "dense":
+            # The engine must know the optimizer it is expected to reset for
+            # regrown weights: with sparse coordinate updates, stale momentum
+            # at dropped coordinates no longer decays on its own.
+            if getattr(self.controller, "optimizer", False) is None:
+                self.controller.optimizer = self.optimizer
+            self.controller.masked.bind_optimizer(self.optimizer)
+
     def fit(self, epochs: int) -> History:
         """Train for ``epochs`` epochs; returns the history."""
+        self._install_sparse_backend()
         for epoch in range(epochs):
-            train_loss, train_acc = self._train_epoch()
+            train_loss, train_acc, steps_per_sec = self._train_epoch()
             if self.scheduler is not None:
                 self.scheduler.step()
             if self.controller is not None:
@@ -114,6 +139,7 @@ class Trainer:
                     else None
                 ),
                 exploration_rate=self._exploration_rate(),
+                steps_per_sec=steps_per_sec,
             )
             self.history.append(record)
             for callback in self.callbacks:
@@ -123,12 +149,15 @@ class Trainer:
         return self.history
 
     # ------------------------------------------------------------------
-    def _train_epoch(self) -> tuple[float, float]:
+    def _train_epoch(self) -> tuple[float, float, float]:
         self.model.train()
         losses = []
         accuracies = []
+        steps = 0
+        start = time.perf_counter()
         for inputs, targets in self.train_loader:
             self.global_step += 1
+            steps += 1
             self.model.zero_grad()
             logits = self.model(inputs)
             loss = self.loss_fn(logits, targets)
@@ -144,7 +173,9 @@ class Trainer:
 
             losses.append(loss.item())
             accuracies.append(accuracy(logits, targets))
-        return float(np.mean(losses)), float(np.mean(accuracies))
+        elapsed = time.perf_counter() - start
+        steps_per_sec = steps / elapsed if elapsed > 0 else 0.0
+        return float(np.mean(losses)), float(np.mean(accuracies)), steps_per_sec
 
     def _exploration_rate(self) -> float | None:
         coverage = getattr(self.controller, "coverage", None)

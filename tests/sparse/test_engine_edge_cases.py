@@ -157,3 +157,59 @@ class TestValidation:
             set_gradients(masked, rng)
             engine.mask_update(step)
             assert masked.total_active == budget
+
+
+class TestFillDeficitExactness:
+    def test_direct_fill_restores_dropped(self):
+        """Regression: the vectorized _fill_deficit keeps k exact."""
+        model, masked, engine = make(sparsity=0.5)
+        target = masked.targets[0]
+        budget_before = masked.total_active
+        drop_idx = target.active_indices[:7].copy()
+        target.mask.reshape(-1)[drop_idx] = False
+        target.mark_mask_dirty()
+        assert masked.total_active == budget_before - 7
+        dropped = [np.empty(0, dtype=np.int64) for _ in masked.targets]
+        dropped[0] = drop_idx
+        filled = engine._fill_deficit(7, dropped)
+        assert filled == 7
+        assert masked.total_active == budget_before
+        # The revived positions are exactly the dropped ones.
+        assert np.all(target.mask.reshape(-1)[drop_idx])
+
+    def test_fill_prefers_largest_magnitude(self):
+        model, masked, engine = make(sparsity=0.5)
+        target = masked.targets[0]
+        flat = target.param.data.reshape(-1)
+        drop_idx = target.active_indices[:6].copy()
+        flat[drop_idx] = np.array([0.1, 0.9, 0.2, 0.8, 0.3, 0.7], dtype=np.float32)
+        target.mask.reshape(-1)[drop_idx] = False
+        target.mark_mask_dirty()
+        dropped = [np.empty(0, dtype=np.int64) for _ in masked.targets]
+        dropped[0] = drop_idx
+        filled = engine._fill_deficit(3, dropped)
+        assert filled == 3
+        revived = drop_idx[target.mask.reshape(-1)[drop_idx]]
+        np.testing.assert_allclose(
+            np.sort(np.abs(flat[revived])), [0.7, 0.8, 0.9], atol=1e-6
+        )
+
+    def test_budget_exact_under_proportional_clamping(self):
+        """Proportional allocation plus a full layer forces a deficit."""
+        model = MLP(in_features=10, hidden=(12,), num_classes=3, seed=0)
+        masked = MaskedModel(model, 0.6, rng=np.random.default_rng(0))
+        # Saturate one layer so it has (almost) no inactive capacity.
+        small = masked.targets[-1]
+        small.mask = np.ones_like(small.mask)
+        engine = DynamicSparseEngine(
+            masked, GradientGrowth(), total_steps=1000, delta_t=10,
+            drop_fraction=0.4, grow_allocation="proportional",
+            rng=np.random.default_rng(1),
+        )
+        rng = np.random.default_rng(2)
+        budget = masked.total_active
+        for step in (10, 20, 30):
+            set_gradients(masked, rng)
+            record = engine.mask_update(step)
+            assert record.total_dropped == record.total_grown
+            assert masked.total_active == budget

@@ -157,3 +157,41 @@ class TestHistory:
         history = trainer.fit(4)
         accs = [r.test_accuracy for r in history.epochs if r.test_accuracy is not None]
         assert history.best_test_accuracy == max(accs)
+
+
+class TestSparseBackend:
+    def _masked_trainer(self, tiny_data, sparse_backend):
+        model = MLP(in_features=3 * 8 * 8, hidden=(48, 24), num_classes=4, seed=0)
+        masked = MaskedModel(model, 0.9, rng=np.random.default_rng(0))
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        engine = DynamicSparseEngine(
+            masked, GradientGrowth(), total_steps=200, delta_t=10,
+            optimizer=optimizer, rng=np.random.default_rng(1),
+        )
+        train_loader = DataLoader(
+            tiny_data.train, batch_size=32, shuffle=True,
+            rng=np.random.default_rng(0),
+        )
+        trainer = Trainer(
+            model, optimizer, nn.cross_entropy, train_loader,
+            controller=engine, sparse_backend=sparse_backend,
+        )
+        return model, masked, trainer
+
+    def test_csr_backend_trains_and_keeps_invariants(self, tiny_data):
+        model, masked, trainer = self._masked_trainer(tiny_data, "csr")
+        history = trainer.fit(3)
+        assert history.epochs[-1].train_loss < history.epochs[0].train_loss
+        for target in masked.targets:
+            assert np.all(target.param.data[~target.mask] == 0.0)
+        assert not masked.per_step_apply_needed  # optimizer was bound
+        assert history.epochs[0].steps_per_sec > 0
+
+    def test_backend_modes_reach_similar_loss(self, tiny_data):
+        _, _, dense_trainer = self._masked_trainer(tiny_data, "dense")
+        dense_history = dense_trainer.fit(3)
+        _, _, csr_trainer = self._masked_trainer(tiny_data, "csr")
+        csr_history = csr_trainer.fit(3)
+        assert csr_history.epochs[-1].train_loss == pytest.approx(
+            dense_history.epochs[-1].train_loss, abs=0.2
+        )
