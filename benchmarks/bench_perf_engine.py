@@ -1,27 +1,34 @@
-"""Microbenchmark: masked-training throughput and mask-update latency.
+"""Microbenchmark: masked-training throughput, conv pipeline, parallelism.
 
 Unlike the ``bench_table*`` benches (which regenerate paper tables), this
-script tracks the *performance trajectory* of the drop-and-grow engine from
+script tracks the *performance trajectory* of the training system from
 PR 1 onward: it times
 
 * masked-training steps/sec (forward + backward + controller + optimizer)
-  across sparsities {0.8, 0.9, 0.95, 0.98} and layer sizes, once per
+  across sparsities {0.8, 0.9, 0.95, 0.98} and MLP layer sizes, once per
   available execution backend (``legacy`` pre-PR, ``dense``/``csr`` after
   the kernel backend landed);
-* mask-update latency (one full drop-and-grow round) across the same
-  sparsity grid.
+* the same metric on **conv models** (``vgg_small``, ``resnet_tiny``) —
+  the cost center of the paper's VGG/ResNet results, exercising the
+  allocation-free :class:`~repro.autograd.conv.ConvWorkspace` pipeline;
+* mask-update latency (one full drop-and-grow round);
+* multi-seed sweep wall-clock across the ``nproc`` axis
+  (:func:`repro.experiments.runner.run_multi_seed` sharded over 1/2/4
+  worker processes).
 
 Machine-readable JSON goes to ``BENCH_engine.json`` at the repo root.  The
 first run on a tree *without* :mod:`repro.sparse.kernels` also writes
 ``benchmarks/results/BENCH_engine_baseline.json``; later runs load that
-file and report ``speedup_vs_baseline`` so the trajectory is anchored to
-the pre-optimization engine.
+file and report ``speedup_vs_baseline``.  Conv numbers are anchored the
+same way to ``benchmarks/results/BENCH_engine_conv_baseline.json``,
+captured on the pre-workspace tree.
 
 Run with::
 
     PYTHONPATH=src REPRO_SCALE=medium python benchmarks/bench_perf_engine.py
 
-``REPRO_SCALE=small`` is the CI smoke setting (a few seconds).
+``REPRO_SCALE=small`` is the CI smoke setting (with ``REPRO_NPROC=2`` the
+CI smoke also exercises the multiprocess sharding path).
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ import numpy as np
 from repro import nn
 from repro.autograd.tensor import Tensor
 from repro.experiments.configs import get_scale
-from repro.models import MLP
+from repro.models import MLP, resnet50_mini, vgg11
 from repro.optim import SGD
 from repro.sparse import DSTEEGrowth, DynamicSparseEngine, MaskedModel
 
@@ -48,6 +55,9 @@ except ImportError:  # pragma: no cover - baseline capture only
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
 BASELINE_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_engine_baseline.json"
+CONV_BASELINE_PATH = (
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_engine_conv_baseline.json"
+)
 
 SPARSITIES = (0.8, 0.9, 0.95, 0.98)
 
@@ -72,6 +82,33 @@ _CONFIGS = {
 # fastest chunk: on a shared single-core box the noise is one-sided (VM
 # steal only ever slows a chunk down), so best-of-N is the stable estimator.
 _STEPS = {"small": (4, 10, 2), "medium": (8, 30, 3), "full": (10, 60, 3)}
+
+# Conv model grid: the paper's VGG/ResNet families at bench width.  The
+# parameters (and the step counts below) must match the frozen
+# conv-baseline capture for speedup_vs_baseline to be apples-to-apples.
+_CONV_CONFIGS = {
+    "small": {
+        "vgg_small": dict(model="vgg11", width=0.25, image_size=12, num_classes=10, batch=16),
+        "resnet_tiny": dict(model="resnet50_mini", width=0.125, image_size=12, num_classes=10, batch=16),
+    },
+    "medium": {
+        "vgg_small": dict(model="vgg11", width=0.25, image_size=12, num_classes=10, batch=32),
+        "resnet_tiny": dict(model="resnet50_mini", width=0.125, image_size=12, num_classes=10, batch=32),
+    },
+    "full": {
+        "vgg_small": dict(model="vgg11", width=0.25, image_size=12, num_classes=10, batch=32),
+        "resnet_tiny": dict(model="resnet50_mini", width=0.125, image_size=12, num_classes=10, batch=32),
+    },
+}
+_CONV_STEPS = {"small": (3, 8, 2), "medium": (6, 20, 3), "full": (6, 20, 3)}
+
+# Multi-seed sweep axis: worker-process counts to shard run_multi_seed over.
+_SWEEP_NPROCS = (2, 4)
+_SWEEP_SETTINGS = {
+    "small": dict(seeds=(0, 1), n_train=512, n_test=256, epochs=1, batch_size=64),
+    "medium": dict(seeds=(0, 1, 2, 3), n_train=1024, n_test=512, epochs=1, batch_size=64),
+    "full": dict(seeds=(0, 1, 2, 3), n_train=2048, n_test=512, epochs=2, batch_size=64),
+}
 
 
 def _build(config: dict, sparsity: float, seed: int = 0):
@@ -143,6 +180,153 @@ def time_training(config: dict, sparsity: float, mode: str) -> float:
     return timed / best
 
 
+def _build_conv(config: dict, sparsity: float, seed: int = 0):
+    if config["model"] == "vgg11":
+        model = vgg11(config["num_classes"], config["width"], config["image_size"], seed=seed)
+    else:
+        model = resnet50_mini(config["num_classes"], config["width"], seed=seed)
+    masked = MaskedModel(
+        model, sparsity, distribution="uniform", rng=np.random.default_rng(seed + 1)
+    )
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    engine = DynamicSparseEngine(
+        masked,
+        DSTEEGrowth(c=1e-3),
+        total_steps=100_000,
+        delta_t=10,
+        drop_fraction=0.3,
+        optimizer=optimizer,
+        rng=np.random.default_rng(seed + 2),
+    )
+    return model, masked, optimizer, engine
+
+
+def time_conv_training(config: dict, sparsity: float, mode: str) -> float:
+    """Conv masked-training steps/sec for one (model, sparsity, backend)."""
+    model, masked, optimizer, engine = _build_conv(config, sparsity)
+    _apply_backend(masked, optimizer, mode)
+    rng = np.random.default_rng(3)
+    size = config["image_size"]
+    x = Tensor(rng.standard_normal((config["batch"], 3, size, size)).astype(np.float32))
+    y = rng.integers(0, config["num_classes"], size=config["batch"])
+    warmup, timed, chunks = _CONV_STEPS[get_scale().name]
+
+    def one_step(step: int) -> None:
+        model.zero_grad()
+        loss = nn.cross_entropy(model(x), y)
+        loss.backward()
+        if not engine.on_backward(step):
+            optimizer.step()
+            engine.after_step(step)
+
+    step = 0
+    for _ in range(warmup):
+        step += 1
+        one_step(step)
+    best = float("inf")
+    for _ in range(chunks):
+        start = time.perf_counter()
+        for _ in range(timed):
+            step += 1
+            one_step(step)
+        best = min(best, time.perf_counter() - start)
+    return timed / best
+
+
+def conv_workspace_ab() -> dict:
+    """Interleaved A/B of ConvWorkspace on vs off, per config and sparsity.
+
+    Cross-run comparisons against the frozen baseline drift with machine
+    load (shared vCPU); alternating on/off inside one process cancels that
+    drift, so ``ratio`` (on / off, best-of-2 each) is the trustworthy
+    no-regression signal for the workspace itself.
+    """
+    from repro.autograd.conv import WORKSPACE_ENV
+
+    previous = os.environ.get(WORKSPACE_ENV)
+    section: dict[str, dict[str, dict[str, float]]] = {}
+    reps = 2
+    try:
+        for name, config in _CONV_CONFIGS[get_scale().name].items():
+            section[name] = {}
+            for sparsity in SPARSITIES:
+                best = {"on": 0.0, "off": 0.0}
+                for _ in range(reps):
+                    for setting, value in (("on", "1"), ("off", "0")):
+                        os.environ[WORKSPACE_ENV] = value
+                        best[setting] = max(
+                            best[setting], time_conv_training(config, sparsity, "dense")
+                        )
+                ratio = best["on"] / best["off"]
+                section[name][f"{sparsity:g}"] = {
+                    "on": round(best["on"], 3),
+                    "off": round(best["off"], 3),
+                    "ratio": round(ratio, 3),
+                }
+                print(f"[ws A/B] {name} s={sparsity:g}: on={best['on']:.2f} "
+                      f"off={best['off']:.2f} ({ratio:.2f}x)")
+    finally:
+        if previous is None:
+            os.environ.pop(WORKSPACE_ENV, None)
+        else:
+            os.environ[WORKSPACE_ENV] = previous
+    return section
+
+
+def time_multi_seed_sweep() -> dict:
+    """Wall-clock of one multi-seed cell, serial vs ``n_proc`` sharding."""
+    from repro.data.synthetic import cifar10_like
+    from repro.experiments.runner import run_multi_seed
+
+    settings = _SWEEP_SETTINGS[get_scale().name]
+    data = cifar10_like(
+        n_train=settings["n_train"], n_test=settings["n_test"],
+        image_size=12, seed=7,
+    )
+    factory = lambda seed: MLP(3 * 12 * 12, (256, 256), 10, seed=seed)
+    kwargs = dict(
+        sparsity=0.9, epochs=settings["epochs"],
+        batch_size=settings["batch_size"], lr=0.05, delta_t=6,
+    )
+    seeds = settings["seeds"]
+
+    def timed_run(n_proc: int) -> tuple[float, float]:
+        start = time.perf_counter()
+        mean, _, _ = run_multi_seed(
+            "dst_ee", factory, data, seeds=seeds, n_proc=n_proc, **kwargs
+        )
+        return time.perf_counter() - start, mean
+
+    serial_seconds, serial_mean = timed_run(1)
+    section = {
+        "seeds": list(seeds),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": {},
+        "speedup": {},
+        "mean_accuracy": round(serial_mean, 4),
+    }
+    for n_proc in _SWEEP_NPROCS:
+        seconds, mean = timed_run(n_proc)
+        section["parallel_seconds"][str(n_proc)] = round(seconds, 3)
+        section["speedup"][str(n_proc)] = round(serial_seconds / seconds, 3)
+        # Sharded seeds recompute exactly the serial per-seed runs.
+        assert mean == serial_mean, "parallel sweep diverged from serial"
+        print(f"[sweep] nproc={n_proc}: {seconds:.2f}s vs serial "
+              f"{serial_seconds:.2f}s ({serial_seconds / seconds:.2f}x)")
+
+    # One run with n_proc unset exercises the REPRO_NPROC env resolution
+    # end-to-end (the CI smoke sets REPRO_NPROC=2 for exactly this).
+    from repro.parallel import resolve_nproc
+
+    env_nproc = resolve_nproc()
+    if env_nproc > 1:
+        seconds, mean = timed_run(None)
+        assert mean == serial_mean, "REPRO_NPROC sweep diverged from serial"
+        section["env_nproc"] = {"nproc": env_nproc, "seconds": round(seconds, 3)}
+        print(f"[sweep] REPRO_NPROC={env_nproc}: {seconds:.2f}s")
+    return section
+
+
 def time_mask_update(config: dict, sparsity: float) -> float:
     """Mean latency (ms) of one full drop-and-grow round."""
     _, masked, _, engine = _build(config, sparsity)
@@ -191,21 +375,65 @@ def run() -> dict:
             mask_update[name][key] = round(latency, 4)
             print(f"[mask ] {name} s={key}: {latency:.3f} ms/round")
 
+    conv_training: dict[str, dict[str, dict[str, float]]] = {}
+    conv_modes = [m for m in modes if m != "legacy"] or ["dense"]
+    for name, config in _CONV_CONFIGS[scale.name].items():
+        conv_training[name] = {mode: {} for mode in conv_modes}
+        for sparsity in SPARSITIES:
+            key = f"{sparsity:g}"
+            for mode in conv_modes:
+                sps = time_conv_training(config, sparsity, mode)
+                conv_training[name][mode][key] = round(sps, 3)
+                print(f"[conv ] {name} s={key} backend={mode}: {sps:.2f} steps/s")
+
+    workspace_ab = conv_workspace_ab()
+    sweep = time_multi_seed_sweep()
+
     baseline = None
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())
+    conv_baseline = None
+    if CONV_BASELINE_PATH.exists():
+        conv_baseline = (
+            json.loads(CONV_BASELINE_PATH.read_text())
+            .get("scales", {})
+            .get(scale.name)
+        )
 
     result = {
-        "schema": 1,
+        "schema": 2,
         "scale": scale.name,
         "nproc": os.cpu_count(),
         "sparsities": [f"{s:g}" for s in SPARSITIES],
         "modes": modes,
         "training_steps_per_sec": training,
+        "conv_training_steps_per_sec": conv_training,
+        "conv_workspace_ab": workspace_ab,
         "mask_update_ms": mask_update,
+        "multi_seed_sweep": sweep,
         "baseline": baseline,
         "speedup_vs_baseline": {},
+        "conv_speedup_vs_baseline": {},
     }
+
+    if conv_baseline is not None:
+        base_training = conv_baseline.get("training_steps_per_sec", {})
+        for name in conv_training:
+            per_mode = {}
+            for mode in conv_training[name]:
+                base_mode = base_training.get(name, {}).get(mode, {})
+                speedups = {
+                    key: round(now / base_mode[key], 3)
+                    for key, now in conv_training[name][mode].items()
+                    if base_mode.get(key)
+                }
+                if speedups:
+                    per_mode[mode] = speedups
+            if per_mode:
+                result["conv_speedup_vs_baseline"][name] = per_mode
+        if result["conv_speedup_vs_baseline"]:
+            print("[conv speedup vs baseline] "
+                  + json.dumps(result["conv_speedup_vs_baseline"]))
 
     if baseline is not None and baseline.get("scale") == scale.name:
         best_mode = "csr" if "csr" in modes else modes[0]

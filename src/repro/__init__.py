@@ -14,8 +14,11 @@ Layered architecture (each layer only depends on the ones below it):
    SynFlow/STR/GMP/ADMM).
 6. :mod:`repro.train` / :mod:`repro.metrics` / :mod:`repro.flops` —
    training loop, metrics (exploration rate R, ΔL_g, convergence), FLOPs.
-7. :mod:`repro.experiments` — per-table runners regenerating the paper's
-   evaluation.
+7. :mod:`repro.parallel` — the parallel execution engine: multiprocess
+   experiment sharding (``REPRO_NPROC``) and data-parallel gradient
+   workers over shared memory (``Trainer(n_workers=...)``).
+8. :mod:`repro.experiments` — per-table runners regenerating the paper's
+   evaluation, sharded through :mod:`repro.parallel`.
 
 Quickstart::
 

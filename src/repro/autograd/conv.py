@@ -6,17 +6,81 @@ sliding windows (``numpy.lib.stride_tricks.sliding_window_view``); the
 backward pass uses the classic col2im trick of ``KH*KW`` strided slice-adds,
 avoiding any per-pixel Python loops.
 
+The conv pipeline is **allocation-free in steady state** when a
+:class:`ConvWorkspace` is supplied (each :class:`~repro.nn.Conv2d` owns
+one): the contiguous ``cols`` matrix, the padded-input staging buffer, the
+output buffers, the weight/input gradient buffers and the ``col2im``
+scatter scratch are all cached across steps and re-filled in place
+(``np.copyto`` / ``np.matmul(..., out=...)``).  Buffers are invalidated
+automatically on any shape change (e.g. the final short batch, or switching
+between train and eval batch sizes).
+
 All ops use NCHW layout, matching the rest of the library.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.autograd.tensor import Tensor, ensure_tensor
 
-__all__ = ["conv2d", "max_pool2d", "avg_pool2d", "pad2d", "conv_output_size"]
+__all__ = [
+    "ConvWorkspace",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "pad2d",
+    "conv_output_size",
+]
+
+WORKSPACE_ENV = "REPRO_CONV_WORKSPACE"
+
+
+def workspace_enabled() -> bool:
+    """Workspace reuse kill-switch (``REPRO_CONV_WORKSPACE=0`` disables)."""
+    return os.environ.get(WORKSPACE_ENV, "1") != "0"
+
+
+class ConvWorkspace:
+    """Reusable named buffers for one conv layer's im2col pipeline.
+
+    ``get`` returns a cached ``np.empty`` buffer for ``(name, shape,
+    dtype)``, reallocating only when the shape or dtype changed since the
+    previous call; ``zeros`` additionally guarantees the buffer was zeroed
+    at allocation time (callers that only ever write a sub-region — the
+    padded-input interior — rely on the border staying zero).
+
+    The returned buffers are overwritten by the layer's next forward or
+    backward pass, so they are valid within one training step only — which
+    is exactly the lifetime of im2col intermediates.  A layer invoked
+    twice before ``backward`` (weight sharing) must not share a workspace;
+    no model in this repository does that.  Set ``REPRO_CONV_WORKSPACE=0``
+    to fall back to per-call allocation.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self):
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def _lookup(self, name: str, shape, dtype, alloc) -> np.ndarray:
+        if not workspace_enabled():
+            return alloc(shape, dtype=dtype)
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = alloc(shape, dtype=dtype)
+            self._buffers[name] = buffer
+        return buffer
+
+    def get(self, name: str, shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        return self._lookup(name, shape, dtype, np.empty)
+
+    def zeros(self, name: str, shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        """Like :meth:`get`, but the buffer is zero-filled at allocation."""
+        return self._lookup(name, shape, dtype, np.zeros)
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -30,16 +94,33 @@ def _pair(value) -> tuple[int, int]:
     return int(value), int(value)
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: tuple[int, int], padding: tuple[int, int]):
+def _im2col(
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    workspace: ConvWorkspace | None = None,
+):
     """Extract sliding windows.
 
     Returns ``(cols, x_padded_shape, out_h, out_w)`` where ``cols`` has shape
     ``(N, out_h, out_w, C, kh, kw)`` and is a strided *view* when possible.
+    With a workspace, the padded input is staged in a cached buffer whose
+    border is written once (at allocation) and stays zero thereafter.
     """
     sh, sw = stride
     ph, pw = padding
     if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        if workspace is not None:
+            n_, c_, h_, w_ = x.shape
+            padded = workspace.zeros(
+                "x_padded", (n_, c_, h_ + 2 * ph, w_ + 2 * pw), x.dtype
+            )
+            padded[:, :, ph : ph + h_, pw : pw + w_] = x
+            x = padded
+        else:
+            x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
     n, c, h, w = x.shape
     out_h = (h - kh) // sh + 1
     out_w = (w - kw) // sw + 1
@@ -47,6 +128,24 @@ def _im2col(x: np.ndarray, kh: int, kw: int, stride: tuple[int, int], padding: t
     windows = windows[:, :, ::sh, ::sw]  # stride subsampling
     cols = windows.transpose(0, 2, 3, 1, 4, 5)  # (N, out_h, out_w, C, kh, kw)
     return cols, x.shape, out_h, out_w
+
+
+def _contiguous_cols(
+    cols: np.ndarray, workspace: ConvWorkspace | None = None
+) -> np.ndarray:
+    """C-contiguous copy of an im2col window view (or the view itself).
+
+    An already-contiguous ``cols`` is returned as-is — re-running
+    ``np.ascontiguousarray`` on it would copy for nothing.  Otherwise the
+    copy lands in the workspace's cached buffer when one is available.
+    """
+    if cols.flags.c_contiguous:
+        return cols
+    if workspace is None:
+        return np.ascontiguousarray(cols)
+    buffer = workspace.get("cols", cols.shape, cols.dtype)
+    np.copyto(buffer, cols)
+    return buffer
 
 
 def _col2im(
@@ -57,16 +156,24 @@ def _col2im(
     stride: tuple[int, int],
     padding: tuple[int, int],
     out_shape: tuple[int, ...],
+    workspace: ConvWorkspace | None = None,
 ) -> np.ndarray:
     """Adjoint of :func:`_im2col`: scatter window gradients back to the image.
 
     ``grad_cols`` has shape ``(N, out_h, out_w, C, kh, kw)``; the result has
-    the original (un-padded) input shape ``out_shape``.
+    the original (un-padded) input shape ``out_shape``.  With a workspace
+    both the scatter scratch and the returned array are cached buffers (the
+    result is always a *base* array, so ``Tensor._accumulate`` can adopt it
+    without a defensive copy).
     """
     sh, sw = stride
     ph, pw = padding
     n, out_h, out_w = grad_cols.shape[:3]
-    grad_padded = np.zeros(padded_shape, dtype=grad_cols.dtype)
+    if workspace is not None:
+        grad_padded = workspace.get("col2im_scratch", padded_shape, grad_cols.dtype)
+        grad_padded.fill(0)
+    else:
+        grad_padded = np.zeros(padded_shape, dtype=grad_cols.dtype)
     # One strided slice-add per kernel offset: overlapping windows accumulate.
     moved = grad_cols.transpose(0, 3, 1, 2, 4, 5)  # (N, C, out_h, out_w, kh, kw)
     for i in range(kh):
@@ -76,11 +183,58 @@ def _col2im(
             ]
     if ph or pw:
         h, w = out_shape[2], out_shape[3]
+        if workspace is not None:
+            grad_x = workspace.get("grad_x", out_shape, grad_cols.dtype)
+            np.copyto(grad_x, grad_padded[:, :, ph : ph + h, pw : pw + w])
+            return grad_x
         grad_padded = grad_padded[:, :, ph : ph + h, pw : pw + w]
     return grad_padded
 
 
-def conv2d(x, weight, bias=None, stride=1, padding=0) -> Tensor:
+def _stage_grad_mat(
+    grad: np.ndarray, n: int, out_h: int, out_w: int, c_out: int,
+    workspace: ConvWorkspace | None,
+) -> np.ndarray:
+    """Output gradient ``(N, C_out, H', W')`` as a C-contiguous 2-D matrix.
+
+    The reshape of the transposed view copies either way; with a workspace
+    the copy lands in a cached buffer.
+    """
+    if workspace is not None:
+        grad_mat = workspace.get("grad_mat", (n * out_h * out_w, c_out), grad.dtype)
+        np.copyto(grad_mat.reshape(n, out_h, out_w, c_out), grad.transpose(0, 2, 3, 1))
+        return grad_mat
+    return grad.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c_out)
+
+
+def _accumulate_grad_w(
+    weight, grad_mat: np.ndarray, cols_mat: np.ndarray,
+    workspace: ConvWorkspace | None,
+) -> None:
+    """Accumulate the dense weight gradient ``grad_matᵀ @ cols_mat``.
+
+    The cached grad_w buffer may be adopted as ``weight.grad``; when a
+    previous accumulation is still pending (no ``zero_grad`` between
+    backwards) overwriting it in place would corrupt the sum, so that rare
+    path falls back to a fresh allocation.  Shared by the dense conv
+    backward and the CSR :class:`~repro.sparse.kernels.Conv2dKernel`.
+    """
+    c_out = weight.shape[0]
+    if workspace is not None and weight.grad is None:
+        grad_w = workspace.get("grad_w", weight.shape, grad_mat.dtype)
+        np.matmul(grad_mat.T, cols_mat, out=grad_w.reshape(c_out, cols_mat.shape[1]))
+        weight._accumulate(grad_w)
+    else:
+        weight._accumulate((grad_mat.T @ cols_mat).reshape(weight.shape))
+
+
+def _input_grad_workspace(x, workspace: ConvWorkspace | None):
+    """Workspace for the input gradient, or ``None`` under the same
+    pending-accumulation guard as :func:`_accumulate_grad_w`."""
+    return workspace if x.grad is None else None
+
+
+def conv2d(x, weight, bias=None, stride=1, padding=0, workspace=None) -> Tensor:
     """2-D cross-correlation (the deep-learning "convolution").
 
     Parameters
@@ -93,6 +247,13 @@ def conv2d(x, weight, bias=None, stride=1, padding=0) -> Tensor:
         Optional per-channel bias of shape ``(C_out,)``.
     stride, padding:
         Ints or ``(h, w)`` pairs.
+    workspace:
+        Optional :class:`ConvWorkspace` owned by the calling layer.  When
+        given, every large intermediate (contiguous cols matrix, padded
+        input, output, gradient buffers, col2im scratch) is re-used across
+        calls, making the steady-state step allocation-free.  The output
+        tensor then aliases a workspace buffer that the layer's *next*
+        forward overwrites — the standard step lifetime of an activation.
     """
     x, weight = ensure_tensor(x), ensure_tensor(weight)
     bias_t = ensure_tensor(bias) if bias is not None else None
@@ -102,25 +263,49 @@ def conv2d(x, weight, bias=None, stride=1, padding=0) -> Tensor:
     if x.shape[1] != c_in:
         raise ValueError(f"conv2d channel mismatch: input has {x.shape[1]}, weight expects {c_in}")
 
-    cols, padded_shape, out_h, out_w = _im2col(x.data, kh, kw, stride_hw, padding_hw)
+    cols, padded_shape, out_h, out_w = _im2col(
+        x.data, kh, kw, stride_hw, padding_hw, workspace
+    )
     n = x.shape[0]
-    cols_mat = np.ascontiguousarray(cols).reshape(n * out_h * out_w, c_in * kh * kw)
+    cols_mat = _contiguous_cols(cols, workspace).reshape(
+        n * out_h * out_w, c_in * kh * kw
+    )
     w_mat = weight.data.reshape(c_out, c_in * kh * kw)
-    out_mat = cols_mat @ w_mat.T  # (N*out_h*out_w, C_out)
-    out_data = out_mat.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
-    if bias_t is not None:
-        out_data = out_data + bias_t.data.reshape(1, c_out, 1, 1)
+    if workspace is not None:
+        out_mat = workspace.get("out_mat", (n * out_h * out_w, c_out), cols_mat.dtype)
+        np.matmul(cols_mat, w_mat.T, out=out_mat)
+        if bias_t is not None:
+            np.add(out_mat, bias_t.data, out=out_mat)
+        # Contiguous NCHW output (one cached transpose-copy): downstream
+        # norm/pool reductions on a strided view would pay more than the
+        # copy does, and the buffer is reused every step.
+        out_data = workspace.get("out", (n, c_out, out_h, out_w), out_mat.dtype)
+        np.copyto(out_data, out_mat.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2))
+    else:
+        out_mat = cols_mat @ w_mat.T  # (N*out_h*out_w, C_out)
+        out_data = out_mat.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+        if bias_t is not None:
+            out_data = out_data + bias_t.data.reshape(1, c_out, 1, 1)
 
     parents = (x, weight) if bias_t is None else (x, weight, bias_t)
 
     def backward(grad: np.ndarray) -> None:
-        grad_mat = grad.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c_out)
+        grad_mat = _stage_grad_mat(grad, n, out_h, out_w, c_out, workspace)
         if weight.requires_grad:
-            grad_w = grad_mat.T @ cols_mat  # (C_out, C_in*kh*kw)
-            weight._accumulate(grad_w.reshape(weight.shape))
+            _accumulate_grad_w(weight, grad_mat, cols_mat, workspace)
         if x.requires_grad:
-            grad_cols = (grad_mat @ w_mat).reshape(n, out_h, out_w, c_in, kh, kw)
-            grad_x = _col2im(grad_cols, padded_shape, kh, kw, stride_hw, padding_hw, x.shape)
+            if workspace is not None:
+                grad_cols = workspace.get(
+                    "grad_cols", (n * out_h * out_w, c_in * kh * kw), grad.dtype
+                )
+                np.matmul(grad_mat, w_mat, out=grad_cols)
+                grad_cols = grad_cols.reshape(n, out_h, out_w, c_in, kh, kw)
+            else:
+                grad_cols = (grad_mat @ w_mat).reshape(n, out_h, out_w, c_in, kh, kw)
+            grad_x = _col2im(
+                grad_cols, padded_shape, kh, kw, stride_hw, padding_hw, x.shape,
+                _input_grad_workspace(x, workspace),
+            )
             x._accumulate(grad_x)
         if bias_t is not None and bias_t.requires_grad:
             bias_t._accumulate(grad.sum(axis=(0, 2, 3)))
@@ -135,7 +320,7 @@ def max_pool2d(x, kernel_size, stride=None) -> Tensor:
     stride_hw = _pair(stride) if stride is not None else (kh, kw)
     cols, padded_shape, out_h, out_w = _im2col(x.data, kh, kw, stride_hw, (0, 0))
     n, _, c = cols.shape[0], cols.shape[1], cols.shape[3]
-    flat = np.ascontiguousarray(cols).reshape(n, out_h, out_w, c, kh * kw)
+    flat = _contiguous_cols(cols).reshape(n, out_h, out_w, c, kh * kw)
     arg = flat.argmax(axis=-1)
     out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
     out_data = out_data.transpose(0, 3, 1, 2)  # (N, C, out_h, out_w)

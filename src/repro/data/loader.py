@@ -1,7 +1,9 @@
-"""Mini-batch loader with optional shuffling and batch transforms."""
+"""Mini-batch loader with optional shuffling, transforms, and prefetching."""
 
 from __future__ import annotations
 
+import queue
+import threading
 from typing import Callable, Iterator
 
 import numpy as np
@@ -10,6 +12,81 @@ from repro.autograd.tensor import Tensor
 from repro.data.dataset import ArrayDataset
 
 __all__ = ["DataLoader"]
+
+
+class _PrefetchIterator:
+    """Consume batches produced by a background thread.
+
+    The producer runs the exact serial batch pipeline (shuffle, indexing,
+    transform) on a bounded queue, so batch *contents and order* are
+    bitwise identical to ``prefetch=0`` — only the overlap with the
+    training step changes.  Producer exceptions are re-raised at the
+    consumer's next ``__next__``.  :meth:`close` stops the producer and
+    *joins* it, so a closed iterator can never race a successor for the
+    loader's shared RNG; abandoning an epoch mid-way does advance that RNG
+    by the (bounded) prefetched batches, unlike ``prefetch=0``.
+    """
+
+    _DONE = object()
+
+    def __init__(self, source: Iterator, depth: int):
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._stop = threading.Event()
+        self._finished = False
+        self._thread = threading.Thread(
+            target=self._produce, args=(source,), daemon=True
+        )
+        self._thread.start()
+
+    def _produce(self, source: Iterator) -> None:
+        try:
+            for item in source:
+                while not self._stop.is_set():
+                    try:
+                        self._queue.put(("item", item), timeout=0.1)
+                        break
+                    except queue.Full:
+                        continue
+                if self._stop.is_set():
+                    return
+            payload = ("done", None)
+        except BaseException as exc:  # re-raised on the consumer side
+            payload = ("error", exc)
+        while not self._stop.is_set():
+            try:
+                self._queue.put(payload, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def __iter__(self) -> "_PrefetchIterator":
+        return self
+
+    def __next__(self):
+        if self._finished:  # iterator protocol: keep raising after the end
+            raise StopIteration
+        kind, value = self._queue.get()
+        if kind == "item":
+            return value
+        self._finished = True
+        self._stop.set()
+        if kind == "error":
+            raise value
+        raise StopIteration
+
+    def close(self) -> None:
+        """Stop and join the producer (idempotent).
+
+        Joining matters: a merely-signalled producer could still be inside
+        the dataset/RNG pipeline when the next epoch's producer starts on
+        the same ``DataLoader``, and ``np.random.Generator`` is not
+        thread-safe.
+        """
+        self._stop.set()
+        self._thread.join()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        self._stop.set()
 
 
 class DataLoader:
@@ -30,6 +107,12 @@ class DataLoader:
     rng:
         Generator driving shuffling and transforms; pass one for reproducible
         epochs.
+    prefetch:
+        When > 0, batches are assembled by a background thread up to
+        ``prefetch`` batches ahead, overlapping indexing/augmentation with
+        the training step.  Batches are bitwise identical to ``prefetch=0``
+        (the producer runs the same pipeline in the same order); default
+        off.
     """
 
     def __init__(
@@ -40,15 +123,20 @@ class DataLoader:
         transform: Callable[[np.ndarray, np.random.Generator], np.ndarray] | None = None,
         rng: np.random.Generator | None = None,
         drop_last: bool = False,
+        prefetch: int = 0,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if prefetch < 0:
+            raise ValueError(f"prefetch must be >= 0, got {prefetch}")
         self.dataset = dataset
         self.batch_size = int(batch_size)
         self.shuffle = bool(shuffle)
         self.transform = transform
         self.rng = rng if rng is not None else np.random.default_rng()
         self.drop_last = bool(drop_last)
+        self.prefetch = int(prefetch)
+        self._active_prefetch: _PrefetchIterator | None = None
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -57,6 +145,18 @@ class DataLoader:
         return (n + self.batch_size - 1) // self.batch_size
 
     def __iter__(self) -> Iterator[tuple[Tensor, np.ndarray]]:
+        if self.prefetch > 0:
+            # An abandoned previous epoch must not keep producing from the
+            # shared rng/dataset concurrently with the new one.
+            if self._active_prefetch is not None:
+                self._active_prefetch.close()
+            self._active_prefetch = _PrefetchIterator(
+                self._iter_batches(), self.prefetch
+            )
+            return self._active_prefetch
+        return self._iter_batches()
+
+    def _iter_batches(self) -> Iterator[tuple[Tensor, np.ndarray]]:
         n = len(self.dataset)
         order = np.arange(n)
         if self.shuffle:

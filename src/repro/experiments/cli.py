@@ -4,11 +4,17 @@ Usage (after ``pip install -e .``)::
 
     python -m repro.experiments.cli run --method dst_ee --dataset cifar10 \
         --model vgg19 --sparsity 0.9 --epochs 4
+    python -m repro.experiments.cli run --method dst_ee --seeds 0 1 2 --nproc 3
+    python -m repro.experiments.cli sweep --methods set rigl dst_ee \
+        --sparsities 0.9 0.95 --seeds 0 1 --nproc 4
     python -m repro.experiments.cli gnn --dataset wiki_talk --sparsity 0.9
     python -m repro.experiments.cli methods
 
-The heavyweight table sweeps live in ``benchmarks/`` (pytest-benchmark);
-this CLI is for single-cell experiments and quick exploration.
+``--nproc`` (or the ``REPRO_NPROC`` environment variable) shards seeds and
+sweep cells across worker processes; ``--n-workers`` splits each mini-batch
+across data-parallel gradient workers inside one run.  The heavyweight
+table benches live in ``benchmarks/``; this CLI is for single cells and
+ad-hoc grids.
 """
 
 from __future__ import annotations
@@ -28,27 +34,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="one image-classification training run")
+    # Training/dataset knobs shared by `run` and `sweep` — declared once so
+    # the two entry points cannot drift apart.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--dataset", default="cifar10",
+                        choices=["cifar10", "cifar100", "imagenet"])
+    common.add_argument("--batch-size", type=int, default=64)
+    common.add_argument("--lr", type=float, default=0.05)
+    common.add_argument("--delta-t", type=int, default=6)
+    common.add_argument("--width-mult", type=float, default=0.2)
+    common.add_argument("--n-train", type=int, default=1024)
+    common.add_argument("--n-test", type=int, default=512)
+    common.add_argument("--image-size", type=int, default=12)
+    common.add_argument("--nproc", type=int, default=None,
+                        help="worker processes for cell/seed sharding "
+                             "(default: REPRO_NPROC, 1 = serial)")
+
+    run = sub.add_parser("run", parents=[common],
+                         help="one image-classification training run")
     run.add_argument("--method", default="dst_ee", choices=ALL_METHODS)
-    run.add_argument("--dataset", default="cifar10",
-                     choices=["cifar10", "cifar100", "imagenet"])
     run.add_argument("--model", default="vgg19",
                      choices=["vgg19", "vgg11", "resnet50", "resnet50_mini", "mlp"])
     run.add_argument("--sparsity", type=float, default=0.9)
     run.add_argument("--epochs", type=int, default=4)
-    run.add_argument("--batch-size", type=int, default=64)
-    run.add_argument("--lr", type=float, default=0.05)
-    run.add_argument("--delta-t", type=int, default=6)
     run.add_argument("--c", type=float, default=1e-3,
                      help="exploration-exploitation coefficient (Eq. 1)")
     run.add_argument("--epsilon", type=float, default=1.0)
     run.add_argument("--distribution", default="erk",
                      choices=["erk", "er", "uniform"])
-    run.add_argument("--width-mult", type=float, default=0.2)
-    run.add_argument("--n-train", type=int, default=1024)
-    run.add_argument("--n-test", type=int, default=512)
-    run.add_argument("--image-size", type=int, default=12)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--seeds", type=int, nargs="+", default=None,
+                     help="run the paper's multi-seed protocol over these seeds")
+    run.add_argument("--n-workers", type=int, default=0,
+                     help="data-parallel gradient workers per run (0 = in-process)")
+
+    sweep = sub.add_parser("sweep", parents=[common],
+                           help="grid of (method x model x sparsity x seed) cells")
+    sweep.add_argument("--methods", nargs="+", default=["set", "rigl", "dst_ee"],
+                       choices=ALL_METHODS)
+    sweep.add_argument("--models", nargs="+", default=["vgg11"],
+                       choices=["vgg19", "vgg11", "resnet50", "resnet50_mini", "mlp"])
+    sweep.add_argument("--sparsities", type=float, nargs="+", default=[0.9])
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[0])
+    sweep.add_argument("--root-seed", type=int, default=None,
+                       help="derive per-cell seeds from this root via SeedSequence.spawn")
+    sweep.add_argument("--epochs", type=int, default=2)
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="dataset generation seed")
 
     gnn = sub.add_parser("gnn", help="GNN link-prediction experiment")
     gnn.add_argument("--dataset", default="wiki_talk",
@@ -79,10 +111,10 @@ def _dataset(args):
                          seed=args.seed)
 
 
-def _model_factory(args, num_classes: int):
+def _model_builders(args, num_classes: int) -> dict:
     from repro.models import MLP, resnet50, resnet50_mini, vgg11, vgg19
 
-    builders = {
+    return {
         "vgg19": lambda seed: vgg19(num_classes, args.width_mult,
                                     args.image_size, seed=seed),
         "vgg11": lambda seed: vgg11(num_classes, args.width_mult,
@@ -93,19 +125,39 @@ def _model_factory(args, num_classes: int):
         "mlp": lambda seed: MLP(3 * args.image_size**2, (128, 64),
                                 num_classes, seed=seed),
     }
-    return builders[args.model]
+
+
+def _model_factory(args, num_classes: int):
+    return _model_builders(args, num_classes)[args.model]
 
 
 def _command_run(args) -> int:
-    from repro.experiments.runner import run_image_classification
+    from repro.experiments.runner import run_image_classification, run_multi_seed
 
     data = _dataset(args)
+    if args.seeds is not None:
+        mean, std, results = run_multi_seed(
+            args.method, _model_factory(args, data.num_classes), data,
+            seeds=tuple(args.seeds), n_proc=args.nproc,
+            sparsity=args.sparsity, epochs=args.epochs,
+            batch_size=args.batch_size, lr=args.lr, delta_t=args.delta_t,
+            c=args.c, epsilon=args.epsilon, distribution=args.distribution,
+            n_workers=args.n_workers,
+        )
+        print(f"method:               {args.method}")
+        print(f"dataset:              {data.name}")
+        print(f"seeds:                {list(args.seeds)}")
+        for seed, result in zip(args.seeds, results):
+            print(f"  seed {seed}: final {result.final_accuracy:.4f} "
+                  f"(best {result.best_accuracy:.4f}, {result.seconds:.1f}s)")
+        print(f"accuracy:             {mean:.4f} ± {std:.4f}")
+        return 0
     result = run_image_classification(
         args.method, _model_factory(args, data.num_classes), data,
         sparsity=args.sparsity, epochs=args.epochs,
         batch_size=args.batch_size, lr=args.lr, delta_t=args.delta_t,
         c=args.c, epsilon=args.epsilon, distribution=args.distribution,
-        seed=args.seed,
+        seed=args.seed, n_workers=args.n_workers,
     )
     print(f"method:               {result.method}")
     print(f"dataset:              {result.dataset}")
@@ -119,6 +171,49 @@ def _command_run(args) -> int:
         print(f"exploration rate R:   {result.exploration_rate:.4f}")
     print(f"wall time:            {result.seconds:.1f}s")
     return 0
+
+
+def _command_sweep(args) -> int:
+    from repro.experiments.registry import enumerate_cells
+    from repro.experiments.runner import run_sweep
+    from repro.experiments.tables import format_float, format_table
+
+    data = _dataset(args)
+    cells = enumerate_cells(
+        args.methods, args.models, [args.dataset], args.sparsities,
+        seeds=args.seeds, root_seed=args.root_seed,
+    )
+    builders = _model_builders(args, data.num_classes)
+    report = run_sweep(
+        cells,
+        {name: (lambda num_classes, b=builders[name]: b) for name in args.models},
+        {args.dataset: data},
+        n_proc=args.nproc,
+        epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+        delta_t=args.delta_t,
+    )
+    rows = [
+        {
+            "method": row["method"],
+            "model": row["model"],
+            "sparsity": f"{row['sparsity']:g}",
+            "accuracy": (
+                f"{format_float(row['mean_accuracy'], 4)} "
+                f"± {format_float(row['std_accuracy'], 4)}"
+            ),
+            "seeds": f"{row['seeds_ok']}"
+            + (f" ({row['seeds_failed']} failed)" if row["seeds_failed"] else ""),
+        }
+        for row in report.aggregate()
+    ]
+    print(format_table(
+        rows, ["method", "model", "sparsity", "accuracy", "seeds"],
+        title=f"sweep on {args.dataset} ({len(cells)} cells)",
+    ))
+    for outcome in report.failures:
+        print(f"\nFAILED {outcome.cell}:")
+        print("  " + (outcome.error or "").strip().replace("\n", "\n  "))
+    return 1 if report.failures else 0
 
 
 def _command_gnn(args) -> int:
@@ -162,6 +257,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     if args.command == "gnn":
         return _command_gnn(args)
     return _command_methods()

@@ -41,8 +41,9 @@ from repro.sparse import (
     synflow_masks,
 )
 
-__all__ = ["MethodSetup", "build_method", "DYNAMIC_METHODS", "STATIC_METHODS",
-           "DENSE_TO_SPARSE_METHODS", "ALL_METHODS", "method_family"]
+__all__ = ["MethodSetup", "SweepCell", "build_method", "enumerate_cells",
+           "DYNAMIC_METHODS", "STATIC_METHODS", "DENSE_TO_SPARSE_METHODS",
+           "ALL_METHODS", "method_family"]
 
 
 DYNAMIC_METHODS = ("set", "rigl", "rigl_itop", "deepr", "snfs", "dsr", "mest", "dst_ee")
@@ -73,6 +74,62 @@ class MethodSetup:
     controller: SparsityController | None
     masked: MaskedModel | None
     finalize: Callable[[], None] | None = None  # e.g. STR pattern freeze
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of a sweep grid: a single training run.
+
+    This is the granularity at which the parallel execution engine shards
+    work (see :func:`repro.experiments.runner.run_sweep`): cells never
+    share state, so any subset can run in any process in any order.
+    """
+
+    method: str
+    model: str
+    dataset: str
+    sparsity: float
+    seed: int
+
+
+def enumerate_cells(
+    methods: Sequence[str],
+    models: Sequence[str],
+    datasets: Sequence[str],
+    sparsities: Sequence[float],
+    seeds: Sequence[int] = (0, 1, 2),
+    root_seed: int | None = None,
+) -> list[SweepCell]:
+    """Deterministic cell list for a (method × model × dataset × sparsity × seed) grid.
+
+    Methods are validated up front (one bad name fails fast instead of as
+    ``len(grid)`` broken cells).  With ``root_seed`` set, the explicit
+    ``seeds`` are replaced by per-cell seeds derived via
+    ``SeedSequence.spawn`` (:func:`repro.parallel.derive_seeds`): cell ``i``
+    always gets the same seed regardless of worker count or sweep order,
+    and no two cells share a stream.  With the default ``root_seed=None``
+    every cell group reuses the explicit seed list — the paper's
+    "(mean ± std) over seeds {0, 1, 2}" protocol.
+    """
+    for name in methods:
+        method_family(name)  # raises on unknown methods
+    grid = [
+        (method, model, dataset, sparsity, seed)
+        for method in methods
+        for model in models
+        for dataset in datasets
+        for sparsity in sparsities
+        for seed in seeds
+    ]
+    if root_seed is not None:
+        from repro.parallel import derive_seeds
+
+        derived = derive_seeds(root_seed, len(grid))
+        grid = [
+            (method, model, dataset, sparsity, derived[index])
+            for index, (method, model, dataset, sparsity, _) in enumerate(grid)
+        ]
+    return [SweepCell(*entry) for entry in grid]
 
 
 def build_method(

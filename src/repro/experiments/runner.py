@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -20,11 +20,19 @@ from repro.flops import profile_model, sparse_inference_flops, training_flops_mu
 from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
 from repro.optim import SGD, CosineAnnealingLR
+from repro.parallel import run_sharded
 from repro.train import Trainer
 from repro.train.callbacks import LambdaCallback
-from repro.experiments.registry import build_method
+from repro.experiments.registry import SweepCell, build_method
 
-__all__ = ["RunResult", "run_image_classification", "run_multi_seed"]
+__all__ = [
+    "RunResult",
+    "CellOutcome",
+    "SweepReport",
+    "run_image_classification",
+    "run_multi_seed",
+    "run_sweep",
+]
 
 
 @dataclass
@@ -65,6 +73,7 @@ def run_image_classification(
     distribution: str = "erk",
     seed: int = 0,
     eval_every: int = 1,
+    n_workers: int = 0,
 ) -> RunResult:
     """Train one method on one dataset and return its table row.
 
@@ -132,6 +141,7 @@ def run_image_classification(
         controller=setup.controller,
         callbacks=[LambdaCallback(snapshot)],
         eval_every=eval_every,
+        n_workers=n_workers,
     )
     history = trainer.fit(epochs)
     if setup.finalize is not None:
@@ -182,15 +192,130 @@ def run_multi_seed(
     model_factory: Callable[[int], Module],
     data: ClassificationData,
     seeds: tuple[int, ...] = (0, 1, 2),
+    n_proc: int | None = None,
     **kwargs,
 ) -> tuple[float, float, list[RunResult]]:
     """Run several seeds; return (mean accuracy, std, all results).
 
     Mirrors the paper's "(mean ± std) over three random seeds" protocol.
+    Seeds are independent runs, so they fan out across ``n_proc`` worker
+    processes (default: the ``REPRO_NPROC`` environment variable; 1 =
+    serial).  Every seed computes exactly what the serial path computes —
+    each run re-seeds all of its randomness from its own ``seed`` — and the
+    aggregation is identical; a failed seed raises, as it would serially
+    (in-process runs abort on the first failure with the original
+    exception; sharded runs raise after the other seeds finish).
     """
-    results = [
-        run_image_classification(method, model_factory, data, seed=seed, **kwargs)
+    jobs = [
+        (lambda seed=seed: run_image_classification(
+            method, model_factory, data, seed=seed, **kwargs
+        ))
         for seed in seeds
+    ]
+    results = [
+        shard.unwrap()
+        for shard in run_sharded(jobs, n_proc=n_proc, fail_fast=True)
     ]
     scores = np.array([r.final_accuracy for r in results])
     return float(scores.mean()), float(scores.std()), results
+
+
+@dataclass
+class CellOutcome:
+    """One sweep cell's result — or its failure report (crash isolation)."""
+
+    cell: "SweepCell"
+    result: RunResult | None
+    error: str | None = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepReport:
+    """All outcomes of a sharded sweep plus paper-style aggregation."""
+
+    outcomes: list[CellOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[CellOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def aggregate(self) -> list[dict]:
+        """Group over seeds: one ``mean ± std`` row per distinct cell.
+
+        Rows preserve first-appearance order of the (method, model,
+        dataset, sparsity) groups, matching the serial table layout.
+        """
+        groups: dict[tuple, list[CellOutcome]] = {}
+        for outcome in self.outcomes:
+            cell = outcome.cell
+            key = (cell.method, cell.model, cell.dataset, cell.sparsity)
+            groups.setdefault(key, []).append(outcome)
+        rows = []
+        for (method, model, dataset, sparsity), members in groups.items():
+            scores = np.array(
+                [o.result.final_accuracy for o in members if o.ok], dtype=np.float64
+            )
+            rows.append(
+                {
+                    "method": method,
+                    "model": model,
+                    "dataset": dataset,
+                    "sparsity": sparsity,
+                    "mean_accuracy": float(scores.mean()) if scores.size else None,
+                    "std_accuracy": float(scores.std()) if scores.size else None,
+                    "seeds_ok": int(scores.size),
+                    "seeds_failed": sum(1 for o in members if not o.ok),
+                }
+            )
+        return rows
+
+
+def run_sweep(
+    cells: Sequence["SweepCell"],
+    model_factories: dict[str, Callable[[int], Callable[[int], Module]]],
+    datasets: dict[str, ClassificationData],
+    n_proc: int | None = None,
+    **run_kwargs,
+) -> SweepReport:
+    """Run a grid of sweep cells across ``n_proc`` worker processes.
+
+    ``model_factories`` maps a model name to ``factory(num_classes) ->
+    (seed -> Module)`` (the shape :mod:`repro.experiments.configs` already
+    uses); ``datasets`` maps a dataset name to its data.  Unlike
+    :func:`run_multi_seed`, a failing cell does not abort the sweep: it is
+    reported as a failed :class:`CellOutcome` and every other cell still
+    runs (crash isolation extends to worker-process death).
+    """
+    cells = list(cells)
+    for cell in cells:
+        if cell.model not in model_factories:
+            raise KeyError(f"no model factory for {cell.model!r}")
+        if cell.dataset not in datasets:
+            raise KeyError(f"no dataset named {cell.dataset!r}")
+
+    def make_job(cell: "SweepCell"):
+        def job():
+            data = datasets[cell.dataset]
+            factory = model_factories[cell.model](data.num_classes)
+            return run_image_classification(
+                cell.method, factory, data,
+                sparsity=cell.sparsity, seed=cell.seed, **run_kwargs,
+            )
+        return job
+
+    shards = run_sharded([make_job(cell) for cell in cells], n_proc=n_proc)
+    outcomes = [
+        CellOutcome(
+            cell=cell,
+            result=shard.value if shard.ok else None,
+            error=None if shard.ok else shard.error,
+            seconds=shard.seconds,
+        )
+        for cell, shard in zip(cells, shards)
+    ]
+    return SweepReport(outcomes=outcomes)

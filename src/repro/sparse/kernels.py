@@ -45,7 +45,15 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro import nn
-from repro.autograd.conv import _col2im, _im2col, _pair
+from repro.autograd.conv import (
+    _accumulate_grad_w,
+    _col2im,
+    _contiguous_cols,
+    _im2col,
+    _input_grad_workspace,
+    _pair,
+    _stage_grad_mat,
+)
 from repro.autograd.tensor import Tensor, ensure_tensor
 from repro.sparse.masked import MaskedModel, SparseParam
 
@@ -280,29 +288,50 @@ class Conv2dKernel(_KernelBase):
             )
         stride = _pair(module.stride)
         padding = _pair(module.padding)
+        # The module's ConvWorkspace is shared with the dense path: only one
+        # path runs per call and both use the same buffer shapes, so flips
+        # of the density-based dispatch never grow the cache.
+        workspace = getattr(module, "workspace", None)
         matmul.sync(weight.data.reshape(-1), target.active_indices, target.mask_version)
 
-        cols, padded_shape, out_h, out_w = _im2col(data, kh, kw, stride, padding)
+        cols, padded_shape, out_h, out_w = _im2col(data, kh, kw, stride, padding, workspace)
         n = data.shape[0]
-        cols_mat = np.ascontiguousarray(cols).reshape(n * out_h * out_w, c_in * kh * kw)
-        out_mat = matmul.matmul_xwt(cols_mat)  # (N*oh*ow, c_out)
-        out_data = np.ascontiguousarray(out_mat).reshape(n, out_h, out_w, c_out)
-        out_data = out_data.transpose(0, 3, 1, 2)
-        if bias is not None:
-            out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+        cols_mat = _contiguous_cols(cols, workspace).reshape(
+            n * out_h * out_w, c_in * kh * kw
+        )
+        out_mat = matmul.matmul_xwt(cols_mat)  # (N*oh*ow, c_out), scipy-allocated
+        if workspace is not None:
+            out_data = workspace.get("out", (n, c_out, out_h, out_w), np.float32)
+            if out_mat.flags.f_contiguous and not out_mat.flags.c_contiguous:
+                # scipy's dense@sparse product is Fortran-ordered; its
+                # transpose is then a free C-ordered view to reshape from.
+                src = out_mat.T.reshape(c_out, n, out_h, out_w).transpose(1, 0, 2, 3)
+            else:
+                src = out_mat.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+            np.copyto(out_data, src)
+            if bias is not None:
+                np.add(out_data, bias.data.reshape(1, c_out, 1, 1), out=out_data)
+        else:
+            out_data = np.ascontiguousarray(out_mat).reshape(n, out_h, out_w, c_out)
+            out_data = out_data.transpose(0, 3, 1, 2)
+            if bias is not None:
+                out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
 
         parents = (x, weight) if bias is None else (x, weight, bias)
 
         def backward(grad: np.ndarray) -> None:
-            grad_mat = grad.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c_out)
+            grad_mat = _stage_grad_mat(grad, n, out_h, out_w, c_out, workspace)
             if weight.requires_grad:
                 # Dense by design: growth rules score inactive weights too.
-                weight._accumulate((grad_mat.T @ cols_mat).reshape(weight.shape))
+                _accumulate_grad_w(weight, grad_mat, cols_mat, workspace)
             if x.requires_grad:
                 grad_cols = np.ascontiguousarray(matmul.matmul_gw(grad_mat))
                 grad_cols = grad_cols.reshape(n, out_h, out_w, c_in, kh, kw)
                 x._accumulate(
-                    _col2im(grad_cols, padded_shape, kh, kw, stride, padding, x.shape)
+                    _col2im(
+                        grad_cols, padded_shape, kh, kw, stride, padding, x.shape,
+                        _input_grad_workspace(x, workspace),
+                    )
                 )
             if bias is not None and bias.requires_grad:
                 bias._accumulate(grad.sum(axis=(0, 2, 3)))

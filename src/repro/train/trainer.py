@@ -68,6 +68,13 @@ class Trainer:
         :mod:`repro.sparse.kernels`).  Installed at the start of ``fit``;
         non-dense modes also bind the optimizer for sparse coordinate
         updates.  ``None`` (default) leaves the model untouched.
+    n_workers:
+        When >= 2 (and the platform supports ``fork``), each training
+        mini-batch is split across that many persistent worker processes
+        (:class:`~repro.parallel.GradientWorkerPool`); the averaged
+        gradient drives the optimizer and all DST decisions in this
+        process, so drop/grow semantics are unchanged.  ``0``/``1`` (and
+        unsupported platforms) train in-process.
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class Trainer:
         callbacks: Sequence[Callback] = (),
         eval_every: int = 1,
         sparse_backend: str | None = None,
+        n_workers: int = 0,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -93,8 +101,10 @@ class Trainer:
         self.callbacks = list(callbacks)
         self.eval_every = max(1, int(eval_every))
         self.sparse_backend = sparse_backend
+        self.n_workers = int(n_workers)
         self.history = History()
         self.global_step = 0
+        self._worker_pool = None
 
     def _install_sparse_backend(self) -> None:
         if self.sparse_backend is None or self.controller is None:
@@ -111,9 +121,35 @@ class Trainer:
                 self.controller.optimizer = self.optimizer
             self.controller.masked.bind_optimizer(self.optimizer)
 
+    def _open_worker_pool(self):
+        if self.n_workers < 2:
+            return None
+        import multiprocessing as mp
+
+        from repro.parallel import GradientWorkerPool, fork_available
+
+        if not fork_available() or mp.current_process().daemon:
+            # No fork, or already inside a sharded seed/sweep worker (which
+            # cannot have children): train in-process with identical
+            # semantics, one level of parallelism instead of two.
+            return None
+        masked = self.controller.masked if self.controller is not None else None
+        return GradientWorkerPool(
+            self.model, self.loss_fn, self.n_workers, masked=masked
+        )
+
     def fit(self, epochs: int) -> History:
         """Train for ``epochs`` epochs; returns the history."""
         self._install_sparse_backend()
+        self._worker_pool = self._open_worker_pool()
+        try:
+            return self._fit(epochs)
+        finally:
+            if self._worker_pool is not None:
+                self._worker_pool.close()
+                self._worker_pool = None
+
+    def _fit(self, epochs: int) -> History:
         for epoch in range(epochs):
             train_loss, train_acc, steps_per_sec = self._train_epoch()
             if self.scheduler is not None:
@@ -155,13 +191,22 @@ class Trainer:
         accuracies = []
         steps = 0
         start = time.perf_counter()
+        pool = self._worker_pool
         for inputs, targets in self.train_loader:
             self.global_step += 1
             steps += 1
-            self.model.zero_grad()
-            logits = self.model(inputs)
-            loss = self.loss_fn(logits, targets)
-            loss.backward()
+            if pool is not None:
+                # Sharded forward/backward: workers fill the shared gradient
+                # block, the parent owns the averaged gradient from here on.
+                self.model.zero_grad()
+                batch_loss, batch_acc = pool.step(inputs, targets)
+            else:
+                self.model.zero_grad()
+                logits = self.model(inputs)
+                loss = self.loss_fn(logits, targets)
+                loss.backward()
+                batch_loss = loss.item()
+                batch_acc = accuracy(logits, targets)
 
             skip_step = False
             if self.controller is not None:
@@ -171,8 +216,8 @@ class Trainer:
                 if self.controller is not None:
                     self.controller.after_step(self.global_step)
 
-            losses.append(loss.item())
-            accuracies.append(accuracy(logits, targets))
+            losses.append(batch_loss)
+            accuracies.append(batch_acc)
         elapsed = time.perf_counter() - start
         steps_per_sec = steps / elapsed if elapsed > 0 else 0.0
         return float(np.mean(losses)), float(np.mean(accuracies)), steps_per_sec

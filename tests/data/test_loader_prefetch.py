@@ -1,0 +1,87 @@
+"""DataLoader prefetch: identical batches, clean error/termination behavior."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.data.loader import DataLoader
+
+
+def _dataset(n=50, features=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(
+        rng.standard_normal((n, features)).astype(np.float32),
+        rng.integers(0, 3, n),
+    )
+
+
+def _collect(loader):
+    return [(x.data.copy(), y.copy()) for x, y in loader]
+
+
+class TestPrefetch:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DataLoader(_dataset(), prefetch=-1)
+
+    @pytest.mark.parametrize("shuffle", [False, True])
+    def test_batches_bitwise_identical(self, shuffle):
+        plain = DataLoader(_dataset(), batch_size=8, shuffle=shuffle,
+                           rng=np.random.default_rng(3))
+        ahead = DataLoader(_dataset(), batch_size=8, shuffle=shuffle,
+                           rng=np.random.default_rng(3), prefetch=2)
+        for epoch in range(2):  # multi-epoch: rng state must advance equally
+            for (px, py), (ax, ay) in zip(_collect(plain), _collect(ahead)):
+                np.testing.assert_array_equal(px, ax)
+                np.testing.assert_array_equal(py, ay)
+
+    def test_transform_runs_with_same_rng_stream(self):
+        def jitter(batch, rng):
+            return batch + rng.standard_normal(batch.shape).astype(np.float32)
+
+        plain = DataLoader(_dataset(), batch_size=16, transform=jitter,
+                           rng=np.random.default_rng(9))
+        ahead = DataLoader(_dataset(), batch_size=16, transform=jitter,
+                           rng=np.random.default_rng(9), prefetch=3)
+        for (px, _), (ax, _) in zip(_collect(plain), _collect(ahead)):
+            np.testing.assert_array_equal(px, ax)
+
+    def test_producer_exception_propagates(self):
+        def boom(batch, rng):
+            raise RuntimeError("augmentation failed")
+
+        loader = DataLoader(_dataset(), batch_size=8, transform=boom, prefetch=2)
+        with pytest.raises(RuntimeError, match="augmentation failed"):
+            _collect(loader)
+
+    def test_early_break_does_not_hang(self):
+        loader = DataLoader(_dataset(n=64), batch_size=4, prefetch=1)
+        iterator = iter(loader)
+        next(iterator)
+        iterator.close()  # abandon mid-epoch; producer must unblock
+        assert not iterator._thread.is_alive()  # joined, not just signalled
+
+    def test_abandoned_epoch_does_not_race_next_epoch(self):
+        # Breaking out of an epoch must stop its producer before the next
+        # epoch's producer starts drawing from the shared rng.
+        loader = DataLoader(_dataset(n=64), batch_size=4, shuffle=True,
+                            rng=np.random.default_rng(1), prefetch=2)
+        first = iter(loader)
+        next(first)
+        second = iter(loader)  # implicitly closes the abandoned iterator
+        assert not first._thread.is_alive()
+        assert sum(1 for _ in second) == 16  # full fresh epoch
+
+    def test_exhausted_iterator_keeps_raising_stopiteration(self):
+        loader = DataLoader(_dataset(n=8), batch_size=4, prefetch=2)
+        iterator = iter(loader)
+        assert sum(1 for _ in iterator) == 2
+        with pytest.raises(StopIteration):  # must not hang
+            next(iterator)
+        with pytest.raises(StopIteration):
+            next(iterator)
+
+    def test_length_and_batch_count_unchanged(self):
+        loader = DataLoader(_dataset(n=50), batch_size=8, prefetch=2)
+        assert len(loader) == 7
+        assert sum(1 for _ in loader) == 7

@@ -1,0 +1,149 @@
+"""Process-pool executor: sharding, determinism, crash isolation."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    NPROC_ENV,
+    derive_seeds,
+    fork_available,
+    resolve_nproc,
+    run_sharded,
+)
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="no fork support")
+
+
+class TestResolveNproc:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(NPROC_ENV, "7")
+        assert resolve_nproc(3) == 3
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv(NPROC_ENV, "5")
+        assert resolve_nproc() == 5
+
+    def test_serial_default(self, monkeypatch):
+        monkeypatch.delenv(NPROC_ENV, raising=False)
+        assert resolve_nproc() == 1
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv(NPROC_ENV, raising=False)
+        assert resolve_nproc(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_nproc(-2)
+
+
+class TestDeriveSeeds:
+    def test_deterministic(self):
+        assert derive_seeds(42, 5) == derive_seeds(42, 5)
+
+    def test_distinct_streams(self):
+        seeds = derive_seeds(0, 16)
+        assert len(set(seeds)) == 16
+
+    def test_prefix_stable(self):
+        # Cell i's seed must not depend on how many cells follow it.
+        assert derive_seeds(7, 8)[:3] == derive_seeds(7, 3)
+
+
+class TestRunShardedSerial:
+    def test_results_in_job_order(self):
+        results = run_sharded([lambda i=i: i * 10 for i in range(6)], n_proc=1)
+        assert [r.value for r in results] == [0, 10, 20, 30, 40, 50]
+        assert all(r.ok for r in results)
+
+    def test_crash_isolated(self):
+        def boom():
+            raise ValueError("broken cell")
+
+        results = run_sharded([lambda: 1, boom, lambda: 3], n_proc=1)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "broken cell" in results[1].error
+        # In-process failures keep the original exception object.
+        with pytest.raises(ValueError, match="broken cell"):
+            results[1].unwrap()
+
+    def test_fail_fast_aborts_serial_run(self):
+        ran = []
+
+        def boom():
+            raise ValueError("first failure")
+
+        with pytest.raises(ValueError, match="first failure"):
+            run_sharded([boom, lambda: ran.append(True)], n_proc=1, fail_fast=True)
+        assert not ran  # later jobs must not run
+
+    def test_empty(self):
+        assert run_sharded([], n_proc=4) == []
+
+    def test_keyboard_interrupt_aborts_serial_sweep(self):
+        ran = []
+
+        def interrupt():
+            raise KeyboardInterrupt
+
+        def later():
+            ran.append(True)
+
+        with pytest.raises(KeyboardInterrupt):
+            run_sharded([interrupt, later], n_proc=1)
+        assert not ran  # Ctrl-C stops the sweep, it is not a cell failure
+
+
+@needs_fork
+class TestRunShardedParallel:
+    def test_results_in_job_order(self):
+        results = run_sharded([lambda i=i: i * 10 for i in range(7)], n_proc=3)
+        assert [r.value for r in results] == [i * 10 for i in range(7)]
+
+    def test_matches_serial(self):
+        jobs = [lambda i=i: np.sin(i) + i for i in range(5)]
+        serial = [r.value for r in run_sharded(jobs, n_proc=1)]
+        parallel = [r.value for r in run_sharded(jobs, n_proc=4)]
+        assert serial == parallel
+
+    def test_closures_not_pickled(self):
+        # Lambdas closing over unpicklable state must still work: jobs are
+        # captured at fork time, never sent over a pipe.
+        unpicklable = lambda x: x + 1  # noqa: E731
+        results = run_sharded([lambda: unpicklable(41)], n_proc=2)
+        # single job -> serial fallback; force two jobs through workers
+        results = run_sharded([lambda: unpicklable(41), lambda: unpicklable(1)], n_proc=2)
+        assert [r.value for r in results] == [42, 2]
+
+    def test_crash_isolated_across_workers(self):
+        def boom():
+            raise RuntimeError("cell 2 exploded")
+
+        jobs = [lambda: "a", lambda: "b", boom, lambda: "d"]
+        results = run_sharded(jobs, n_proc=2)
+        assert [r.ok for r in results] == [True, True, False, True]
+        assert "cell 2 exploded" in results[2].error
+
+    def test_worker_death_reported_not_fatal(self):
+        import os
+
+        def die():
+            os._exit(13)  # hard kill: no traceback, no sentinel
+
+        # Round-robin shards with n_proc=2: worker 0 runs jobs {0, 2},
+        # worker 1 runs jobs {1, 3}.  Killing the process on job 1 takes the
+        # unreported remainder of its own shard (job 3) down with it, but
+        # the other worker's jobs are untouched.
+        jobs = [lambda: 1, die, lambda: 3, lambda: 4]
+        results = run_sharded(jobs, n_proc=2)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok and not results[3].ok
+        assert "died" in results[1].error and "died" in results[3].error
+
+    def test_unpicklable_result_reported(self):
+        jobs = [lambda: (lambda: 1), lambda: 2]  # first result can't pickle
+        results = run_sharded(jobs, n_proc=2)
+        assert not results[0].ok
+        assert "pickle" in results[0].error
+        assert results[1].ok and results[1].value == 2
