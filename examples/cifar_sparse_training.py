@@ -8,7 +8,21 @@ paper-style comparison table.
 Usage::
 
     python examples/cifar_sparse_training.py
+    python examples/cifar_sparse_training.py --resume-demo
+
+Resuming interrupted training
+-----------------------------
+Long runs should write resume-exact checkpoints so a crash or preemption
+costs nothing (see ``docs/checkpointing.md``).  Pass ``checkpoint_dir`` to
+``run_image_classification`` to enable them, and ``resume_from`` (a
+checkpoint file, or a directory meaning "the latest one in it") to
+continue a killed run — the resumed trajectory, final masks and coverage
+counters are bitwise identical to an uninterrupted run.
+``--resume-demo`` below demonstrates the round trip on one DST-EE cell.
 """
+
+import sys
+import tempfile
 
 from repro.data import cifar10_like
 from repro.experiments import format_table, run_image_classification
@@ -52,5 +66,39 @@ def main() -> None:
           "with the gap widening at 98% sparsity.")
 
 
+def resume_demo() -> None:
+    """Checkpoint a DST-EE run, then resume it from the halfway point.
+
+    In real use the two phases are separate processes (the first one was
+    killed); here they share a process only for demonstration.
+    """
+    data = cifar10_like(n_train=512, n_test=256, image_size=12, seed=0)
+
+    def model_factory(seed: int):
+        return vgg19(num_classes=10, width_mult=0.2, input_size=12, seed=seed)
+
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        # Phase 1: train the first half with per-epoch checkpoints.  A
+        # preempted job would simply die somewhere in here.
+        run_image_classification(
+            "dst_ee", model_factory, data,
+            sparsity=0.9, epochs=2, batch_size=64, lr=0.05, delta_t=6,
+            checkpoint_dir=checkpoint_dir, checkpoint_every_epochs=1,
+        )
+        # Phase 2: same configuration, restored from the latest checkpoint,
+        # finishing the full 4-epoch budget bitwise-identically to an
+        # uninterrupted 4-epoch run.
+        result = run_image_classification(
+            "dst_ee", model_factory, data,
+            sparsity=0.9, epochs=4, batch_size=64, lr=0.05, delta_t=6,
+            checkpoint_dir=checkpoint_dir, resume_from=checkpoint_dir,
+        )
+    print(f"resumed run final accuracy: {result.final_accuracy:.3f} "
+          f"({len(result.history)} epochs in history)")
+
+
 if __name__ == "__main__":
-    main()
+    if "--resume-demo" in sys.argv[1:]:
+        resume_demo()
+    else:
+        main()

@@ -1,0 +1,122 @@
+"""CI smoke: SIGKILL a sweep mid-cell, resume it, require an identical report.
+
+Exercises the real fault-tolerance path end to end through the CLI:
+
+1. run a tiny sweep uninterrupted (the reference report);
+2. launch the same sweep in a subprocess with step-granular checkpoints,
+   SIGKILL it as soon as the first checkpoint file appears on disk
+   (i.e. mid-cell, mid-epoch);
+3. rerun the killed sweep with ``--resume``;
+4. assert the resumed sweep's aggregated table is byte-identical to the
+   reference's.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/resume_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SWEEP_ARGS = [
+    "sweep",
+    "--methods", "set", "dst_ee",
+    "--models", "mlp",
+    "--sparsities", "0.9",
+    "--seeds", "0",
+    "--epochs", "3",
+    "--n-train", "1024",
+    "--n-test", "256",
+    "--image-size", "10",
+    "--batch-size", "32",
+    "--delta-t", "3",
+    "--checkpoint-every-steps", "2",
+]
+KILL_WAIT_SECONDS = 120
+
+
+def _command(checkpoint_dir: str, resume: bool = False) -> list[str]:
+    cmd = [sys.executable, "-m", "repro.experiments.cli", *SWEEP_ARGS,
+           "--checkpoint-dir", checkpoint_dir]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def _run(cmd: list[str]) -> str:
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        raise SystemExit(
+            f"command failed ({result.returncode}): {' '.join(cmd)}\n"
+            f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        )
+    return result.stdout
+
+
+def _report_table(stdout: str) -> str:
+    """The sweep's aggregated table (everything from its title line on)."""
+    lines = stdout.splitlines()
+    for index, line in enumerate(lines):
+        if line.startswith("sweep on "):
+            return "\n".join(lines[index:]).rstrip()
+    raise SystemExit(f"no sweep table in output:\n{stdout}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as workdir:
+        ref_dir = os.path.join(workdir, "reference")
+        kill_dir = os.path.join(workdir, "killed")
+
+        print("[1/3] reference sweep (uninterrupted)...", flush=True)
+        reference = _report_table(_run(_command(ref_dir)))
+
+        print("[2/3] sweep to be SIGKILLed at first checkpoint...", flush=True)
+        victim = subprocess.Popen(
+            _command(kill_dir),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + KILL_WAIT_SECONDS
+        first_checkpoint = None
+        while time.monotonic() < deadline and victim.poll() is None:
+            checkpoints = list(pathlib.Path(kill_dir).glob("*/ckpt-*.npz"))
+            if checkpoints:
+                first_checkpoint = checkpoints[0]
+                break
+            time.sleep(0.05)
+        if victim.poll() is not None:
+            raise SystemExit(
+                "victim sweep finished before any checkpoint appeared; "
+                "enlarge the workload so the kill lands mid-cell"
+            )
+        if first_checkpoint is None:
+            victim.kill()
+            raise SystemExit("no checkpoint appeared within the wait budget")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        assert victim.returncode == -signal.SIGKILL, victim.returncode
+        print(f"    killed mid-cell (first checkpoint: {first_checkpoint.name})",
+              flush=True)
+
+        print("[3/3] resuming the killed sweep...", flush=True)
+        resumed = _report_table(_run(_command(kill_dir, resume=True)))
+
+        if resumed != reference:
+            raise SystemExit(
+                "resumed report differs from the uninterrupted reference\n"
+                f"--- reference ---\n{reference}\n"
+                f"--- resumed ---\n{resumed}"
+            )
+        print("resume smoke OK: resumed report matches the uninterrupted run")
+        print(reference)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,12 @@ sweep cells across worker processes; ``--n-workers`` splits each mini-batch
 across data-parallel gradient workers inside one run.  The heavyweight
 table benches live in ``benchmarks/``; this CLI is for single cells and
 ad-hoc grids.
+
+Fault tolerance: ``--checkpoint-dir`` writes resume-exact training
+checkpoints during ``run`` and ``sweep``; after a crash or preemption,
+rerunning the same command with ``--resume`` continues bitwise-identically
+— completed sweep cells are skipped, partial cells restore mid-epoch.  See
+``docs/checkpointing.md``.
 """
 
 from __future__ import annotations
@@ -49,6 +55,19 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--nproc", type=int, default=None,
                         help="worker processes for cell/seed sharding "
                              "(default: REPRO_NPROC, 1 = serial)")
+    common.add_argument("--checkpoint-dir", default=None,
+                        help="write resume-exact training checkpoints here "
+                             "(see docs/checkpointing.md)")
+    common.add_argument("--checkpoint-every-epochs", type=int, default=1,
+                        help="epoch checkpoint cadence (with --checkpoint-dir)")
+    common.add_argument("--checkpoint-every-steps", type=int, default=None,
+                        help="additional step-granularity checkpoint cadence")
+    common.add_argument("--keep-last", type=int, default=None,
+                        help="retain only the newest K checkpoints per run")
+    common.add_argument("--resume", action="store_true",
+                        help="resume from the latest checkpoint in "
+                             "--checkpoint-dir (bitwise-identical to an "
+                             "uninterrupted run)")
 
     run = sub.add_parser("run", parents=[common],
                          help="one image-classification training run")
@@ -131,11 +150,33 @@ def _model_factory(args, num_classes: int):
     return _model_builders(args, num_classes)[args.model]
 
 
+def _checkpoint_kwargs(args) -> dict:
+    """Shared checkpoint/resume plumbing for single runs."""
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    if not args.checkpoint_dir:
+        return {}
+    return {
+        "checkpoint_dir": args.checkpoint_dir,
+        "checkpoint_every_epochs": args.checkpoint_every_epochs,
+        "checkpoint_every_steps": args.checkpoint_every_steps,
+        "checkpoint_keep_last": args.keep_last,
+        "resume_from": args.checkpoint_dir if args.resume else None,
+    }
+
+
 def _command_run(args) -> int:
     from repro.experiments.runner import run_image_classification, run_multi_seed
 
+    checkpoint_kwargs = _checkpoint_kwargs(args)
     data = _dataset(args)
     if args.seeds is not None:
+        if args.checkpoint_dir:
+            raise SystemExit(
+                "--checkpoint-dir with --seeds is not supported by `run` "
+                "(every seed would share one directory); use `sweep` for "
+                "resumable multi-seed grids"
+            )
         mean, std, results = run_multi_seed(
             args.method, _model_factory(args, data.num_classes), data,
             seeds=tuple(args.seeds), n_proc=args.nproc,
@@ -158,6 +199,7 @@ def _command_run(args) -> int:
         batch_size=args.batch_size, lr=args.lr, delta_t=args.delta_t,
         c=args.c, epsilon=args.epsilon, distribution=args.distribution,
         seed=args.seed, n_workers=args.n_workers,
+        **checkpoint_kwargs,
     )
     print(f"method:               {result.method}")
     print(f"dataset:              {result.dataset}")
@@ -183,6 +225,17 @@ def _command_sweep(args) -> int:
         args.methods, args.models, [args.dataset], args.sparsities,
         seeds=args.seeds, root_seed=args.root_seed,
     )
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    sweep_kwargs = {}
+    if args.checkpoint_dir:
+        sweep_kwargs = {
+            "checkpoint_dir": args.checkpoint_dir,
+            "resume": args.resume,
+            "checkpoint_every_epochs": args.checkpoint_every_epochs,
+            "checkpoint_every_steps": args.checkpoint_every_steps,
+            "checkpoint_keep_last": args.keep_last,
+        }
     builders = _model_builders(args, data.num_classes)
     report = run_sweep(
         cells,
@@ -191,6 +244,7 @@ def _command_sweep(args) -> int:
         n_proc=args.nproc,
         epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
         delta_t=args.delta_t,
+        **sweep_kwargs,
     )
     rows = [
         {

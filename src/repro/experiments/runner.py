@@ -4,10 +4,23 @@ This is what every Table-I/II bench invokes.  It wires together the data
 loaders, optimizer + cosine schedule (the paper's recipe), the method from
 :mod:`repro.experiments.registry`, and FLOPs accounting, and returns a
 :class:`RunResult` with everything the tables report.
+
+Fault tolerance: pass ``checkpoint_dir`` to write resume-exact training
+checkpoints (:mod:`repro.train.checkpoint`) during the run, and
+``resume_from`` to continue a killed run bitwise-identically.  At the grid
+level, :func:`run_sweep` with ``checkpoint_dir`` records every completed
+cell's result on disk (plus a ``manifest.json``); rerunning with
+``resume=True`` skips completed cells and resumes partial ones from their
+latest checkpoint, producing the same :class:`SweepReport` an uninterrupted
+sweep would have.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import pathlib
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -22,13 +35,20 @@ from repro.nn.module import Module
 from repro.optim import SGD, CosineAnnealingLR
 from repro.parallel import run_sharded
 from repro.train import Trainer
-from repro.train.callbacks import LambdaCallback
+from repro.train.callbacks import Callback
+from repro.train.checkpoint import (
+    CheckpointCallback,
+    atomic_write_bytes,
+    latest_checkpoint,
+    load_training_checkpoint,
+)
 from repro.experiments.registry import SweepCell, build_method
 
 __all__ = [
     "RunResult",
     "CellOutcome",
     "SweepReport",
+    "cell_key",
     "run_image_classification",
     "run_multi_seed",
     "run_sweep",
@@ -55,6 +75,52 @@ class RunResult:
     masks: dict = field(repr=False, default_factory=dict)
 
 
+class _DensitySnapshotCallback(Callback):
+    """Per-epoch layer-density snapshots (training-FLOPs accounting).
+
+    Stateful so that a resumed run reports the same training-FLOPs
+    multiplier as the uninterrupted one: the snapshots of pre-interruption
+    epochs ride along in the training checkpoint.
+    """
+
+    def __init__(self, masked):
+        self._masked = masked
+        self.snapshots: list[dict[str, float]] = []
+
+    def on_epoch_end(self, record) -> None:
+        if self._masked is not None:
+            self.snapshots.append(
+                {t.name: t.density for t in self._masked.targets}
+            )
+
+    def state_dict(self) -> dict:
+        return {"snapshots": [dict(s) for s in self.snapshots]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.snapshots = [dict(s) for s in state["snapshots"]]
+
+
+def _resolve_resume_path(resume_from) -> pathlib.Path | None:
+    """A checkpoint file, the latest checkpoint of a directory, or None.
+
+    A directory without checkpoints — including a directory that does not
+    exist yet — resolves to None (fresh start): this is what lets a
+    resumed sweep treat never-started cells uniformly.  An explicitly
+    named checkpoint *file* (``*.npz``) that is missing raises instead of
+    silently restarting from scratch.
+    """
+    if resume_from is None:
+        return None
+    resume_from = pathlib.Path(resume_from)
+    if resume_from.is_dir():
+        return latest_checkpoint(resume_from)
+    if resume_from.exists():
+        return resume_from
+    if resume_from.suffix == ".npz":
+        raise FileNotFoundError(f"resume checkpoint not found: {resume_from}")
+    return None
+
+
 def run_image_classification(
     method: str,
     model_factory: Callable[[int], Module],
@@ -74,11 +140,25 @@ def run_image_classification(
     seed: int = 0,
     eval_every: int = 1,
     n_workers: int = 0,
+    callbacks: Sequence[Callback] = (),
+    checkpoint_dir=None,
+    checkpoint_every_epochs: int | None = 1,
+    checkpoint_every_steps: int | None = None,
+    checkpoint_keep_last: int | None = None,
+    resume_from=None,
 ) -> RunResult:
     """Train one method on one dataset and return its table row.
 
     ``model_factory(seed)`` must build a freshly initialized model; the same
     seed also drives data order and mask randomness so runs are reproducible.
+
+    ``checkpoint_dir`` enables resume-exact checkpointing during training
+    (cadence via ``checkpoint_every_epochs``/``checkpoint_every_steps``,
+    retention via ``checkpoint_keep_last``).  ``resume_from`` — a checkpoint
+    file or a directory holding checkpoints — restores the full training
+    state before training continues; the resumed run's trajectory, final
+    masks and coverage counters are bitwise identical to an uninterrupted
+    run of the same configuration.
     """
     start = time.time()
     rng = np.random.default_rng(seed)
@@ -123,13 +203,17 @@ def run_image_classification(
 
     # Track density snapshots per epoch for training-FLOPs accounting of
     # dense-to-sparse methods (dynamic methods keep a constant budget).
-    density_snapshots: list[dict[str, float]] = []
-
-    def snapshot(record) -> None:
-        if setup.masked is not None:
-            density_snapshots.append(
-                {t.name: t.density for t in setup.masked.targets}
+    snapshot_callback = _DensitySnapshotCallback(setup.masked)
+    all_callbacks: list[Callback] = [snapshot_callback, *callbacks]
+    if checkpoint_dir is not None:
+        all_callbacks.append(
+            CheckpointCallback(
+                checkpoint_dir,
+                every_n_epochs=checkpoint_every_epochs,
+                every_n_steps=checkpoint_every_steps,
+                keep_last=checkpoint_keep_last,
             )
+        )
 
     trainer = Trainer(
         model,
@@ -139,10 +223,13 @@ def run_image_classification(
         test_loader,
         scheduler=scheduler,
         controller=setup.controller,
-        callbacks=[LambdaCallback(snapshot)],
+        callbacks=all_callbacks,
         eval_every=eval_every,
         n_workers=n_workers,
     )
+    resume_path = _resolve_resume_path(resume_from)
+    if resume_path is not None:
+        trainer.load_state_dict(load_training_checkpoint(resume_path))
     history = trainer.fit(epochs)
     if setup.finalize is not None:
         setup.finalize()
@@ -158,6 +245,7 @@ def run_image_classification(
     if setup.masked is not None:
         masks = setup.masked.masks_snapshot()
         _, infer_mult = sparse_inference_flops(profile, masks)
+        density_snapshots = snapshot_callback.snapshots
         train_mult = training_flops_multiplier(
             profile, density_snapshots if density_snapshots else masks
         )
@@ -222,12 +310,18 @@ def run_multi_seed(
 
 @dataclass
 class CellOutcome:
-    """One sweep cell's result — or its failure report (crash isolation)."""
+    """One sweep cell's result — or its failure report (crash isolation).
+
+    ``cached`` marks outcomes served from a sweep checkpoint directory on
+    resume (the cell was completed by an earlier, interrupted sweep and was
+    not re-run).
+    """
 
     cell: "SweepCell"
     result: RunResult | None
     error: str | None = None
     seconds: float = 0.0
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -275,11 +369,112 @@ class SweepReport:
         return rows
 
 
+def cell_key(cell: "SweepCell") -> str:
+    """Stable, filesystem-safe identifier of one sweep cell."""
+    return (
+        f"{cell.method}_{cell.model}_{cell.dataset}"
+        f"_s{cell.sparsity:g}_seed{cell.seed}"
+    ).replace("/", "-")
+
+
+def _config_fingerprint(run_kwargs: dict) -> str:
+    """Digest of the sweep's per-cell run configuration.
+
+    Guards cached cell results and checkpoints against a resumed sweep
+    whose arguments changed (different epochs, lr, delta_t, ...): a
+    mismatch invalidates the cell instead of silently serving stale
+    science.  Non-JSON values (custom callbacks, functions) contribute
+    only their type name — they cannot be fingerprinted stably across
+    processes.
+    """
+
+    def jsonable(value):
+        try:
+            json.dumps(value)
+            return value
+        except TypeError:
+            return f"<{type(value).__name__}>"
+
+    payload = json.dumps(
+        {
+            key: jsonable(value)
+            for key, value in run_kwargs.items()
+            # Checkpoint cadence/retention doesn't affect the science; a
+            # resumed sweep may legitimately change it.
+            if not key.startswith("checkpoint_")
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _invalidate_stale_cell(cell_dir: pathlib.Path, fingerprint: str) -> None:
+    """Drop a cell's records/checkpoints written under a different config."""
+    marker = cell_dir / "config.json"
+    if marker.exists():
+        try:
+            stored = json.loads(marker.read_text()).get("fingerprint")
+        except (ValueError, OSError):
+            stored = None
+        if stored == fingerprint:
+            return
+        (cell_dir / "result.pkl").unlink(missing_ok=True)
+        for stale in cell_dir.glob("ckpt-*.npz"):
+            stale.unlink(missing_ok=True)
+    atomic_write_bytes(marker, json.dumps({"fingerprint": fingerprint}).encode())
+
+
+def _load_cached_outcome(
+    cell: "SweepCell", cell_dir: pathlib.Path, fingerprint: str
+) -> CellOutcome | None:
+    record_path = cell_dir / "result.pkl"
+    if not record_path.exists():
+        return None
+    marker = cell_dir / "config.json"
+    try:
+        stored = json.loads(marker.read_text()).get("fingerprint")
+    except (ValueError, OSError):
+        return None  # unknown provenance: re-run the cell
+    if stored != fingerprint:
+        return None  # recorded under different arguments: re-run
+    try:
+        with open(record_path, "rb") as handle:
+            result: RunResult = pickle.load(handle)
+    except Exception:
+        return None  # torn/corrupt record: re-run the cell
+    return CellOutcome(
+        cell=cell, result=result, seconds=result.seconds, cached=True
+    )
+
+
+def _write_manifest(checkpoint_dir: pathlib.Path, outcomes: list[CellOutcome]) -> None:
+    manifest = {
+        "cells": {
+            cell_key(outcome.cell): {
+                "status": "ok" if outcome.ok else "failed",
+                "cached": outcome.cached,
+                "seconds": outcome.seconds,
+                "final_accuracy": (
+                    outcome.result.final_accuracy if outcome.ok else None
+                ),
+                "error": outcome.error,
+            }
+            for outcome in outcomes
+        }
+    }
+    atomic_write_bytes(
+        checkpoint_dir / "manifest.json",
+        json.dumps(manifest, indent=2, sort_keys=True).encode(),
+    )
+
+
 def run_sweep(
     cells: Sequence["SweepCell"],
     model_factories: dict[str, Callable[[int], Callable[[int], Module]]],
     datasets: dict[str, ClassificationData],
     n_proc: int | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
     **run_kwargs,
 ) -> SweepReport:
     """Run a grid of sweep cells across ``n_proc`` worker processes.
@@ -290,6 +485,16 @@ def run_sweep(
     :func:`run_multi_seed`, a failing cell does not abort the sweep: it is
     reported as a failed :class:`CellOutcome` and every other cell still
     runs (crash isolation extends to worker-process death).
+
+    Fault tolerance: with ``checkpoint_dir`` set, each cell trains with
+    resume-exact checkpointing under ``<checkpoint_dir>/<cell_key>/`` and
+    records its finished :class:`RunResult` there (atomically, from the
+    worker that ran it); the parent maintains ``manifest.json``.  With
+    ``resume=True``, completed cells are served from those records without
+    re-running (``CellOutcome.cached``) and partial cells restore from
+    their latest checkpoint mid-epoch, so a killed sweep rerun with the
+    same arguments produces the :class:`SweepReport` the uninterrupted
+    sweep would have produced.
     """
     cells = list(cells)
     for cell in cells:
@@ -297,25 +502,63 @@ def run_sweep(
             raise KeyError(f"no model factory for {cell.model!r}")
         if cell.dataset not in datasets:
             raise KeyError(f"no dataset named {cell.dataset!r}")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
+    checkpoint_root = (
+        pathlib.Path(checkpoint_dir) if checkpoint_dir is not None else None
+    )
+
+    fingerprint = _config_fingerprint(run_kwargs)
+    cached: dict[int, CellOutcome] = {}
+    if checkpoint_root is not None and resume:
+        for index, cell in enumerate(cells):
+            outcome = _load_cached_outcome(
+                cell, checkpoint_root / cell_key(cell), fingerprint
+            )
+            if outcome is not None:
+                cached[index] = outcome
 
     def make_job(cell: "SweepCell"):
+        cell_dir = (
+            checkpoint_root / cell_key(cell) if checkpoint_root is not None else None
+        )
+
         def job():
+            if cell_dir is not None:
+                # Checkpoints/results recorded under different sweep
+                # arguments must not leak into this run or a later resume.
+                _invalidate_stale_cell(cell_dir, fingerprint)
             data = datasets[cell.dataset]
             factory = model_factories[cell.model](data.num_classes)
-            return run_image_classification(
+            result = run_image_classification(
                 cell.method, factory, data,
-                sparsity=cell.sparsity, seed=cell.seed, **run_kwargs,
+                sparsity=cell.sparsity, seed=cell.seed,
+                checkpoint_dir=cell_dir,
+                resume_from=cell_dir if resume else None,
+                **run_kwargs,
             )
+            if cell_dir is not None:
+                # The completed-cell record is written by whichever process
+                # ran the cell, so a killed *parent* loses nothing.
+                atomic_write_bytes(
+                    cell_dir / "result.pkl",
+                    pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+                )
+            return result
         return job
 
-    shards = run_sharded([make_job(cell) for cell in cells], n_proc=n_proc)
-    outcomes = [
-        CellOutcome(
-            cell=cell,
+    pending = [index for index in range(len(cells)) if index not in cached]
+    shards = run_sharded([make_job(cells[index]) for index in pending], n_proc=n_proc)
+    outcomes_by_index = dict(cached)
+    for index, shard in zip(pending, shards):
+        outcomes_by_index[index] = CellOutcome(
+            cell=cells[index],
             result=shard.value if shard.ok else None,
             error=None if shard.ok else shard.error,
             seconds=shard.seconds,
         )
-        for cell, shard in zip(cells, shards)
-    ]
+    outcomes = [outcomes_by_index[index] for index in range(len(cells))]
+    if checkpoint_root is not None:
+        checkpoint_root.mkdir(parents=True, exist_ok=True)
+        _write_manifest(checkpoint_root, outcomes)
     return SweepReport(outcomes=outcomes)

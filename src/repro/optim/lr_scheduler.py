@@ -4,6 +4,15 @@ The paper trains with SGD + cosine annealing; :class:`CosineAnnealingLR` is
 the default in every experiment config.  Schedulers mutate ``optimizer.lr``
 when :meth:`step` is called (once per epoch, as in the paper's setup, or per
 iteration if constructed with the iteration count).
+
+Checkpointing: every scheduler exposes ``state_dict()`` /
+``load_state_dict()`` (``base_lr`` + ``last_epoch``, plus the wrapped
+scheduler for :class:`WarmupWrapper`), so a restored run continues the
+schedule exactly.  Constructing a scheduler against an optimizer whose
+``lr`` has already been decayed (e.g. right before restoring a checkpoint)
+would silently corrupt the whole schedule if ``base_lr`` were captured from
+``optimizer.lr`` — pass ``base_lr`` explicitly in that situation, or call
+``load_state_dict`` which restores the true base LR.
 """
 
 from __future__ import annotations
@@ -16,11 +25,16 @@ __all__ = ["LRScheduler", "CosineAnnealingLR", "StepLR", "MultiStepLR", "WarmupW
 
 
 class LRScheduler:
-    """Base class: tracks the epoch counter and the optimizer's base LR."""
+    """Base class: tracks the epoch counter and the schedule's base LR.
 
-    def __init__(self, optimizer: Optimizer):
+    ``base_lr`` defaults to ``optimizer.lr`` *at construction time*; pass it
+    explicitly when the optimizer's current ``lr`` is not the undecayed base
+    (a restored or partially trained optimizer).
+    """
+
+    def __init__(self, optimizer: Optimizer, base_lr: float | None = None):
         self.optimizer = optimizer
-        self.base_lr = optimizer.lr
+        self.base_lr = float(optimizer.lr if base_lr is None else base_lr)
         self.last_epoch = -1
         self.step()  # initialize lr for epoch 0
 
@@ -32,16 +46,45 @@ class LRScheduler:
         self.last_epoch += 1
         self.optimizer.lr = self.get_lr()
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot (``base_lr``, ``last_epoch``)."""
+        return {
+            "type": type(self).__name__,
+            "base_lr": self.base_lr,
+            "last_epoch": self.last_epoch,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output and re-apply the current LR."""
+        saved_type = state.get("type", type(self).__name__)
+        if saved_type != type(self).__name__:
+            raise ValueError(
+                f"checkpoint scheduler is {saved_type!r}, "
+                f"this scheduler is {type(self).__name__!r}"
+            )
+        self.base_lr = float(state["base_lr"])
+        self.last_epoch = int(state["last_epoch"])
+        self.optimizer.lr = self.get_lr()
+
 
 class CosineAnnealingLR(LRScheduler):
     """Cosine decay from the base LR to ``eta_min`` over ``t_max`` steps."""
 
-    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        t_max: int,
+        eta_min: float = 0.0,
+        base_lr: float | None = None,
+    ):
         if t_max <= 0:
             raise ValueError(f"t_max must be positive, got {t_max}")
         self.t_max = int(t_max)
         self.eta_min = float(eta_min)
-        super().__init__(optimizer)
+        super().__init__(optimizer, base_lr=base_lr)
 
     def get_lr(self) -> float:
         progress = min(self.last_epoch, self.t_max) / self.t_max
@@ -52,10 +95,16 @@ class CosineAnnealingLR(LRScheduler):
 class StepLR(LRScheduler):
     """Multiply LR by ``gamma`` every ``step_size`` epochs."""
 
-    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        step_size: int,
+        gamma: float = 0.1,
+        base_lr: float | None = None,
+    ):
         self.step_size = int(step_size)
         self.gamma = float(gamma)
-        super().__init__(optimizer)
+        super().__init__(optimizer, base_lr=base_lr)
 
     def get_lr(self) -> float:
         return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
@@ -64,10 +113,16 @@ class StepLR(LRScheduler):
 class MultiStepLR(LRScheduler):
     """Multiply LR by ``gamma`` at each milestone epoch."""
 
-    def __init__(self, optimizer: Optimizer, milestones: list[int], gamma: float = 0.1):
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        milestones: list[int],
+        gamma: float = 0.1,
+        base_lr: float | None = None,
+    ):
         self.milestones = sorted(int(m) for m in milestones)
         self.gamma = float(gamma)
-        super().__init__(optimizer)
+        super().__init__(optimizer, base_lr=base_lr)
 
     def get_lr(self) -> float:
         passed = sum(1 for m in self.milestones if m <= self.last_epoch)
@@ -77,10 +132,16 @@ class MultiStepLR(LRScheduler):
 class WarmupWrapper(LRScheduler):
     """Linear warmup for ``warmup_epochs`` steps, then delegate to ``inner``."""
 
-    def __init__(self, optimizer: Optimizer, inner: LRScheduler, warmup_epochs: int):
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        inner: LRScheduler,
+        warmup_epochs: int,
+        base_lr: float | None = None,
+    ):
         self.inner = inner
         self.warmup_epochs = int(warmup_epochs)
-        super().__init__(optimizer)
+        super().__init__(optimizer, base_lr=base_lr)
 
     def get_lr(self) -> float:
         if self.last_epoch < self.warmup_epochs:
@@ -92,3 +153,12 @@ class WarmupWrapper(LRScheduler):
         if self.last_epoch >= self.warmup_epochs:
             self.inner.step()
         self.optimizer.lr = self.get_lr()
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["inner"] = self.inner.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.inner.load_state_dict(state["inner"])
+        super().load_state_dict(state)

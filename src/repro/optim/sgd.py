@@ -82,6 +82,65 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot: ``lr`` plus per-parameter state.
+
+        Per-parameter state is keyed by the *position* of the parameter in
+        ``self.params`` (``id()`` keys do not survive a process restart).
+        Array entries (momentum, Adam moments) are copied; scalar entries
+        (Adam step counts) pass through.
+        """
+        entries = []
+        for param in self.params:
+            state = self.state.get(id(param), {})
+            entries.append({
+                key: value.copy() if isinstance(value, np.ndarray) else value
+                for key, value in state.items()
+            })
+        return {"type": type(self).__name__, "lr": self.lr, "state": entries}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (resume-exact).
+
+        The optimizer must have been constructed over the same parameter
+        list (same count and order); hyper-parameters come from the
+        constructor, only ``lr`` and per-parameter state are restored.
+        """
+        saved_type = state.get("type", type(self).__name__)
+        if saved_type != type(self).__name__:
+            raise ValueError(
+                f"checkpoint optimizer is {saved_type!r}, "
+                f"this optimizer is {type(self).__name__!r}"
+            )
+        entries = state["state"]
+        if len(entries) != len(self.params):
+            raise ValueError(
+                f"checkpoint has state for {len(entries)} parameters, "
+                f"optimizer tracks {len(self.params)}"
+            )
+        self.lr = float(state["lr"])
+        self.state.clear()
+        for param, entry in zip(self.params, entries):
+            if not entry:
+                continue
+            restored = {}
+            for key, value in entry.items():
+                if isinstance(value, np.ndarray):
+                    if value.shape != param.data.shape:
+                        raise ValueError(
+                            f"optimizer state {key!r} shape {value.shape} does "
+                            f"not match parameter shape {param.data.shape}"
+                        )
+                    restored[key] = np.array(
+                        value, dtype=value.dtype, copy=True
+                    )
+                else:
+                    restored[key] = value
+            self.state[id(param)] = restored
+
 
 class SGD(Optimizer):
     """SGD with (optionally Nesterov) momentum and decoupled-from-mask weight decay.

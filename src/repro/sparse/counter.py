@@ -66,6 +66,35 @@ class CoverageTracker:
         self.rounds += 1
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of counters, ever-active sets and rounds."""
+        return {
+            "counters": {name: arr.copy() for name, arr in self.counters.items()},
+            "ever_active": {
+                name: arr.copy() for name, arr in self.ever_active.items()
+            },
+            "rounds": self.rounds,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place (resume-exact)."""
+        for name, saved in state["counters"].items():
+            if name not in self.counters:
+                raise KeyError(f"coverage counter for unknown layer {name!r}")
+            np.copyto(self.counters[name], saved.reshape(self.counters[name].shape))
+        for name, saved in state["ever_active"].items():
+            if name not in self.ever_active:
+                raise KeyError(f"ever-active set for unknown layer {name!r}")
+            np.copyto(
+                self.ever_active[name],
+                saved.reshape(self.ever_active[name].shape).astype(bool),
+            )
+        self.rounds = int(state["rounds"])
+        self.recount()
+
+    # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------
     def exploration_rate(self) -> float:

@@ -44,6 +44,12 @@ class SparsityController:
     ``on_backward`` runs after the backward pass; returning True tells the
     trainer to skip the optimizer step (used by mask-update iterations,
     Algorithm 1).  ``after_step`` runs after each optimizer step.
+
+    ``state_dict`` / ``load_state_dict`` support resume-exact checkpointing
+    (:mod:`repro.train.checkpoint`).  The base implementation captures the
+    masks (restored *without* clobbering each layer's ``target_density``,
+    which reconstruction re-derives from the sparsity distribution);
+    controllers with more evolving state extend it.
     """
 
     masked: MaskedModel
@@ -56,6 +62,45 @@ class SparsityController:
 
     def on_epoch_end(self, epoch: int) -> None:
         """Optional hook (dense-to-sparse schedules use it)."""
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot (base: controller type + current masks)."""
+        masked = getattr(self, "masked", None)
+        state: dict = {"type": type(self).__name__}
+        if masked is not None:
+            state["masks"] = masked.masks_snapshot()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        saved_type = state.get("type", type(self).__name__)
+        if saved_type != type(self).__name__:
+            raise ValueError(
+                f"checkpoint controller is {saved_type!r}, "
+                f"this controller is {type(self).__name__!r}"
+            )
+        masked = getattr(self, "masked", None)
+        if masked is None or "masks" not in state:
+            return
+        by_name = {t.name: t for t in masked.targets}
+        for name, mask in state["masks"].items():
+            if name not in by_name:
+                raise KeyError(f"checkpoint mask for unknown layer {name!r}")
+            target = by_name[name]
+            if mask.shape != target.mask.shape:
+                raise ValueError(
+                    f"mask shape mismatch for {name!r}: "
+                    f"{mask.shape} vs {target.mask.shape}"
+                )
+            # Direct assignment (not MaskedModel.set_masks): target_density
+            # must keep the distribution-derived value a fresh construction
+            # computes, or a resumed run could diverge from the
+            # uninterrupted one wherever target_density is consulted.
+            target.mask = mask.astype(bool)
+        masked.apply_masks()
 
 
 class FixedMaskController(SparsityController):
@@ -443,6 +488,52 @@ class DynamicSparseEngine(SparsityController):
         for value in state.values():
             if isinstance(value, np.ndarray) and value.shape == target.param.shape:
                 value.reshape(-1)[grow_idx] = 0.0
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything the drop-and-grow state machine needs to resume exactly.
+
+        On top of the base masks: coverage counters (Algorithm 1's ``N``),
+        the mask-update history, the engine RNG's bit-generator state
+        (random growth / tie-breaking), the dense-gradient EMA (SNFS) and
+        the sign references (DeepR).  The update/drop schedules are pure
+        functions of the global step, so they need no state.
+        """
+        state = super().state_dict()
+        state["coverage"] = self.coverage.state_dict()
+        state["history"] = [vars(record).copy() for record in self.history]
+        state["rng"] = self.rng.bit_generator.state
+        if self._needs_ema:
+            state["grad_ema"] = {
+                name: arr.copy() for name, arr in self._grad_ema.items()
+            }
+        if self._needs_signs:
+            state["sign_refs"] = {
+                name: arr.copy() for name, arr in self._sign_refs.items()
+            }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place (resume-exact)."""
+        super().load_state_dict(state)
+        self.coverage.load_state_dict(state["coverage"])
+        self.history = [
+            MaskUpdateRecord(**{k: v for k, v in record.items()})
+            for record in state["history"]
+        ]
+        self.rng.bit_generator.state = state["rng"]
+        for name, saved in state.get("grad_ema", {}).items():
+            if name not in self._grad_ema:
+                raise KeyError(f"gradient EMA for unknown layer {name!r}")
+            np.copyto(self._grad_ema[name], saved.reshape(self._grad_ema[name].shape))
+        for name, saved in state.get("sign_refs", {}).items():
+            if name not in self._sign_refs:
+                raise KeyError(f"sign reference for unknown layer {name!r}")
+            np.copyto(
+                self._sign_refs[name], saved.reshape(self._sign_refs[name].shape)
+            )
 
     # ------------------------------------------------------------------
     # reporting

@@ -100,6 +100,20 @@ class GMPController(SparsityController):
         self.masked.apply_masks()
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["history"] = [[int(step), float(s)] for step, s in self.history]
+        state["rng"] = self.rng.bit_generator.state
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.history = [(int(step), float(s)) for step, s in state["history"]]
+        self.rng.bit_generator.state = state["rng"]
+
+    # ------------------------------------------------------------------
     def _prune_to(self, sparsity: float, allow_regrow: bool = True) -> None:
         """Globally remove smallest-|w| active weights down to ``1-sparsity``."""
         total = self.masked.total_size

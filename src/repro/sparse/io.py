@@ -63,34 +63,38 @@ def load_sparse_checkpoint(
     checkpoint contains coverage state, a restored
     :class:`CoverageTracker` (otherwise None).
     """
-    archive = np.load(pathlib.Path(path))
-    state = {
-        key[len(_PARAM_PREFIX):]: archive[key]
-        for key in archive.files
-        if key.startswith(_PARAM_PREFIX)
-    }
-    model.load_state_dict(state)
-    masks = {
-        key[len(_MASK_PREFIX):]: archive[key].astype(bool)
-        for key in archive.files
-        if key.startswith(_MASK_PREFIX)
-    }
-    sparsity = float(archive[_META_SPARSITY])
-    masked = MaskedModel(
-        model, sparsity, masks=masks, include_modules=include_modules
-    )
+    # Context-managed: an unclosed NpzFile keeps the file handle (and its
+    # mmap) alive, and the leaks accumulate across sweep cells.
+    with np.load(pathlib.Path(path)) as archive:
+        state = {
+            key[len(_PARAM_PREFIX):]: archive[key]
+            for key in archive.files
+            if key.startswith(_PARAM_PREFIX)
+        }
+        model.load_state_dict(state)
+        masks = {
+            key[len(_MASK_PREFIX):]: archive[key].astype(bool)
+            for key in archive.files
+            if key.startswith(_MASK_PREFIX)
+        }
+        sparsity = float(archive[_META_SPARSITY])
+        masked = MaskedModel(
+            model, sparsity, masks=masks, include_modules=include_modules
+        )
 
-    coverage = None
-    counter_keys = [key for key in archive.files if key.startswith(_COUNTER_PREFIX)]
-    if counter_keys:
-        coverage = CoverageTracker(masked)
-        for key in counter_keys:
-            name = key[len(_COUNTER_PREFIX):]
-            coverage.counters[name] = archive[key].astype(np.float32)
-        for key in archive.files:
-            if key.startswith(_EVER_PREFIX):
-                name = key[len(_EVER_PREFIX):]
-                coverage.ever_active[name] = archive[key].astype(bool)
-        coverage.rounds = int(archive[_META_ROUNDS])
-        coverage.recount()
+        coverage = None
+        counter_keys = [
+            key for key in archive.files if key.startswith(_COUNTER_PREFIX)
+        ]
+        if counter_keys:
+            coverage = CoverageTracker(masked)
+            for key in counter_keys:
+                name = key[len(_COUNTER_PREFIX):]
+                coverage.counters[name] = archive[key].astype(np.float32)
+            for key in archive.files:
+                if key.startswith(_EVER_PREFIX):
+                    name = key[len(_EVER_PREFIX):]
+                    coverage.ever_active[name] = archive[key].astype(bool)
+            coverage.rounds = int(archive[_META_ROUNDS])
+            coverage.recount()
     return masked, coverage

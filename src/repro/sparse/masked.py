@@ -124,6 +124,25 @@ class SparseParam:
             np.multiply(grad, self._mask, out=grad)
 
 
+def _name_matches_component(name: str, spec: str) -> bool:
+    """Whether ``spec`` matches ``name`` on module-path component boundaries.
+
+    ``spec`` matches iff its dot-separated components appear as a contiguous
+    run of ``name``'s components: ``"fc1"`` matches ``"fc1.weight"`` but not
+    ``"fc10.weight"``; ``"features.0"`` matches ``"features.0.weight"`` but
+    not ``"features.01.weight"``.
+    """
+    spec_parts = spec.split(".") if spec else []
+    if not spec_parts:
+        return False
+    name_parts = name.split(".")
+    span = len(spec_parts)
+    return any(
+        name_parts[start:start + span] == spec_parts
+        for start in range(len(name_parts) - span + 1)
+    )
+
+
 def collect_sparsifiable(
     model: Module,
     include_modules: Sequence[Module] | None = None,
@@ -165,8 +184,10 @@ class MaskedModel:
     include_modules:
         Optional restriction of which layers get sparsified.
     dense_layer_names:
-        Names (suffix match) of layers to keep dense, e.g. the first conv —
-        their mask is all-ones and they are excluded from the global budget.
+        Names of layers to keep dense, e.g. the first conv — their mask is
+        all-ones and they are excluded from the global budget.  Matching is
+        on module-path component boundaries (``"fc1"`` matches
+        ``"fc1.weight"``, never ``"fc10.weight"``).
     masks:
         Optional precomputed masks keyed by parameter name (static pruners
         compute them on the dense model *before* constructing this class).
@@ -195,7 +216,7 @@ class MaskedModel:
         dense_names = tuple(dense_layer_names)
         sparse_pairs = [
             (name, p) for name, p in pairs
-            if not any(name.endswith(d) or name.startswith(d) for d in dense_names)
+            if not any(_name_matches_component(name, d) for d in dense_names)
         ]
         density = 1.0 - self.sparsity
         densities = layer_densities([p.shape for _, p in sparse_pairs], density, distribution)

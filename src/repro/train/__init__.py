@@ -3,6 +3,12 @@
 from repro.train.trainer import Trainer, evaluate_classifier
 from repro.train.history import EpochRecord, History
 from repro.train.callbacks import Callback, EarlyStopping, LambdaCallback
+from repro.train.checkpoint import (
+    CheckpointCallback,
+    latest_checkpoint,
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
 from repro.train.loggers import ConsoleLogger, CSVLogger
 
 __all__ = [
@@ -13,6 +19,10 @@ __all__ = [
     "Callback",
     "EarlyStopping",
     "LambdaCallback",
+    "CheckpointCallback",
+    "latest_checkpoint",
+    "load_training_checkpoint",
+    "save_training_checkpoint",
     "CSVLogger",
     "ConsoleLogger",
 ]

@@ -1,4 +1,4 @@
-"""Trainer callbacks (epoch-granularity hooks)."""
+"""Trainer callbacks (epoch- and step-granularity hooks)."""
 
 from __future__ import annotations
 
@@ -10,7 +10,21 @@ __all__ = ["Callback", "LambdaCallback", "EarlyStopping"]
 
 
 class Callback:
-    """Base callback: override any subset of hooks."""
+    """Base callback: override any subset of hooks.
+
+    ``bind`` is called once at the start of :meth:`Trainer.fit` with the
+    trainer itself, so callbacks that need training state (e.g. the
+    checkpoint callback) can reach it without threading it through every
+    hook.  ``state_dict``/``load_state_dict`` let a callback's evolving
+    state survive a checkpoint/restore cycle; return ``None`` (the default)
+    for stateless callbacks.
+    """
+
+    def bind(self, trainer) -> None:
+        """Called by ``Trainer.fit`` before training starts."""
+
+    def on_step_end(self, step: int) -> None:
+        """Called after every training iteration (``step`` is global)."""
 
     def on_epoch_end(self, record: EpochRecord) -> None:
         """Called after each epoch's evaluation."""
@@ -18,6 +32,13 @@ class Callback:
     def should_stop(self) -> bool:
         """Return True to stop training early."""
         return False
+
+    def state_dict(self) -> dict | None:
+        """Serializable snapshot of the callback's state (None = stateless)."""
+        return None
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
 
 
 class LambdaCallback(Callback):
@@ -50,3 +71,10 @@ class EarlyStopping(Callback):
 
     def should_stop(self) -> bool:
         return self.stale >= self.patience
+
+    def state_dict(self) -> dict:
+        return {"best": self.best, "stale": self.stale}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.best = float(state["best"])
+        self.stale = int(state["stale"])

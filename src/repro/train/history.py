@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 __all__ = ["EpochRecord", "History"]
 
@@ -19,6 +19,14 @@ class EpochRecord:
     sparsity: float | None = None
     exploration_rate: float | None = None
     steps_per_sec: float | None = None
+
+    def to_dict(self) -> dict:
+        """Plain-scalar dict (checkpoint serialization)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EpochRecord":
+        return cls(**data)
 
 
 @dataclass
@@ -48,3 +56,11 @@ class History:
 
     def __len__(self) -> int:
         return len(self.epochs)
+
+    def to_list(self) -> list[dict]:
+        """Plain list of per-epoch dicts (checkpoint serialization)."""
+        return [record.to_dict() for record in self.epochs]
+
+    @classmethod
+    def from_list(cls, records: list[dict]) -> "History":
+        return cls(epochs=[EpochRecord.from_dict(r) for r in records])

@@ -6,11 +6,26 @@ signals a mask-update step the optimizer step is *skipped* for that
 iteration (the paper replaces the SGD update with the drop-and-grow), and
 otherwise gradients outside the mask have already been zeroed so only
 active weights move.
+
+Checkpointing: :meth:`Trainer.state_dict` captures the *complete* training
+state — model parameters, optimizer moments, scheduler position, controller
+state (masks, coverage counters, engine RNG), epoch history, data-order and
+dropout RNG bit-generator states, and, mid-epoch, the partial epoch's
+progress (batches consumed plus running loss/accuracy accumulators).  A
+trainer built from the same config and restored via
+:meth:`load_state_dict` continues *bitwise identically* to the
+uninterrupted run: ``fit`` resumes at ``len(history)`` epochs, and a
+partial epoch replays its already-trained batches through the data
+pipeline (advancing the shuffle/augmentation RNG exactly as the original
+epoch did) without recomputing them.  See :mod:`repro.train.checkpoint`
+for the on-disk format.
 """
 
 from __future__ import annotations
 
+import copy
 import time
+import warnings
 from typing import Callable, Sequence
 
 import numpy as np
@@ -42,6 +57,21 @@ def evaluate_classifier(model: Module, loader: DataLoader) -> float:
             total += len(targets)
     model.train(was_training)
     return correct / max(total, 1)
+
+
+def _named_module_rngs(model: Module) -> list[tuple[str, np.random.Generator]]:
+    """``(key, generator)`` pairs for every Generator held by a module.
+
+    Covers stochastic layers such as :class:`~repro.nn.Dropout` whose
+    draws are part of the training trajectory and therefore part of the
+    resume-exact state.
+    """
+    pairs = []
+    for name, module in model.named_modules():
+        for attr, value in sorted(vars(module).items()):
+            if isinstance(value, np.random.Generator):
+                pairs.append((f"{name}:{attr}" if name else attr, value))
+    return pairs
 
 
 class Trainer:
@@ -105,6 +135,14 @@ class Trainer:
         self.history = History()
         self.global_step = 0
         self._worker_pool = None
+        # Mid-epoch bookkeeping for step-granularity checkpoints: while an
+        # epoch is running this holds {"epoch", "loader_rng_epoch_start",
+        # "batches_done", "losses", "accuracies"}; None between epochs.
+        self._epoch_progress: dict | None = None
+        # Partial-epoch state restored by load_state_dict, consumed by the
+        # next _train_epoch call.
+        self._pending_resume: dict | None = None
+        self._restored = False
 
     def _install_sparse_backend(self) -> None:
         if self.sparse_backend is None or self.controller is None:
@@ -139,9 +177,20 @@ class Trainer:
         )
 
     def fit(self, epochs: int) -> History:
-        """Train for ``epochs`` epochs; returns the history."""
+        """Train until ``epochs`` *total* epochs are in the history.
+
+        On a freshly constructed trainer that is simply "train for
+        ``epochs`` epochs"; on a trainer restored via
+        :meth:`load_state_dict` the loop continues from the restored
+        position (``len(self.history)`` completed epochs, plus any partial
+        epoch), so the same ``fit(epochs)`` call finishes the original
+        budget.
+        """
         self._install_sparse_backend()
         self._worker_pool = self._open_worker_pool()
+        self._warn_if_worker_resume_inexact()
+        for callback in self.callbacks:
+            callback.bind(self)
         try:
             return self._fit(epochs)
         finally:
@@ -149,9 +198,34 @@ class Trainer:
                 self._worker_pool.close()
                 self._worker_pool = None
 
+    def _warn_if_worker_resume_inexact(self) -> None:
+        """Checkpoint/resume + worker pool + stochastic layers: be loud.
+
+        Gradient workers hold their own replicas of every module RNG
+        (dropout streams), re-derived at fork time; those streams are not
+        part of the checkpoint, so a resumed pooled run with stochastic
+        layers is *not* bitwise-identical to the uninterrupted one.
+        Deterministic models (no module RNG draws in forward) are exact.
+        """
+        if self._worker_pool is None or not _named_module_rngs(self.model):
+            return
+        from repro.train.checkpoint import CheckpointCallback
+
+        checkpointing = any(
+            isinstance(callback, CheckpointCallback) for callback in self.callbacks
+        )
+        if checkpointing or self._restored:
+            warnings.warn(
+                "checkpoint/resume with n_workers >= 2 is not bitwise-exact "
+                "for models with stochastic layers (worker-side RNG streams "
+                "are not checkpointed); see docs/checkpointing.md",
+                stacklevel=3,
+            )
+
     def _fit(self, epochs: int) -> History:
-        for epoch in range(epochs):
-            train_loss, train_acc, steps_per_sec = self._train_epoch()
+        start_epoch = len(self.history.epochs)
+        for epoch in range(start_epoch, epochs):
+            train_loss, train_acc, steps_per_sec = self._train_epoch(epoch)
             if self.scheduler is not None:
                 self.scheduler.step()
             if self.controller is not None:
@@ -185,39 +259,76 @@ class Trainer:
         return self.history
 
     # ------------------------------------------------------------------
-    def _train_epoch(self) -> tuple[float, float, float]:
+    def _train_epoch(self, epoch: int) -> tuple[float, float, float]:
         self.model.train()
-        losses = []
-        accuracies = []
+        resume = self._pending_resume
+        self._pending_resume = None
+        if resume is not None and resume.get("epoch") == epoch:
+            # Rewind the data pipeline to the start of the interrupted
+            # epoch: the shuffle order and per-batch augmentation draws are
+            # regenerated identically, and the already-trained batches are
+            # replayed through the loader (advancing its RNG exactly as the
+            # original epoch did) without touching the model.
+            self.train_loader.rng.bit_generator.state = copy.deepcopy(
+                resume["loader_rng_epoch_start"]
+            )
+            skip = int(resume["batches_done"])
+            losses = [float(v) for v in resume["losses"]]
+            accuracies = [float(v) for v in resume["accuracies"]]
+        else:
+            skip = 0
+            losses = []
+            accuracies = []
+        progress = {
+            "epoch": epoch,
+            "loader_rng_epoch_start": copy.deepcopy(
+                self.train_loader.rng.bit_generator.state
+            ),
+            "batches_done": skip,
+            "losses": losses,
+            "accuracies": accuracies,
+        }
+        self._epoch_progress = progress
         steps = 0
         start = time.perf_counter()
         pool = self._worker_pool
-        for inputs, targets in self.train_loader:
-            self.global_step += 1
-            steps += 1
-            if pool is not None:
-                # Sharded forward/backward: workers fill the shared gradient
-                # block, the parent owns the averaged gradient from here on.
-                self.model.zero_grad()
-                batch_loss, batch_acc = pool.step(inputs, targets)
-            else:
-                self.model.zero_grad()
-                logits = self.model(inputs)
-                loss = self.loss_fn(logits, targets)
-                loss.backward()
-                batch_loss = loss.item()
-                batch_acc = accuracy(logits, targets)
+        replayed = 0
+        try:
+            for inputs, targets in self.train_loader:
+                if replayed < skip:
+                    replayed += 1
+                    continue
+                self.global_step += 1
+                steps += 1
+                if pool is not None:
+                    # Sharded forward/backward: workers fill the shared
+                    # gradient block, the parent owns the averaged gradient
+                    # from here on.
+                    self.model.zero_grad()
+                    batch_loss, batch_acc = pool.step(inputs, targets)
+                else:
+                    self.model.zero_grad()
+                    logits = self.model(inputs)
+                    loss = self.loss_fn(logits, targets)
+                    loss.backward()
+                    batch_loss = loss.item()
+                    batch_acc = accuracy(logits, targets)
 
-            skip_step = False
-            if self.controller is not None:
-                skip_step = self.controller.on_backward(self.global_step)
-            if not skip_step:
-                self.optimizer.step()
+                skip_step = False
                 if self.controller is not None:
-                    self.controller.after_step(self.global_step)
+                    skip_step = self.controller.on_backward(self.global_step)
+                if not skip_step:
+                    self.optimizer.step()
+                    if self.controller is not None:
+                        self.controller.after_step(self.global_step)
 
-            losses.append(batch_loss)
-            accuracies.append(batch_acc)
+                losses.append(batch_loss)
+                accuracies.append(batch_acc)
+                progress["batches_done"] += 1
+                for callback in self.callbacks:
+                    callback.on_step_end(self.global_step)
+        finally:
+            self._epoch_progress = None
         elapsed = time.perf_counter() - start
         steps_per_sec = steps / elapsed if elapsed > 0 else 0.0
         return float(np.mean(losses)), float(np.mean(accuracies)), steps_per_sec
@@ -227,3 +338,122 @@ class Trainer:
         if coverage is None:
             return None
         return coverage.exploration_rate()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete, serializable training state (see module docstring).
+
+        Safe to call at any point — between epochs or from a step-granular
+        callback mid-epoch (the partial epoch's progress is included so the
+        epoch can resume at the exact batch boundary).
+        """
+        state: dict = {
+            "global_step": self.global_step,
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "scheduler": (
+                self.scheduler.state_dict() if self.scheduler is not None else None
+            ),
+            "controller": (
+                self.controller.state_dict() if self.controller is not None else None
+            ),
+            "history": self.history.to_list(),
+            "rng": {
+                "train_loader": copy.deepcopy(
+                    self.train_loader.rng.bit_generator.state
+                ),
+                "modules": {
+                    key: copy.deepcopy(rng.bit_generator.state)
+                    for key, rng in _named_module_rngs(self.model)
+                },
+            },
+            "callbacks": [
+                {"type": type(cb).__name__, "state": cb.state_dict()}
+                for cb in self.callbacks
+            ],
+            "epoch_progress": None,
+        }
+        progress = self._epoch_progress
+        if progress is not None:
+            state["epoch_progress"] = {
+                "epoch": progress["epoch"],
+                "batches_done": progress["batches_done"],
+                "loader_rng_epoch_start": copy.deepcopy(
+                    progress["loader_rng_epoch_start"]
+                ),
+                "losses": np.asarray(progress["losses"], dtype=np.float64),
+                "accuracies": np.asarray(progress["accuracies"], dtype=np.float64),
+            }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (resume-exact).
+
+        The trainer must have been constructed with the same configuration
+        (model architecture, optimizer/scheduler/controller types, data
+        pipeline) as the one that produced the state; only the evolving
+        state is restored.
+        """
+        if (state["controller"] is None) != (self.controller is None):
+            raise ValueError(
+                "checkpoint and trainer disagree on controller presence"
+            )
+        if (state["scheduler"] is None) != (self.scheduler is None):
+            raise ValueError(
+                "checkpoint and trainer disagree on scheduler presence"
+            )
+        self.model.load_state_dict(state["model"])
+        if self.controller is not None:
+            self.controller.load_state_dict(state["controller"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        if self.scheduler is not None:
+            self.scheduler.load_state_dict(state["scheduler"])
+        self.history = History.from_list(state["history"])
+        self.global_step = int(state["global_step"])
+
+        rng_state = state.get("rng", {})
+        loader_state = rng_state.get("train_loader")
+        if loader_state is not None:
+            self.train_loader.rng.bit_generator.state = copy.deepcopy(loader_state)
+        module_states = rng_state.get("modules", {})
+        for key, rng in _named_module_rngs(self.model):
+            if key in module_states:
+                rng.bit_generator.state = copy.deepcopy(module_states[key])
+
+        # Callback state is matched positionally; a *stateful* entry that
+        # cannot be matched is a configuration drift worth shouting about
+        # (stateless mismatches — e.g. a dropped CheckpointCallback — are
+        # harmless).
+        for index, saved in enumerate(state.get("callbacks", [])):
+            if saved["state"] is None:
+                continue
+            callback = self.callbacks[index] if index < len(self.callbacks) else None
+            if callback is None or type(callback).__name__ != saved["type"]:
+                found = "no callback" if callback is None else repr(
+                    type(callback).__name__
+                )
+                warnings.warn(
+                    f"checkpoint callback state of type {saved['type']!r} at "
+                    f"position {index} was not restored ({found} there in the "
+                    "resumed trainer); construct the resumed trainer with the "
+                    "same callback list",
+                    stacklevel=2,
+                )
+                continue
+            callback.load_state_dict(saved["state"])
+
+        self._restored = True
+        self._pending_resume = None
+        progress = state.get("epoch_progress")
+        if progress is not None:
+            self._pending_resume = {
+                "epoch": int(progress["epoch"]),
+                "batches_done": int(progress["batches_done"]),
+                "loader_rng_epoch_start": copy.deepcopy(
+                    progress["loader_rng_epoch_start"]
+                ),
+                "losses": np.asarray(progress["losses"], dtype=np.float64),
+                "accuracies": np.asarray(progress["accuracies"], dtype=np.float64),
+            }

@@ -65,3 +65,67 @@ class TestCommands:
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "best accuracy" in out
+
+
+class TestCheckpointFlags:
+    TINY = [
+        "--n-train", "96", "--n-test", "48", "--image-size", "8",
+        "--delta-t", "2",
+    ]
+
+    def test_parser_accepts_checkpoint_flags(self):
+        args = build_parser().parse_args([
+            "run", "--checkpoint-dir", "ckpts", "--checkpoint-every-steps",
+            "5", "--keep-last", "2", "--resume",
+        ])
+        assert args.checkpoint_dir == "ckpts"
+        assert args.checkpoint_every_steps == 5
+        assert args.keep_last == 2
+        assert args.resume is True
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(["run", "--model", "mlp", "--resume", *self.TINY])
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(["sweep", "--models", "mlp", "--resume", *self.TINY])
+
+    def test_checkpoint_dir_with_seeds_rejected(self):
+        with pytest.raises(SystemExit, match="sweep"):
+            main([
+                "run", "--model", "mlp", "--seeds", "0", "1",
+                "--checkpoint-dir", "ckpts", *self.TINY,
+            ])
+
+    def test_run_checkpoint_and_resume_end_to_end(self, capsys, tmp_path):
+        common = [
+            "run", "--method", "dst_ee", "--model", "mlp", "--epochs", "2",
+            "--checkpoint-dir", str(tmp_path), *self.TINY,
+        ]
+        assert main(common) == 0
+        first = capsys.readouterr().out
+        assert list(tmp_path.glob("ckpt-*.npz"))
+        # Resume from the finished run: restores, trains nothing more,
+        # reports the same accuracy.
+        assert main([*common, "--resume"]) == 0
+        second = capsys.readouterr().out
+
+        def grab(out, label):
+            return [line for line in out.splitlines() if label in line]
+
+        assert grab(second, "final accuracy") == grab(first, "final accuracy")
+        assert grab(second, "exploration rate") == grab(first, "exploration rate")
+
+    def test_sweep_checkpoint_and_resume_end_to_end(self, capsys, tmp_path):
+        common = [
+            "sweep", "--methods", "set", "--models", "mlp",
+            "--sparsities", "0.8", "--seeds", "0", "--epochs", "1",
+            "--checkpoint-dir", str(tmp_path), *self.TINY,
+        ]
+        assert main(common) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "manifest.json").exists()
+        assert main([*common, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert [l for l in second.splitlines() if "set" in l] == (
+            [l for l in first.splitlines() if "set" in l]
+        )

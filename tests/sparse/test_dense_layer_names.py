@@ -1,0 +1,63 @@
+"""``dense_layer_names`` matching on module-path component boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.sparse.masked import MaskedModel, _name_matches_component
+
+
+class _Net(nn.Module):
+    """fc1 / fc10 siblings: the classic prefix-overmatch trap."""
+
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(8, 16)
+        self.fc10 = nn.Linear(16, 16)
+        self.head = nn.Linear(16, 4)
+
+    def forward(self, x):
+        return self.head(self.fc10(self.fc1(x)))
+
+
+class TestComponentMatching:
+    @pytest.mark.parametrize(
+        "name, spec, expected",
+        [
+            ("fc1.weight", "fc1", True),
+            ("fc10.weight", "fc1", False),  # the over-match bug
+            ("fc1.weight", "fc1.weight", True),
+            ("features.0.weight", "features.0", True),
+            ("features.01.weight", "features.0", False),
+            ("features.10.weight", "0", False),
+            ("block.fc1.weight", "fc1", True),
+            ("weight", "weight", True),
+            ("fc1.weight", "weight", True),
+            ("fc1.weight", "c1", False),  # no substring matching either
+            ("fc1.weight", "", False),  # empty spec matches nothing
+        ],
+    )
+    def test_cases(self, name, spec, expected):
+        assert _name_matches_component(name, spec) is expected
+
+
+class TestMaskedModelDenseNames:
+    def test_fc1_does_not_exempt_fc10(self):
+        masked = MaskedModel(
+            _Net(), 0.5, rng=np.random.default_rng(0), dense_layer_names=("fc1",)
+        )
+        names = {t.name for t in masked.targets}
+        assert "fc1.weight" not in names
+        assert "fc10.weight" in names
+        assert "head.weight" in names
+
+    def test_suffix_style_spec_still_works(self):
+        masked = MaskedModel(
+            _Net(), 0.5, rng=np.random.default_rng(0),
+            dense_layer_names=("head.weight",),
+        )
+        names = {t.name for t in masked.targets}
+        assert "head.weight" not in names
+        assert names == {"fc1.weight", "fc10.weight"}

@@ -84,3 +84,26 @@ class TestRoundTrip:
             ).astype(np.float32)
         record = engine.mask_update(10)
         assert record.total_grown == record.total_dropped
+
+
+class TestFileHandleHygiene:
+    def test_load_closes_the_npz_archive(self, tmp_path, monkeypatch):
+        """The archive handle must be closed on return (leaks used to
+        accumulate across sweep cells)."""
+        model, masked = make_masked()
+        path = tmp_path / "ckpt.npz"
+        save_sparse_checkpoint(masked, path)
+
+        opened = []
+        real_load = np.load
+
+        def tracking_load(*args, **kwargs):
+            archive = real_load(*args, **kwargs)
+            opened.append(archive)
+            return archive
+
+        monkeypatch.setattr(np, "load", tracking_load)
+        fresh_model = MLP(in_features=12, hidden=(16,), num_classes=4, seed=99)
+        load_sparse_checkpoint(fresh_model, path)
+        assert len(opened) == 1
+        assert opened[0].zip is None  # NpzFile.close() marker
