@@ -17,7 +17,6 @@ the never-active bonus without destroying accuracy.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.data import cifar10_like
 from repro.experiments import format_table, get_scale, run_image_classification

@@ -22,7 +22,6 @@ participate at bench scale (recorded in EXPERIMENTS.md).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.data import DataLoader, cifar10_like

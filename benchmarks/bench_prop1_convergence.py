@@ -14,7 +14,6 @@ decays), and the final cumulative mean is below the initial norm.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.data import DataLoader, cifar10_like

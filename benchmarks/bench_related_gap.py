@@ -13,7 +13,6 @@ least comparable.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.data import cifar10_like
 from repro.experiments import format_table, get_scale, run_image_classification

@@ -14,7 +14,6 @@ Shape checks:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import format_table, run_multi_seed, table2_settings
 from repro.flops import profile_model

@@ -10,7 +10,6 @@ paper's margin grows at 98%), with fewer training epochs.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.data import wiki_talk_like
 from repro.experiments import (

@@ -10,7 +10,6 @@ is largest at 98%; DST-EE at 80% matches or exceeds dense (the paper's
 
 from __future__ import annotations
 
-import pytest
 
 from repro.data import ia_email_like
 from repro.experiments import gnn_settings

@@ -1,0 +1,252 @@
+"""CI bench-regression gate: fresh BENCH JSONs vs committed baselines.
+
+Compares a freshly produced ``BENCH_engine.json`` / ``BENCH_serve.json``
+against the committed smoke baselines in ``benchmarks/results/`` and fails
+(exit 1) when a guarded metric regressed beyond the tolerance.
+
+Two kinds of checks:
+
+* **relative metrics** (default, machine-portable): ratios measured inside
+  one process on one machine — the CSR-vs-dense training speedup per
+  config/sparsity, and the batched-vs-unbatched serving speedup per
+  sparsity.  These cancel out absolute machine speed, so a committed
+  baseline from one box meaningfully gates a CI runner of a different
+  speed.  The serving speedup additionally has a hard floor
+  (``--min-batch-speedup``) independent of the baseline.
+* **absolute metrics** (``--absolute``): every steps/sec and requests/sec
+  leaf compared directly.  Only meaningful when baseline and fresh run on
+  comparable machines (e.g. the nightly job re-baselining against its own
+  previous artifact).
+
+The default tolerance is 25% (``--tolerance 0.25``) to absorb shared-runner
+noise; tighten it locally when chasing a specific regression.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        [--engine BENCH_engine.json] [--serve BENCH_serve.json] \
+        [--baseline-dir benchmarks/results] [--tolerance 0.25] [--absolute]
+
+Refreshing baselines (after an intentional perf change, commit the copies)::
+
+    REPRO_SCALE=small python benchmarks/bench_perf_engine.py
+    cp BENCH_engine.json benchmarks/results/BENCH_engine_smoke_baseline.json
+    REPRO_SCALE=small python benchmarks/bench_serve.py
+    cp BENCH_serve.json benchmarks/results/BENCH_serve_smoke_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+ENGINE_BASELINE = "BENCH_engine_smoke_baseline.json"
+SERVE_BASELINE = "BENCH_serve_smoke_baseline.json"
+
+
+class Gate:
+    """Collects pass/fail lines and the overall verdict."""
+
+    def __init__(self, tolerance: float):
+        self.tolerance = tolerance
+        self.failures = 0
+        self.checks = 0
+
+    def check(self, name: str, fresh: float, floor: float, context: str) -> None:
+        self.checks += 1
+        ok = fresh >= floor
+        verdict = "ok  " if ok else "FAIL"
+        print(f"[{verdict}] {name}: {fresh:.3f} (floor {floor:.3f}, {context})")
+        if not ok:
+            self.failures += 1
+
+    def relative(self, name: str, fresh: float, baseline: float) -> None:
+        self.check(
+            name,
+            fresh,
+            baseline * (1.0 - self.tolerance),
+            f"baseline {baseline:.3f}, tolerance {self.tolerance:.0%}",
+        )
+
+
+def _load(path: pathlib.Path, label: str) -> dict | None:
+    if not path.exists():
+        print(f"[skip] {label}: {path} not found")
+        return None
+    return json.loads(path.read_text())
+
+
+def _scales_match(fresh: dict, baseline: dict, label: str) -> bool:
+    if fresh.get("scale") != baseline.get("scale"):
+        print(
+            f"[FAIL] {label}: fresh scale {fresh.get('scale')!r} does not match "
+            f"baseline scale {baseline.get('scale')!r} — run the bench at the "
+            f"baseline's REPRO_SCALE or refresh the baseline"
+        )
+        return False
+    return True
+
+
+def _numeric_leaves(node, prefix: str = "") -> dict[str, float]:
+    leaves: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            leaves.update(_numeric_leaves(value, f"{prefix}.{key}" if prefix else key))
+    elif isinstance(node, bool):
+        pass
+    elif isinstance(node, (int, float)):
+        leaves[prefix] = float(node)
+    return leaves
+
+
+def check_engine(fresh: dict, baseline: dict, gate: Gate, absolute: bool) -> None:
+    fresh_training = fresh.get("training_steps_per_sec", {})
+    base_training = baseline.get("training_steps_per_sec", {})
+    for config, base_modes in base_training.items():
+        if "csr" not in base_modes or "dense" not in base_modes:
+            continue
+        fresh_modes = fresh_training.get(config, {})
+        if "csr" not in fresh_modes or "dense" not in fresh_modes:
+            print(f"[FAIL] engine: config {config!r} missing csr/dense in fresh run")
+            gate.failures += 1
+            continue
+        for sparsity, base_csr in base_modes["csr"].items():
+            base_dense = base_modes["dense"].get(sparsity)
+            if not base_dense:
+                continue  # baseline itself has no ratio to guard here
+            fresh_csr = fresh_modes["csr"].get(sparsity)
+            fresh_dense = fresh_modes["dense"].get(sparsity)
+            if not (fresh_csr and fresh_dense):
+                # A guarded sparsity point vanished from the fresh run: that
+                # is a gate hole, not a pass.
+                print(f"[FAIL] engine: {config} s={sparsity} missing in fresh run")
+                gate.failures += 1
+                continue
+            gate.relative(
+                f"engine {config} csr/dense ratio @s={sparsity}",
+                fresh_csr / fresh_dense,
+                base_csr / base_dense,
+            )
+    if absolute:
+        base_leaves = _numeric_leaves(
+            {
+                "training_steps_per_sec": base_training,
+                "conv_training_steps_per_sec": baseline.get("conv_training_steps_per_sec", {}),
+            }
+        )
+        fresh_leaves = _numeric_leaves(
+            {
+                "training_steps_per_sec": fresh_training,
+                "conv_training_steps_per_sec": fresh.get("conv_training_steps_per_sec", {}),
+            }
+        )
+        for name, base_value in sorted(base_leaves.items()):
+            if name in fresh_leaves and base_value > 0:
+                gate.relative(f"engine {name}", fresh_leaves[name], base_value)
+
+
+def check_serve(
+    fresh: dict,
+    baseline: dict,
+    gate: Gate,
+    absolute: bool,
+    min_batch_speedup: float,
+) -> None:
+    fresh_speedups = fresh.get("speedup_batched_vs_unbatched", {})
+    base_speedups = baseline.get("speedup_batched_vs_unbatched", {})
+    for sparsity, base_value in base_speedups.items():
+        fresh_value = fresh_speedups.get(sparsity)
+        if fresh_value is None:
+            print(f"[FAIL] serve: sparsity {sparsity} missing in fresh run")
+            gate.failures += 1
+            continue
+        gate.relative(f"serve batched/unbatched speedup @s={sparsity}", fresh_value, base_value)
+    headline = fresh_speedups.get("0.95")
+    if headline is None:
+        print("[FAIL] serve: no batched/unbatched speedup at s=0.95 in fresh run")
+        gate.failures += 1
+    else:
+        gate.check(
+            "serve batched/unbatched hard floor @s=0.95",
+            headline,
+            min_batch_speedup,
+            "absolute floor, baseline-independent",
+        )
+    if absolute:
+        for section in ("unbatched", "batched"):
+            for sparsity, base_row in baseline.get(section, {}).items():
+                fresh_row = fresh.get(section, {}).get(sparsity, {})
+                base_rps = base_row.get("requests_per_sec")
+                fresh_rps = fresh_row.get("requests_per_sec")
+                if base_rps and fresh_rps:
+                    gate.relative(f"serve {section} req/s @s={sparsity}", fresh_rps, base_rps)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--engine",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="fresh engine bench JSON",
+    )
+    parser.add_argument(
+        "--serve",
+        default=str(REPO_ROOT / "BENCH_serve.json"),
+        help="fresh serve bench JSON",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(REPO_ROOT / "benchmarks" / "results"),
+        help="directory with committed baseline JSONs",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative regression (0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=1.2,
+        help="hard floor for batched/unbatched serving speedup at 95%% sparsity",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also compare absolute steps/sec and req/s (same-machine baselines only)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    gate = Gate(args.tolerance)
+
+    engine_fresh = _load(pathlib.Path(args.engine), "engine fresh")
+    engine_base = _load(baseline_dir / ENGINE_BASELINE, "engine baseline")
+    if engine_fresh is not None and engine_base is not None:
+        if _scales_match(engine_fresh, engine_base, "engine"):
+            check_engine(engine_fresh, engine_base, gate, args.absolute)
+        else:
+            gate.failures += 1
+
+    serve_fresh = _load(pathlib.Path(args.serve), "serve fresh")
+    serve_base = _load(baseline_dir / SERVE_BASELINE, "serve baseline")
+    if serve_fresh is not None and serve_base is not None:
+        if _scales_match(serve_fresh, serve_base, "serve"):
+            check_serve(serve_fresh, serve_base, gate, args.absolute, args.min_batch_speedup)
+        else:
+            gate.failures += 1
+
+    if engine_fresh is None and serve_fresh is None:
+        print("error: no fresh bench JSON found to check", file=sys.stderr)
+        return 2
+    print(f"\n{gate.checks} checks, {gate.failures} failures (tolerance {args.tolerance:.0%})")
+    return 1 if gate.failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

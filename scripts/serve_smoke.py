@@ -1,0 +1,168 @@
+"""CI serving smoke: train → export → serve over HTTP → verify, end to end.
+
+Exercises the full deployment pipeline at toy scale:
+
+1. trains a tiny DST-EE MLP on synthetic CIFAR-like data,
+2. compiles + exports it to a versioned serving artifact,
+3. reloads the artifact and checks predictions are bitwise identical to
+   the compiled model's,
+4. serves it over the stdlib HTTP frontend and issues concurrent JSON
+   requests, checking every response against the in-process path,
+5. round-trips a batch through a 2-worker :class:`ServingPool` (skipped
+   where fork is unavailable),
+6. runs the CLI ``serve``-parser plumbing far enough to prove the
+   subcommand wiring imports.
+
+Exits non-zero on the first violated check.  Run from the repo root::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+import threading
+import urllib.request
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.autograd import no_grad  # noqa: E402
+from repro.autograd.tensor import Tensor  # noqa: E402
+from repro.data import cifar10_like  # noqa: E402
+from repro.experiments.runner import run_image_classification  # noqa: E402
+from repro.models import MLP  # noqa: E402
+from repro.parallel import fork_available  # noqa: E402
+from repro.serve import (  # noqa: E402
+    Server,
+    ServingPool,
+    export_model,
+    load_model,
+    make_http_server,
+)
+from repro.sparse.inference import compile_sparse_model  # noqa: E402
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}")
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def main() -> None:
+    data = cifar10_like(n_train=256, n_test=128, image_size=8, seed=0)
+    result = run_image_classification(
+        "dst_ee",
+        lambda seed: MLP(3 * 8 * 8, (64, 32), 10, seed=seed),
+        data,
+        sparsity=0.9,
+        epochs=1,
+        batch_size=64,
+        lr=0.05,
+        delta_t=6,
+        seed=0,
+        keep_model=True,
+    )
+    check(result.masked is not None, "training produced a masked model")
+
+    compiled = compile_sparse_model(result.masked)
+    x = np.random.default_rng(3).standard_normal((16, 3, 8, 8)).astype(np.float32)
+    with no_grad():
+        reference = np.asarray(compiled(Tensor(x.reshape(16, -1))).data)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "smoke.npz"
+        export_model(
+            compiled,
+            path,
+            model_config={
+                "builder": "mlp",
+                "kwargs": {
+                    "in_features": 3 * 8 * 8,
+                    "hidden": [64, 32],
+                    "num_classes": 10,
+                    "seed": 0,
+                },
+            },
+            preprocessing={"input_shape": [3, 8, 8], "flatten": True},
+            metadata={"smoke": True},
+        )
+        loaded = load_model(path)
+        check(
+            np.array_equal(loaded.predict(x), reference),
+            "artifact round-trip is bitwise identical",
+        )
+
+        server = Server(loaded, max_batch=8, max_latency_ms=2.0)
+        httpd = make_http_server(server, port=0)
+        port = httpd.server_address[1]
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            health = json.loads(
+                urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz", timeout=10).read()
+            )
+            check(health["status"] == "ok", "healthz answers ok")
+
+            outputs = [None] * 8
+            errors: list[BaseException] = []
+
+            def one_request(index: int) -> None:
+                try:
+                    body = json.dumps({"inputs": [x[index].tolist()]}).encode()
+                    request = urllib.request.Request(
+                        f"http://127.0.0.1:{port}/predict",
+                        data=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    payload = json.loads(urllib.request.urlopen(request, timeout=30).read())
+                    outputs[index] = np.asarray(payload["outputs"][0], np.float32)
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=one_request, args=(i,)) for i in range(8)]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join()
+            check(not errors, f"concurrent HTTP requests all answered ({errors!r})")
+            for index in range(8):
+                check(
+                    np.allclose(outputs[index], reference[index], atol=1e-5),
+                    f"HTTP response {index} matches in-process prediction",
+                )
+            stats = server.stats()
+            check(stats["requests"] >= 8, "stats counted the HTTP requests")
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            server.close()
+
+        if fork_available():
+            with ServingPool(path, n_workers=2) as pool:
+                check(
+                    np.array_equal(pool.predict(x, timeout=60), reference),
+                    "2-worker ServingPool matches in-process predictions",
+                )
+                check(
+                    pool.arena is not None and pool.arena.nbytes > 0,
+                    "workers share a read-only weight arena",
+                )
+        else:
+            print("skip: fork unavailable, ServingPool smoke not run")
+
+    from repro.experiments.cli import build_parser
+
+    args = build_parser().parse_args(["serve", "--artifact", "unused.npz", "--port", "0"])
+    check(args.command == "serve", "CLI serve subcommand parses")
+    print("serving smoke passed")
+
+
+if __name__ == "__main__":
+    main()

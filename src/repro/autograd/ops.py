@@ -10,7 +10,6 @@ it; the adjoint of broadcasting is handled by
 
 from __future__ import annotations
 
-import builtins
 from typing import Iterable, Sequence
 
 import numpy as np

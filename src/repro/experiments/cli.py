@@ -9,6 +9,9 @@ Usage (after ``pip install -e .``)::
         --sparsities 0.9 0.95 --seeds 0 1 --nproc 4
     python -m repro.experiments.cli gnn --dataset wiki_talk --sparsity 0.9
     python -m repro.experiments.cli methods
+    python -m repro.experiments.cli export --method dst_ee --sparsity 0.95 \
+        --model mlp --epochs 2 --out model.npz
+    python -m repro.experiments.cli serve --artifact model.npz --port 8100
 
 ``--nproc`` (or the ``REPRO_NPROC`` environment variable) shards seeds and
 sweep cells across worker processes; ``--n-workers`` splits each mini-batch
@@ -21,6 +24,13 @@ checkpoints during ``run`` and ``sweep``; after a crash or preemption,
 rerunning the same command with ``--resume`` continues bitwise-identically
 — completed sweep cells are skipped, partial cells restore mid-epoch.  See
 ``docs/checkpointing.md``.
+
+Serving: ``export`` trains one configuration and writes a versioned
+serving artifact (compiled CSR weights + model config + preprocessing
+spec); ``serve`` loads an artifact behind the micro-batching JSON HTTP
+frontend, optionally fanning batches out across ``--n-workers`` forked
+serving processes that share one read-only weight arena.  See
+``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -101,6 +111,40 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0,
                        help="dataset generation seed")
 
+    export = sub.add_parser(
+        "export", parents=[common],
+        help="train one configuration and write a serving artifact")
+    export.add_argument("--method", default="dst_ee", choices=ALL_METHODS)
+    export.add_argument("--model", default="mlp",
+                        choices=["vgg19", "vgg11", "resnet50", "resnet50_mini", "mlp"])
+    export.add_argument("--sparsity", type=float, default=0.95)
+    export.add_argument("--epochs", type=int, default=4)
+    export.add_argument("--c", type=float, default=1e-3)
+    export.add_argument("--epsilon", type=float, default=1.0)
+    export.add_argument("--distribution", default="erk",
+                        choices=["erk", "er", "uniform"])
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--out", required=True,
+                        help="artifact path to write (.npz)")
+
+    serve = sub.add_parser("serve", help="serve a model artifact over HTTP")
+    serve.add_argument("--artifact", required=True,
+                       help="artifact written by `export` (or serve.export_model)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100)
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batching: flush at this many pending requests")
+    serve.add_argument("--max-latency-ms", type=float, default=2.0,
+                       help="micro-batching: flush when the oldest request "
+                            "has waited this long")
+    serve.add_argument("--n-workers", type=int, default=0,
+                       help="forked serving processes sharing one read-only "
+                            "weight arena (0 = in-process)")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="disable request coalescing (A/B baseline)")
+    serve.add_argument("--no-verify", action="store_true",
+                       help="skip artifact fingerprint verification at load")
+
     gnn = sub.add_parser("gnn", help="GNN link-prediction experiment")
     gnn.add_argument("--dataset", default="wiki_talk",
                      choices=["wiki_talk", "ia_email"])
@@ -130,19 +174,31 @@ def _dataset(args):
                          seed=args.seed)
 
 
+def _model_kwargs(args, num_classes: int) -> dict:
+    """Architecture kwargs per CLI model name.
+
+    Single source of truth consumed by both the training factories and the
+    exported artifact's ``model_config`` — they must agree, or a served
+    artifact would rebuild a different architecture than was trained.
+    """
+    return {
+        "vgg19": {"num_classes": num_classes, "width_mult": args.width_mult,
+                  "input_size": args.image_size},
+        "vgg11": {"num_classes": num_classes, "width_mult": args.width_mult,
+                  "input_size": args.image_size},
+        "resnet50": {"num_classes": num_classes, "width_mult": args.width_mult},
+        "resnet50_mini": {"num_classes": num_classes, "width_mult": args.width_mult},
+        "mlp": {"in_features": 3 * args.image_size**2, "hidden": [128, 64],
+                "num_classes": num_classes},
+    }
+
+
 def _model_builders(args, num_classes: int) -> dict:
-    from repro.models import MLP, resnet50, resnet50_mini, vgg11, vgg19
+    from repro.models import build_model
 
     return {
-        "vgg19": lambda seed: vgg19(num_classes, args.width_mult,
-                                    args.image_size, seed=seed),
-        "vgg11": lambda seed: vgg11(num_classes, args.width_mult,
-                                    args.image_size, seed=seed),
-        "resnet50": lambda seed: resnet50(num_classes, args.width_mult, seed=seed),
-        "resnet50_mini": lambda seed: resnet50_mini(num_classes, args.width_mult,
-                                                    seed=seed),
-        "mlp": lambda seed: MLP(3 * args.image_size**2, (128, 64),
-                                num_classes, seed=seed),
+        name: (lambda seed, n=name, kw=kwargs: build_model(n, seed=seed, **kw))
+        for name, kwargs in _model_kwargs(args, num_classes).items()
     }
 
 
@@ -270,6 +326,95 @@ def _command_sweep(args) -> int:
     return 1 if report.failures else 0
 
 
+def _model_export_config(args, num_classes: int) -> dict:
+    """Registry config that rebuilds the trained architecture at load time.
+
+    Derived from the same kwargs table the training factory uses, so the
+    exported artifact cannot drift from what was actually trained.
+    """
+    kwargs = dict(_model_kwargs(args, num_classes)[args.model])
+    kwargs["seed"] = args.seed
+    return {"builder": args.model, "kwargs": kwargs}
+
+
+def _command_export(args) -> int:
+    from repro.experiments.runner import run_image_classification
+    from repro.serve import export_model
+
+    checkpoint_kwargs = _checkpoint_kwargs(args)
+    data = _dataset(args)
+    result = run_image_classification(
+        args.method, _model_factory(args, data.num_classes), data,
+        sparsity=args.sparsity, epochs=args.epochs,
+        batch_size=args.batch_size, lr=args.lr, delta_t=args.delta_t,
+        c=args.c, epsilon=args.epsilon, distribution=args.distribution,
+        seed=args.seed, keep_model=True,
+        **checkpoint_kwargs,
+    )
+    if result.masked is None:
+        raise SystemExit(
+            f"method {args.method!r} trains a dense model; nothing sparse to export"
+        )
+    path = export_model(
+        result.masked, args.out,
+        model_config=_model_export_config(args, data.num_classes),
+        preprocessing={"input_shape": list(data.input_shape)},
+        metadata={
+            "method": args.method,
+            "dataset": result.dataset,
+            "sparsity": args.sparsity,
+            "actual_sparsity": result.actual_sparsity,
+            "final_accuracy": result.final_accuracy,
+            "epochs": args.epochs,
+            "seed": args.seed,
+        },
+    )
+    size_kib = path.stat().st_size / 1024
+    print(f"method:          {result.method}")
+    print(f"final accuracy:  {result.final_accuracy:.4f}")
+    print(f"artifact:        {path} ({size_kib:.0f} KiB)")
+    print(f"serve with:      python -m repro.experiments.cli serve --artifact {path}")
+    return 0
+
+
+def _command_serve(args) -> int:
+    from repro.serve import Server, ServingPool, load_model, serve_forever
+
+    loaded = load_model(args.artifact, verify=not args.no_verify)
+    pool = None
+    forward = None
+    if args.n_workers > 0:
+        pool = ServingPool(loaded, n_workers=args.n_workers, preprocess=False)
+
+        def forward(batch, _pool=pool):
+            # Bounded wait: a wedged worker fails this batch instead of
+            # blocking the batching-queue flusher thread forever.
+            return _pool.predict(batch, timeout=60.0)
+        arena_note = (
+            f", shared weight arena {pool.arena.nbytes / 1024:.0f} KiB"
+            if pool.arena is not None else ""
+        )
+        print(f"serving pool: {pool.n_workers} workers{arena_note}")
+    server = Server(
+        loaded,
+        max_batch=args.max_batch,
+        max_latency_ms=args.max_latency_ms,
+        batching=not args.no_batching,
+        forward_override=forward,
+    )
+    metadata = loaded.metadata or {}
+    print(f"artifact: {args.artifact}")
+    print(f"  fingerprint: {loaded.fingerprint}")
+    if metadata:
+        print(f"  metadata:    {metadata}")
+    try:
+        serve_forever(server, args.host, args.port)
+    finally:
+        if pool is not None:
+            pool.close()
+    return 0
+
+
 def _command_gnn(args) -> int:
     from repro.data import ia_email_like, wiki_talk_like
     from repro.experiments.gnn import (
@@ -313,6 +458,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "export":
+        return _command_export(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "gnn":
         return _command_gnn(args)
     return _command_methods()

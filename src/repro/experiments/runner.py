@@ -73,6 +73,11 @@ class RunResult:
     training_flops_multiplier: float
     history: object = field(repr=False, default=None)
     masks: dict = field(repr=False, default_factory=dict)
+    # Populated only with ``keep_model=True`` (serial runs): the trained
+    # model and its MaskedModel wrapper, for compile-and-export pipelines
+    # (see repro.serve).  Sweep workers never ship these over pipes.
+    model: object = field(repr=False, default=None, compare=False)
+    masked: object = field(repr=False, default=None, compare=False)
 
 
 class _DensitySnapshotCallback(Callback):
@@ -146,6 +151,7 @@ def run_image_classification(
     checkpoint_every_steps: int | None = None,
     checkpoint_keep_last: int | None = None,
     resume_from=None,
+    keep_model: bool = False,
 ) -> RunResult:
     """Train one method on one dataset and return its table row.
 
@@ -272,6 +278,8 @@ def run_image_classification(
         training_flops_multiplier=train_mult,
         history=history,
         masks=masks,
+        model=model if keep_model else None,
+        masked=setup.masked if keep_model else None,
     )
 
 

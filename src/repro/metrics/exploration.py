@@ -13,7 +13,7 @@ greedy growth would have missed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

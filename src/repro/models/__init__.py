@@ -11,8 +11,12 @@ from repro.models.resnet import (
     resnet50_mini,
 )
 from repro.models.gnn import GCNEncoder, GNNLinkModel, LinkPredictor
+from repro.models.registry import MODEL_REGISTRY, build_model, register_model
 
 __all__ = [
+    "MODEL_REGISTRY",
+    "build_model",
+    "register_model",
     "MLP",
     "VGG",
     "VGG_CONFIGS",

@@ -1,0 +1,46 @@
+"""Sparse inference serving: artifacts, micro-batching, worker pools, HTTP.
+
+The deployment half of the reproduction (ROADMAP north star: serve the
+compiled sparse models, not just train them).  The pipeline is::
+
+    train (MaskedModel + DST-EE)
+      -> compile_sparse_model            # repro.sparse.inference, CSR kernels
+      -> export_model(...)               # versioned, fingerprinted artifact
+      -> load_model / Server             # in-process predict + micro-batching
+      -> ServingPool / make_http_server  # multi-process + JSON frontend
+
+See ``docs/serving.md`` for the walkthrough and
+``benchmarks/bench_serve.py`` for the latency/throughput numbers.
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    LoadedModel,
+    export_model,
+    load_model,
+    read_manifest,
+)
+from repro.serve.batching import BatchingQueue, BatchingStats
+from repro.serve.http import make_http_server, serve_forever
+from repro.serve.pool import ServingPool, share_model_weights, unshare_model_weights
+from repro.serve.preprocess import Preprocessor
+from repro.serve.server import Server
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "BatchingQueue",
+    "BatchingStats",
+    "LoadedModel",
+    "Preprocessor",
+    "Server",
+    "ServingPool",
+    "export_model",
+    "load_model",
+    "make_http_server",
+    "read_manifest",
+    "serve_forever",
+    "share_model_weights",
+    "unshare_model_weights",
+]

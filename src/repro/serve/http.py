@@ -1,0 +1,140 @@
+"""Stdlib JSON frontend: POST /predict over ``http.server``.
+
+No web framework is baked into the container, and none is needed for a
+request/response JSON API: :class:`ThreadingHTTPServer` gives one thread
+per connection, and because every example is routed through the owning
+:class:`~repro.serve.Server`'s batching queue, concurrent HTTP clients are
+coalesced into shared CSR matmuls exactly like in-process callers.
+
+Endpoints
+---------
+``POST /predict``
+    Body ``{"inputs": [<example>, ...]}`` (always a list of examples, even
+    for one).  Response ``{"outputs": [[...logits...], ...],
+    "predictions": [argmax, ...], "latency_ms": <float>}``.
+``GET /healthz``
+    Liveness + model fingerprint.
+``GET /stats``
+    Serving statistics (request counts, batch sizes, latency percentiles).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serve.server import Server
+
+__all__ = ["make_http_server", "serve_forever"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _ServingHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The handler class is shared; the Server instance hangs off the
+    # ThreadingHTTPServer (see make_http_server).
+    @property
+    def serving(self) -> Server:
+        return self.server.repro_server
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "repro_quiet", True):
+            return
+        super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths may leave an unread request body on the socket;
+            # under HTTP/1.1 keep-alive the next request would be parsed
+            # mid-body, so drop the connection instead.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok", "fingerprint": self.serving.fingerprint})
+        elif self.path == "/stats":
+            self._reply(200, self.serving.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/predict":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            if not 0 < length <= _MAX_BODY_BYTES:
+                raise ValueError(f"Content-Length {length} out of range")
+            payload = json.loads(self.rfile.read(length))
+            inputs = payload["inputs"]
+            if not isinstance(inputs, list) or not inputs:
+                raise ValueError("'inputs' must be a non-empty list of examples")
+            examples = [np.asarray(example, dtype=np.float32) for example in inputs]
+        except (KeyError, ValueError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        start = time.perf_counter()
+        try:
+            futures = [self.serving.submit(example) for example in examples]
+            outputs = [future.result(timeout=30.0) for future in futures]
+        except ValueError as exc:  # preprocessing rejected the example shape
+            self._reply(400, {"error": str(exc)})
+            return
+        except Exception as exc:
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        latency_ms = (time.perf_counter() - start) * 1e3
+        self._reply(
+            200,
+            {
+                "outputs": [np.asarray(out).tolist() for out in outputs],
+                "predictions": [int(np.argmax(out)) for out in outputs],
+                "latency_ms": round(latency_ms, 3),
+            },
+        )
+
+
+def make_http_server(
+    server: Server,
+    host: str = "127.0.0.1",
+    port: int = 8100,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server over ``server`` (port 0 = ephemeral).
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()`` + ``server_close()`` to stop.  The bound port is
+    ``httpd.server_address[1]``.
+    """
+    httpd = ThreadingHTTPServer((host, port), _ServingHandler)
+    httpd.repro_server = server
+    httpd.repro_quiet = quiet
+    return httpd
+
+
+def serve_forever(server: Server, host: str = "127.0.0.1", port: int = 8100) -> None:
+    """Blocking convenience runner (Ctrl-C to stop)."""
+    httpd = make_http_server(server, host, port, quiet=False)
+    address = httpd.server_address
+    print(f"serving on http://{address[0]}:{address[1]}  (POST /predict)")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        server.close()

@@ -1,0 +1,310 @@
+"""Multi-process serving pool over one shared read-only weight arena.
+
+One Python process can only push one core's worth of CSR matmuls.  The pool
+forks ``n_workers`` serving processes that all read the *same* physical
+copy of the compiled weights: the parent packs every sparse layer's CSR
+components (both orientations) and bias into a single
+:class:`~repro.parallel.shm.SharedArena`, re-points the layer matrices at
+read-only views of it, and forks.  At the paper's 90–98% sparsities the
+arena is a fraction of the dense weight bytes, and the workers add no
+per-process weight copies at all — the scaling cost of one more worker is
+its Python interpreter, not the model.
+
+Requests travel over a shared queue (natural load balancing: an idle
+worker picks up the next request), responses return through a collector
+thread that resolves per-request futures.  On platforms without ``fork``
+the pool degrades to in-process serving with the same API.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import threading
+import traceback
+import warnings
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.parallel import SharedArena, fork_available
+from repro.serve.artifact import LoadedModel, load_model
+from repro.sparse.inference import SparseConv2d, SparseLinear
+
+__all__ = ["ServingPool", "share_model_weights", "unshare_model_weights"]
+
+
+def share_model_weights(model: Module) -> SharedArena | None:
+    """Move every compiled layer's weight arrays into one shared arena.
+
+    The layers' scipy matrices are re-pointed at read-only arena views in
+    place; the returned arena owns the segment (``close`` it when done).
+    Returns ``None`` when the model has no compiled sparse layers.
+    """
+    packed: dict[str, np.ndarray] = {}
+    layers: list[tuple[str, Module]] = []
+    for name, module in model.named_modules():
+        if not isinstance(module, (SparseLinear, SparseConv2d)):
+            continue
+        layers.append((name, module))
+        for orient, matrix in (("csr", module.weight_csr), ("csr_t", module.weight_csr_t)):
+            packed[f"{name}.{orient}.data"] = matrix.data
+            packed[f"{name}.{orient}.indices"] = matrix.indices
+            packed[f"{name}.{orient}.indptr"] = matrix.indptr
+        if module.bias_data is not None:
+            packed[f"{name}.bias"] = module.bias_data
+    if not layers:
+        return None
+    arena = SharedArena(packed, readonly=True)
+    for name, module in layers:
+        for orient, matrix in (("csr", module.weight_csr), ("csr_t", module.weight_csr_t)):
+            matrix.data = arena.view(f"{name}.{orient}.data")
+            matrix.indices = arena.view(f"{name}.{orient}.indices")
+            matrix.indptr = arena.view(f"{name}.{orient}.indptr")
+        if module.bias_data is not None:
+            module.bias_data = arena.view(f"{name}.bias")
+    return arena
+
+
+def unshare_model_weights(model: Module) -> None:
+    """Give every compiled layer back private copies of its weight arrays.
+
+    Must run before the backing arena's ``close()``: that unmaps the shared
+    segment, and any scipy matrix still pointing into it would fault on
+    next use.  Copying unconditionally is deliberate — it is correct (and
+    cheap at serving sparsities) whether or not a given array is a view.
+    """
+    for _, module in model.named_modules():
+        if not isinstance(module, (SparseLinear, SparseConv2d)):
+            continue
+        for matrix in (module.weight_csr, module.weight_csr_t):
+            matrix.data = np.array(matrix.data, copy=True)
+            matrix.indices = np.array(matrix.indices, copy=True)
+            matrix.indptr = np.array(matrix.indptr, copy=True)
+        if module.bias_data is not None:
+            module.bias_data = np.array(module.bias_data, copy=True)
+
+
+def _pool_worker(requests, responses, loaded: LoadedModel, preprocess: bool) -> None:
+    """Worker loop: one request (a whole batch) per queue item."""
+    model = loaded.model
+    preprocessor = loaded.preprocessor
+    while True:
+        item = requests.get()
+        if item is None:
+            return
+        request_id, payload = item
+        try:
+            batch = np.asarray(payload, dtype=np.float32)
+            if preprocess:
+                batch = preprocessor(batch)
+            with no_grad():
+                out = model(Tensor(batch))
+            responses.put((request_id, np.asarray(out.data), None))
+        except BaseException:
+            responses.put((request_id, None, traceback.format_exc()))
+
+
+class ServingPool:
+    """N forked serving workers sharing one read-only weight arena.
+
+    Parameters
+    ----------
+    source:
+        Artifact path, or an already-:func:`~repro.serve.artifact.load_model`-ed
+        :class:`LoadedModel`.
+    n_workers:
+        Forked serving processes.  ``0`` (or a platform without fork)
+        serves in-process with the same API.
+
+    The unit of work is one *request batch*: ``predict``/``submit`` take a
+    batch of examples and the pool parallelizes across concurrent requests
+    (pair it with a :class:`~repro.serve.batching.BatchingQueue` upstream
+    to also coalesce single-example traffic).
+
+    ``preprocess=False`` skips the artifact's preprocessing spec in the
+    workers — pass it when an upstream :class:`~repro.serve.Server` already
+    preprocessed the batch (applying mean/std twice would corrupt it).
+    """
+
+    def __init__(self, source, n_workers: int = 2, verify: bool = True, preprocess: bool = True):
+        if n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+        if isinstance(source, LoadedModel):
+            self.loaded = source
+        else:
+            self.loaded = load_model(source, verify=verify)
+        if n_workers > 0 and not fork_available():
+            warnings.warn(
+                "fork start method unavailable; ServingPool falls back to "
+                "in-process serving",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            n_workers = 0
+        self.n_workers = int(n_workers)
+        self.preprocess = bool(preprocess)
+        self.arena = share_model_weights(self.loaded.model) if n_workers > 0 else None
+        self._ids = itertools.count()
+        self._inflight: dict[int, Future] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._broken = False
+        self._workers: list = []
+        self._collector = None
+        self._monitor = None
+        if self.n_workers > 0:
+            ctx = mp.get_context("fork")
+            self._requests = ctx.SimpleQueue()
+            self._responses = ctx.SimpleQueue()
+            for worker_id in range(self.n_workers):
+                process = ctx.Process(
+                    target=_pool_worker,
+                    args=(self._requests, self._responses, self.loaded, self.preprocess),
+                    name=f"repro-serve-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                self._workers.append(process)
+            self._collector = threading.Thread(
+                target=self._collect,
+                name="repro-serve-collector",
+                daemon=True,
+            )
+            self._collector.start()
+            self._monitor = threading.Thread(
+                target=self._watch_workers,
+                name="repro-serve-monitor",
+                daemon=True,
+            )
+            self._monitor.start()
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(self, batch) -> Future:
+        """Dispatch one request batch; resolves to its output array."""
+        future: Future = Future()
+        if self.n_workers == 0:
+            try:
+                batch = np.asarray(batch, dtype=np.float32)
+                if self.preprocess:
+                    batch = self.loaded.preprocessor(batch)
+                with no_grad():
+                    out = self.loaded.model(Tensor(batch))
+                future.set_result(np.asarray(out.data))
+            except BaseException as exc:
+                future.set_exception(exc)
+            return future
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ServingPool is closed")
+            if self._broken:
+                raise RuntimeError("ServingPool is broken (a worker died); recreate it")
+            request_id = next(self._ids)
+            self._inflight[request_id] = future
+        self._requests.put((request_id, np.asarray(batch)))
+        return future
+
+    def predict(self, batch, timeout: float | None = None) -> np.ndarray:
+        """Blocking request; raises the worker's error on failure."""
+        return self.submit(batch).result(timeout=timeout)
+
+    def _collect(self) -> None:
+        while True:
+            item = self._responses.get()
+            if item is None:
+                return
+            request_id, value, error = item
+            with self._lock:
+                future = self._inflight.pop(request_id, None)
+            if future is None:
+                continue
+            if error is not None:
+                future.set_exception(RuntimeError(f"serving worker failed:\n{error}"))
+            else:
+                future.set_result(value)
+
+    def _watch_workers(self) -> None:
+        """Fail fast when a worker dies mid-request instead of hanging.
+
+        A request taken by a worker that gets OOM-killed (or segfaults)
+        would otherwise leave its future unresolved forever — and with the
+        shared request queue there is no record of which worker held it.
+        On any unexpected worker death the pool declares itself broken:
+        every in-flight future fails and new submits are rejected.
+        """
+        from multiprocessing.connection import wait as connection_wait
+
+        sentinels = [process.sentinel for process in self._workers]
+        while True:
+            dead = connection_wait(sentinels, timeout=0.5)
+            with self._lock:
+                if self._closed:
+                    return
+                if not dead:
+                    continue
+                self._broken = True
+                leftover = list(self._inflight.values())
+                self._inflight.clear()
+            for future in leftover:
+                future.set_exception(
+                    RuntimeError(
+                        "serving worker died unexpectedly; pool is broken "
+                        "(in-flight requests aborted)"
+                    )
+                )
+            return
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers, fail unresolved futures, release the arena."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            broken = self._broken
+        if self.n_workers > 0:
+            if not broken:
+                for _ in self._workers:
+                    self._requests.put(None)
+            # A worker SIGKILLed mid-get can die holding the shared queue's
+            # reader lock, deadlocking its siblings on the sentinel — so the
+            # graceful join is bounded and stragglers are killed outright.
+            for process in self._workers:
+                process.join(timeout=0.5 if broken else 10.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join()
+            if not broken:
+                # All workers exited cleanly, so the response queue's write
+                # lock is free and the collector can be stopped in-band.
+                self._responses.put(None)
+                self._collector.join()
+            # else: the dead worker may hold the response queue's write
+            # lock; the daemon collector is abandoned rather than joined.
+            if self._monitor is not None:
+                self._monitor.join()
+            with self._lock:
+                leftover = list(self._inflight.values())
+                self._inflight.clear()
+            for future in leftover:
+                future.set_exception(RuntimeError("ServingPool closed mid-request"))
+        if self.arena is not None:
+            # The arena is about to be unmapped; the (possibly caller-owned)
+            # LoadedModel must get private weight copies back first, or its
+            # next predict would fault on the dead mapping.
+            unshare_model_weights(self.loaded.model)
+            self.arena.close()
+            self.arena = None
+
+    def __enter__(self) -> "ServingPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,78 @@
+"""Declarative preprocessing spec applied to raw request payloads.
+
+A serving artifact carries a JSON-able *preprocessing spec* so that every
+consumer of the model (in-process server, HTTP frontend, worker pool)
+normalizes requests identically — the spec travels with the weights instead
+of living in application code.
+
+Spec keys (all optional):
+
+``input_shape``
+    Per-example shape, e.g. ``[3, 12, 12]``.  Incoming examples are
+    validated against it; flat examples of the matching total size are
+    reshaped to it.
+``mean`` / ``std``
+    Per-channel (or scalar) normalization applied as ``(x - mean) / std``.
+    Broadcast against the example shape from the left, i.e. a length-C list
+    matches ``[C, H, W]`` inputs.
+``flatten``
+    When true, examples are flattened to 1-D after normalization (for MLP
+    artifacts trained on flattened images).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Preprocessor"]
+
+
+class Preprocessor:
+    """Compiled form of a preprocessing spec; callable on example batches."""
+
+    def __init__(self, spec: dict | None):
+        spec = dict(spec or {})
+        self.spec = spec
+        shape = spec.get("input_shape")
+        self.input_shape = None if shape is None else tuple(int(s) for s in shape)
+        self.flatten = bool(spec.get("flatten", False))
+        mean = spec.get("mean")
+        std = spec.get("std")
+        self._mean = None if mean is None else self._broadcastable(np.asarray(mean, np.float32))
+        self._std = None if std is None else self._broadcastable(np.asarray(std, np.float32))
+        if self._std is not None and np.any(self._std == 0.0):
+            raise ValueError("preprocessing std must be non-zero")
+
+    def _broadcastable(self, values: np.ndarray) -> np.ndarray:
+        """Shape 1-D per-channel stats to broadcast over [N, C, H, W] batches."""
+        if values.ndim == 1 and self.input_shape is not None and len(self.input_shape) == 3:
+            return values.reshape(1, -1, 1, 1)
+        return values
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        """Normalize one batch (leading axis = examples) to model input."""
+        batch = np.asarray(batch, dtype=np.float32)
+        if self.input_shape is not None:
+            per_example = batch.shape[1:]
+            if per_example != self.input_shape:
+                expected = int(np.prod(self.input_shape))
+                if per_example == (expected,):
+                    batch = batch.reshape((batch.shape[0],) + self.input_shape)
+                else:
+                    raise ValueError(
+                        f"example shape {per_example} does not match artifact "
+                        f"input_shape {self.input_shape}"
+                    )
+        if self._mean is not None:
+            batch = batch - self._mean
+        if self._std is not None:
+            batch = batch / self._std
+        if self.flatten:
+            batch = batch.reshape(batch.shape[0], -1)
+        return np.ascontiguousarray(batch, dtype=np.float32)
+
+    def example_shapes(self) -> tuple[tuple[int, ...], ...]:
+        """Accepted per-example shapes (empty when the spec is shapeless)."""
+        if self.input_shape is None:
+            return ()
+        return (self.input_shape, (int(np.prod(self.input_shape)),))

@@ -1,0 +1,139 @@
+"""In-process serving: one loaded artifact behind a predict API.
+
+:class:`Server` is the composition point of the serving subsystem: it owns
+a loaded model (see :mod:`repro.serve.artifact`), applies the artifact's
+preprocessing spec to every request, and — unless batching is disabled —
+routes single-example requests through a :class:`~repro.serve.batching.BatchingQueue`
+so concurrent callers share one CSR matmul.  The HTTP frontend
+(:mod:`repro.serve.http`) and the multi-process pool
+(:mod:`repro.serve.pool`) are thin layers over this class.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.serve.artifact import LoadedModel, load_model
+from repro.serve.batching import BatchingQueue
+from repro.serve.preprocess import Preprocessor
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Serve predictions from a compiled sparse model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`LoadedModel` (from :func:`repro.serve.artifact.load_model`)
+        or a bare eval-mode :class:`Module`.
+    max_batch / max_latency_ms:
+        Micro-batching knobs (see :class:`BatchingQueue`).
+    batching:
+        ``False`` disables the queue; :meth:`submit` then runs the request
+        synchronously — useful as the A/B baseline in benchmarks.
+    forward_override:
+        Optional ``(preprocessed batch) -> outputs`` callable replacing the
+        in-process model forward — e.g. ``ServingPool.predict`` to fan
+        coalesced batches out across worker processes.
+    """
+
+    def __init__(
+        self,
+        model: LoadedModel | Module,
+        *,
+        max_batch: int = 32,
+        max_latency_ms: float = 2.0,
+        batching: bool = True,
+        forward_override=None,
+    ):
+        if isinstance(model, LoadedModel):
+            self.loaded = model
+            self.model = model.model
+            self.preprocessor = model.preprocessor
+            self.fingerprint = model.fingerprint
+            self.metadata = model.metadata
+        else:
+            self.loaded = None
+            self.model = model
+            self.preprocessor = Preprocessor(None)
+            self.fingerprint = None
+            self.metadata = None
+        self.model.eval()
+        self._forward_override = forward_override
+        self._queue = (
+            BatchingQueue(self._forward, max_batch=max_batch, max_latency_ms=max_latency_ms)
+            if batching
+            else None
+        )
+
+    @classmethod
+    def from_artifact(cls, path, verify: bool = True, **kwargs) -> "Server":
+        """Load ``path`` and wrap it in a server (kwargs as in ``__init__``)."""
+        return cls(load_model(path, verify=verify), **kwargs)
+
+    # ------------------------------------------------------------------
+    # prediction paths
+    # ------------------------------------------------------------------
+    def _forward(self, batch: np.ndarray) -> np.ndarray:
+        """Model forward on an already-preprocessed batch (no autograd)."""
+        if self._forward_override is not None:
+            return np.asarray(self._forward_override(batch))
+        with no_grad():
+            out = self.model(Tensor(batch))
+        return np.asarray(out.data)
+
+    def predict(self, inputs) -> np.ndarray:
+        """Synchronous whole-batch path: preprocess + one forward call.
+
+        ``inputs`` is a batch (leading axis = examples).  Bypasses the
+        batching queue — use :meth:`submit` / :meth:`predict_one` for
+        request-per-example traffic.
+        """
+        return self._forward(self.preprocessor(np.asarray(inputs)))
+
+    def submit(self, example) -> Future:
+        """Asynchronous single-example path through the batching queue."""
+        example = self.preprocessor(np.asarray(example)[None])[0]
+        if self._queue is None:
+            future: Future = Future()
+            try:
+                future.set_result(self._forward(example[None])[0])
+            except BaseException as exc:
+                future.set_exception(exc)
+            return future
+        return self._queue.submit(example)
+
+    def predict_one(self, example, timeout: float | None = None) -> np.ndarray:
+        """Blocking single-example prediction (through the queue)."""
+        return self.submit(example).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # introspection & lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving statistics (queue counters + identity of the model)."""
+        info = {
+            "fingerprint": self.fingerprint,
+            "metadata": self.metadata,
+            "batching": self._queue is not None,
+        }
+        if self._queue is not None:
+            info.update(self._queue.stats())
+        return info
+
+    def close(self) -> None:
+        if self._queue is not None:
+            self._queue.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -12,7 +12,7 @@ evolving masks visit.  These helpers quantify that from mask snapshots:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

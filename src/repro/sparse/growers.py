@@ -21,7 +21,7 @@ DSR             global magnitude         random (proportional realloc)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 import numpy as np

@@ -51,6 +51,36 @@ class SparseLinear(Module):
         self.weight_csr_t = self._matmul.csr_t
         self.bias_data = None if dense.bias is None else dense.bias.data.copy()
 
+    @classmethod
+    def from_csr(
+        cls,
+        in_features: int,
+        out_features: int,
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        bias: np.ndarray | None = None,
+        copy: bool = True,
+    ) -> "SparseLinear":
+        """Rebuild a compiled layer from stored CSR components.
+
+        Serving-artifact round-trip hook: with ``copy=False`` the weight
+        matrix aliases the caller's arrays (e.g. read-only views into a
+        shared-memory arena), so multiple serving workers share one copy.
+        """
+        layer = cls.__new__(cls)
+        Module.__init__(layer)
+        layer.in_features = int(in_features)
+        layer.out_features = int(out_features)
+        layer._matmul = CsrMatmul.from_parts(
+            (layer.out_features, layer.in_features), data, indices, indptr, copy=copy
+        )
+        layer.weight_csr = layer._matmul.csr
+        layer.weight_csr_t = layer._matmul.csr_t
+        layer.bias_data = None if bias is None else np.array(bias, dtype=np.float32, copy=True)
+        layer.eval()
+        return layer
+
     @property
     def nnz(self) -> int:
         return int(self.weight_csr.nnz)
@@ -89,6 +119,46 @@ class SparseConv2d(Module):
         self.weight_csr = self._matmul.csr
         self.weight_csr_t = self._matmul.csr_t
         self.bias_data = None if dense.bias is None else dense.bias.data.copy()
+
+    @classmethod
+    def from_csr(
+        cls,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: tuple[int, int],
+        stride,
+        padding,
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        bias: np.ndarray | None = None,
+        copy: bool = True,
+    ) -> "SparseConv2d":
+        """Rebuild a compiled conv layer from stored CSR components.
+
+        See :meth:`SparseLinear.from_csr`; the CSR matrix here is the
+        ``(out_channels, in_channels * kh * kw)`` filter matrix.
+        """
+        layer = cls.__new__(cls)
+        Module.__init__(layer)
+        layer.in_channels = int(in_channels)
+        layer.out_channels = int(out_channels)
+        kh, kw = kernel_size
+        layer.kernel_size = (int(kh), int(kw))
+        layer.stride = tuple(stride) if isinstance(stride, (tuple, list)) else int(stride)
+        layer.padding = tuple(padding) if isinstance(padding, (tuple, list)) else int(padding)
+        layer._matmul = CsrMatmul.from_parts(
+            (layer.out_channels, layer.in_channels * layer.kernel_size[0] * layer.kernel_size[1]),
+            data,
+            indices,
+            indptr,
+            copy=copy,
+        )
+        layer.weight_csr = layer._matmul.csr
+        layer.weight_csr_t = layer._matmul.csr_t
+        layer.bias_data = None if bias is None else np.array(bias, dtype=np.float32, copy=True)
+        layer.eval()
+        return layer
 
     @property
     def nnz(self) -> int:

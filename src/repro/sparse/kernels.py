@@ -140,6 +140,47 @@ class CsrMatmul:
         """Mask version the current index structure was built from."""
         return self._version
 
+    @classmethod
+    def from_parts(
+        cls,
+        shape2d: tuple[int, int],
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        copy: bool = False,
+    ) -> "CsrMatmul":
+        """Frozen matmul pair rebuilt from stored CSR components.
+
+        Serving-artifact round-trip hook (:mod:`repro.serve.artifact`): the
+        exported ``(data, indices, indptr)`` of ``W`` come back as a ready
+        :class:`CsrMatmul` whose transposed structure is derived once at
+        load time.  With ``copy=False`` the forward matrix aliases the
+        caller's arrays (e.g. views into a shared-memory weight arena), so
+        N serving workers can share one read-only copy of the weights.
+
+        The result is inference-frozen: :meth:`sync` would rebuild the
+        structure from a mask and must not be called on it.
+        """
+        matmul = cls(shape2d)
+        data = np.asarray(data, dtype=np.float32)
+        indices = np.asarray(indices, dtype=np.int32)
+        indptr = np.asarray(indptr, dtype=np.int32)
+        if copy:
+            data, indices, indptr = data.copy(), indices.copy(), indptr.copy()
+        # Build an empty matrix and attach the arrays by attribute: the
+        # component-triplet constructor canonicalizes (and therefore copies),
+        # which would break aliasing into a shared-memory arena.
+        matmul.csr = sp.csr_matrix(matmul.shape2d, dtype=np.float32)
+        matmul.csr.data = data
+        matmul.csr.indices = indices
+        matmul.csr.indptr = indptr
+        matmul.csr_t = matmul.csr.T.tocsr()
+        for matrix in (matmul.csr, matmul.csr_t):
+            matrix.has_sorted_indices = True
+            matrix.has_canonical_format = True
+        matmul._version = 0
+        return matmul
+
     def sync(self, flat_values: np.ndarray, active_idx: np.ndarray, version: int) -> None:
         if version != self._version:
             self._rebuild(active_idx)

@@ -47,6 +47,8 @@ __all__ = [
     "FORMAT_VERSION",
     "CheckpointCallback",
     "atomic_write_bytes",
+    "decode_state_tree",
+    "encode_state_tree",
     "latest_checkpoint",
     "list_checkpoints",
     "load_training_checkpoint",
@@ -93,6 +95,24 @@ def _decode(node, archive) -> object:
     if isinstance(node, list):
         return [_decode(value, archive) for value in node]
     return node
+
+
+def encode_state_tree(state) -> tuple[object, dict]:
+    """Split a state tree into a JSON-able tree plus its ndarray leaves.
+
+    Public form of the checkpoint codec, shared with the serving artifact
+    format (:mod:`repro.serve.artifact`): returns ``(tree, arrays)`` where
+    ``tree`` is JSON-serializable with every ndarray leaf replaced by an
+    archive placeholder, and ``arrays`` maps placeholder keys to the
+    original arrays.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    return _encode(state, arrays), arrays
+
+
+def decode_state_tree(tree, archive) -> object:
+    """Inverse of :func:`encode_state_tree` (``archive`` maps key->array)."""
+    return _decode(tree, archive)
 
 
 def atomic_write_bytes(path, payload: bytes) -> pathlib.Path:

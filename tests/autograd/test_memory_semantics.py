@@ -1,7 +1,6 @@
 """Gradient accumulation memory semantics: views, aliasing, dtype handling."""
 
 import numpy as np
-import pytest
 
 from repro.autograd import Tensor, ops
 

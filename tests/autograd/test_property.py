@@ -6,7 +6,6 @@ and consistency between equivalent expressions.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data import cifar10_like, make_image_classification
+from repro.data import make_image_classification
 from repro.models import MLP
 
 

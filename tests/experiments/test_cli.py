@@ -1,6 +1,5 @@
 """CLI argument parsing and command dispatch."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.cli import build_parser, main

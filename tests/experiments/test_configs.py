@@ -1,6 +1,5 @@
 """Experiment configuration scales and settings."""
 
-import os
 
 import pytest
 

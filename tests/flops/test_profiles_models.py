@@ -1,7 +1,6 @@
 """FLOPs profiles of the actual paper architectures (scaled)."""
 
 import numpy as np
-import pytest
 
 from repro.flops import profile_model, sparse_inference_flops
 from repro.models import resnet50, resnet50_mini, vgg19

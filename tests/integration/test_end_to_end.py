@@ -1,6 +1,5 @@
 """End-to-end integration: full training runs exercising the whole stack."""
 
-import numpy as np
 import pytest
 
 from repro.data import make_image_classification

@@ -1,7 +1,6 @@
 """Accuracy metrics."""
 
 import numpy as np
-import pytest
 
 from repro.autograd import Tensor
 from repro.metrics import accuracy, binary_accuracy, topk_accuracy

@@ -1,11 +1,9 @@
 """Figure-1 cohort tracker: grown weights' gradient vs later magnitude ranks."""
 
 import numpy as np
-import pytest
 
 from repro.metrics import GrownWeightCohortTracker
 from repro.models import MLP
-from repro.optim import SGD
 from repro.sparse import DSTEEGrowth, DynamicSparseEngine, MaskedModel
 
 

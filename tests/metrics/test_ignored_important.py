@@ -5,8 +5,7 @@ import pytest
 
 from repro.metrics import IgnoredImportantAnalysis
 from repro.models import MLP
-from repro.optim import SGD
-from repro.sparse import DSTEEGrowth, DynamicSparseEngine, GradientGrowth, MaskedModel
+from repro.sparse import DSTEEGrowth, DynamicSparseEngine, MaskedModel
 
 
 def make_engine(sparsity=0.8, c=1e-2, seed=0):

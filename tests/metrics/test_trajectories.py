@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.metrics.trajectories import WeightTrajectory, WeightTrajectoryRecorder
+from repro.metrics.trajectories import WeightTrajectoryRecorder
 from repro.models import MLP
 from repro.sparse import MaskedModel
 

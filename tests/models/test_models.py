@@ -1,7 +1,6 @@
 """Model architectures: shapes, layer counts, scaling knobs."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.autograd import Tensor

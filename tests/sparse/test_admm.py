@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.autograd import Tensor
 from repro.models import MLP
 from repro.sparse import ADMMPruner, project_topk
-from repro.sparse.masked import collect_sparsifiable
 
 
 def make_model(seed=0):

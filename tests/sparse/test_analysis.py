@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.models import MLP
-from repro.sparse import GradientGrowth, DynamicSparseEngine, MaskedModel, RandomGrowth
+from repro.sparse import DynamicSparseEngine, MaskedModel, RandomGrowth
 from repro.sparse.analysis import (
     MaskDriftTracker,
     layer_density_table,

@@ -1,7 +1,6 @@
 """Hypothesis property tests for coverage counters and acquisition scores."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sparse.scoring import acquisition_score, exploration_score

@@ -15,8 +15,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.autograd import Tensor
-from repro import nn
 from repro.models import MLP
 from repro.optim import SGD
 from repro.sparse import (
@@ -24,7 +22,6 @@ from repro.sparse import (
     DynamicSparseEngine,
     FixedMaskController,
     GradientGrowth,
-    MagnitudeDrop,
     MaskedModel,
     RandomGrowth,
     SignFlipDrop,

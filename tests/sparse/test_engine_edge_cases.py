@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 from repro.models import MLP
-from repro.optim import Adam, SGD
+from repro.optim import Adam
 from repro.sparse import (
-    DSTEEGrowth,
     DynamicSparseEngine,
     GradientGrowth,
     MaskedModel,

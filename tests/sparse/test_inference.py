@@ -124,6 +124,44 @@ class TestCompile:
         csr_bytes, dense_bytes = sparse_storage_bytes(compiled)
         assert csr_bytes < 0.5 * dense_bytes  # big win at 95% sparsity
 
+    def test_bias_free_layers_compile_and_match(self):
+        """The serve path exports bias-free layers; compile must keep parity."""
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1, bias=False, rng=np.random.default_rng(5)),
+            nn.ReLU(),
+        )
+        masked = MaskedModel(model, 0.7, rng=np.random.default_rng(5))
+        x = Tensor(RNG.standard_normal((2, 3, 6, 6)).astype(np.float32))
+        model.eval()
+        with no_grad():
+            expected = model(x).data
+        compiled = compile_sparse_model(masked)
+        layer = compiled[0]
+        assert isinstance(layer, SparseConv2d)
+        assert layer.bias_data is None
+        with no_grad():
+            assert np.allclose(compiled(x).data, expected, atol=1e-4)
+
+    def test_bias_free_linear_compiles(self):
+        model = nn.Sequential(nn.Linear(10, 6, bias=False, rng=np.random.default_rng(4)))
+        masked = MaskedModel(model, 0.5, rng=np.random.default_rng(4))
+        x = Tensor(RNG.standard_normal((3, 10)).astype(np.float32))
+        model.eval()
+        with no_grad():
+            expected = model(x).data
+        compiled = compile_sparse_model(masked)
+        assert compiled[0].bias_data is None
+        with no_grad():
+            assert np.allclose(compiled(x).data, expected, atol=1e-5)
+
+    def test_compiled_model_raises_if_put_back_in_training(self):
+        model = MLP(in_features=12, hidden=(16,), num_classes=3, seed=0)
+        masked = MaskedModel(model, 0.8, rng=np.random.default_rng(0))
+        compiled = compile_sparse_model(masked)
+        compiled.train()
+        with pytest.raises(RuntimeError, match="inference-only"):
+            compiled(Tensor(np.zeros((1, 12), dtype=np.float32)))
+
     def test_unmasked_layers_left_dense(self):
         model = MLP(in_features=12, hidden=(16,), num_classes=3, seed=0)
         linears = [m for m in model.modules() if isinstance(m, nn.Linear)]
@@ -133,3 +171,63 @@ class TestCompile:
         kinds = [type(m).__name__ for m in compiled.modules()]
         assert kinds.count("SparseLinear") == 1
         assert kinds.count("Linear") == 1  # the unmasked layer stays dense
+
+
+class TestFromCsr:
+    """Artifact round-trip hooks: layers rebuilt from raw CSR components."""
+
+    def test_linear_from_csr_matches_original(self):
+        dense = nn.Linear(14, 9, rng=np.random.default_rng(6))
+        dense.weight.data *= RNG.random((9, 14)) < 0.25
+        original = SparseLinear(dense)
+        original.eval()
+        rebuilt = SparseLinear.from_csr(
+            14, 9,
+            original.weight_csr.data,
+            original.weight_csr.indices,
+            original.weight_csr.indptr,
+            bias=original.bias_data,
+        )
+        x = Tensor(RNG.standard_normal((5, 14)).astype(np.float32))
+        assert np.array_equal(rebuilt(x).data, original(x).data)
+        assert rebuilt.nnz == original.nnz
+        assert not rebuilt.training
+
+    def test_conv_from_csr_matches_original(self):
+        dense = nn.Conv2d(2, 5, 3, stride=2, padding=1, rng=np.random.default_rng(6))
+        dense.weight.data *= RNG.random(dense.weight.shape) < 0.25
+        original = SparseConv2d(dense)
+        original.eval()
+        rebuilt = SparseConv2d.from_csr(
+            2, 5, (3, 3), (2, 2), (1, 1),
+            original.weight_csr.data,
+            original.weight_csr.indices,
+            original.weight_csr.indptr,
+            bias=original.bias_data,
+        )
+        x = Tensor(RNG.standard_normal((2, 2, 8, 8)).astype(np.float32))
+        assert np.array_equal(rebuilt(x).data, original(x).data)
+
+    def test_from_csr_no_copy_aliases_caller_arrays(self):
+        dense = nn.Linear(8, 4, bias=False, rng=np.random.default_rng(2))
+        original = SparseLinear(dense)
+        data = original.weight_csr.data.copy()
+        rebuilt = SparseLinear.from_csr(
+            8, 4, data,
+            original.weight_csr.indices.copy(),
+            original.weight_csr.indptr.copy(),
+            copy=False,
+        )
+        assert rebuilt.weight_csr.data is data
+
+    def test_from_csr_copy_detaches_from_caller_arrays(self):
+        dense = nn.Linear(8, 4, bias=False, rng=np.random.default_rng(2))
+        original = SparseLinear(dense)
+        data = original.weight_csr.data.copy()
+        rebuilt = SparseLinear.from_csr(
+            8, 4, data,
+            original.weight_csr.indices.copy(),
+            original.weight_csr.indptr.copy(),
+            copy=True,
+        )
+        assert rebuilt.weight_csr.data is not data

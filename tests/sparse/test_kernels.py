@@ -19,9 +19,7 @@ from repro.sparse import (
 )
 from repro.sparse.kernels import (
     BACKEND_ENV,
-    Conv2dKernel,
     CsrMatmul,
-    LinearKernel,
     resolve_mode,
 )
 

@@ -1,6 +1,5 @@
 """Drop-fraction and update schedules."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.autograd import Tensor
 from repro.data import make_image_classification, DataLoader
 from repro.models import MLP, vgg11
 from repro.sparse import global_topk_masks, grasp_masks, snip_masks, synflow_masks

@@ -17,6 +17,8 @@ PACKAGES = [
     "repro.metrics",
     "repro.flops",
     "repro.experiments",
+    "repro.parallel",
+    "repro.serve",
 ]
 
 

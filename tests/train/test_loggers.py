@@ -3,7 +3,6 @@
 import csv
 import io
 
-import pytest
 
 from repro.train.history import EpochRecord
 from repro.train.loggers import CSVLogger, ConsoleLogger
