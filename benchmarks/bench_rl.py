@@ -1,0 +1,179 @@
+"""RL workload benchmark: sparse DQN on CartPole across sparsity levels.
+
+Tracks the reinforcement-learning scenario the same way
+``bench_perf_engine.py`` tracks supervised training:
+
+* **throughput** — environment steps/sec and gradient steps/sec of the
+  full DQN loop (act → env → replay → TD backward → controller →
+  optimizer) at 0% (dense), 90%, and 95% sparsity;
+* **learning** — episode-return trajectories (rolling average over the
+  solve window) per seed, the final/best rolling averages, and whether
+  each seed reached the environment's solve threshold.
+
+At ``REPRO_SCALE=medium`` (the nightly configuration) this is the
+acceptance config for the RL workload: a 95%-sparse DST-EE DQN is
+expected to solve CartPole (rolling average >= 195) on at least 2 of 3
+seeds.  ``REPRO_SCALE=small`` is the CI smoke setting — too short to
+solve, but enough to gate the steps/sec ratios against the committed
+baseline (see ``scripts/check_bench_regression.py``).
+
+Machine-readable JSON goes to ``BENCH_rl.json`` at the repo root.
+
+Run with::
+
+    PYTHONPATH=src REPRO_SCALE=medium python benchmarks/bench_rl.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.experiments.configs import get_scale
+from repro.experiments.rl import run_rl
+from repro.rl.envs import SOLVE_WINDOW, make_env
+from repro.rl.trainer import rolling_returns
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_rl.json"
+
+ENV_NAME = "cartpole"
+
+# (json key, method, sparsity): "0" is the dense reference row.
+SPARSITY_ROWS = (("0", "dense", 0.0), ("0.9", "dst_ee", 0.9), ("0.95", "dst_ee", 0.95))
+
+_SETTINGS = {
+    "small": dict(
+        total_steps=1500,
+        warmup_steps=200,
+        hidden=(64, 64),
+        batch_size=32,
+        lr=1e-3,
+        delta_t=50,
+        target_sync_every=100,
+        epsilon_decay_fraction=0.4,
+        seeds=(0,),
+    ),
+    "medium": dict(
+        total_steps=30_000,
+        warmup_steps=500,
+        hidden=(256, 256),
+        batch_size=64,
+        lr=1e-3,
+        delta_t=100,
+        target_sync_every=200,
+        epsilon_decay_fraction=0.3,
+        seeds=(0, 1, 2),
+    ),
+    "full": dict(
+        total_steps=40_000,
+        warmup_steps=500,
+        hidden=(256, 256),
+        batch_size=64,
+        lr=1e-3,
+        delta_t=100,
+        target_sync_every=200,
+        epsilon_decay_fraction=0.3,
+        seeds=(0, 1, 2),
+    ),
+}
+
+# At most this many (step, rolling-average) points per trajectory.
+MAX_TRAJECTORY_POINTS = 200
+
+
+def _thin(points: list[list[float]]) -> list[list[float]]:
+    if len(points) <= MAX_TRAJECTORY_POINTS:
+        return points
+    stride = max(1, len(points) // MAX_TRAJECTORY_POINTS)
+    thinned = points[::stride]
+    if thinned[-1] != points[-1]:
+        thinned.append(points[-1])
+    return thinned
+
+
+def run() -> dict:
+    scale = get_scale()
+    settings = dict(_SETTINGS[scale.name])
+    seeds = settings.pop("seeds")
+    solve_threshold = make_env(ENV_NAME).solve_threshold
+
+    train_sps: dict[str, float] = {}
+    env_sps: dict[str, float] = {}
+    returns: dict[str, dict] = {}
+    trajectories: dict[str, dict] = {}
+    solved_seeds: dict[str, int] = {}
+
+    for key, method, sparsity in SPARSITY_ROWS:
+        per_seed_train_sps = []
+        per_seed_env_sps = []
+        returns[key] = {}
+        trajectories[key] = {}
+        solved = 0
+        for seed in seeds:
+            result = run_rl(
+                method, ENV_NAME, sparsity=sparsity, seed=seed, **settings
+            )
+            per_seed_train_sps.append(result.train_steps_per_sec)
+            per_seed_env_sps.append(result.env_steps_per_sec)
+            rolling = rolling_returns(result.history, SOLVE_WINDOW)
+            trajectories[key][str(seed)] = _thin(
+                [
+                    [record.global_step, round(average, 2)]
+                    for record, average in zip(result.history, rolling)
+                ]
+            )
+            returns[key][str(seed)] = {
+                "final_avg_return": (
+                    None
+                    if result.final_avg_return is None
+                    else round(result.final_avg_return, 2)
+                ),
+                "best_avg_return": (
+                    None
+                    if result.best_avg_return is None
+                    else round(result.best_avg_return, 2)
+                ),
+                "episodes": result.episodes,
+                "solved": result.solved,
+                "solved_at_step": result.solved_at_step,
+            }
+            solved += int(result.solved)
+            print(
+                f"[rl] {method} s={key} seed={seed}: "
+                f"final_avg={result.final_avg_return} "
+                f"best_avg={result.best_avg_return} solved={result.solved} "
+                f"({result.train_steps_per_sec:.1f} train steps/s)"
+            )
+        solved_seeds[key] = solved
+        # Best-of-seeds: on a shared box throughput noise is one-sided.
+        train_sps[key] = round(float(np.max(per_seed_train_sps)), 3)
+        env_sps[key] = round(float(np.max(per_seed_env_sps)), 3)
+
+    result = {
+        "schema": 1,
+        "scale": scale.name,
+        "nproc": os.cpu_count(),
+        "env": ENV_NAME,
+        "solve_threshold": solve_threshold,
+        "solve_window": SOLVE_WINDOW,
+        "config": {**settings, "seeds": list(seeds)},
+        "sparsities": [key for key, _, _ in SPARSITY_ROWS],
+        "methods": {key: method for key, method, _ in SPARSITY_ROWS},
+        "train_steps_per_sec": train_sps,
+        "env_steps_per_sec": env_sps,
+        "returns": returns,
+        "solved_seeds": solved_seeds,
+        "return_trajectories": trajectories,
+    }
+    OUTPUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"[solved seeds] {json.dumps(solved_seeds)}")
+    print(f"[written to {OUTPUT_PATH}]")
+    return result
+
+
+if __name__ == "__main__":
+    run()

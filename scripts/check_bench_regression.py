@@ -1,18 +1,20 @@
 """CI bench-regression gate: fresh BENCH JSONs vs committed baselines.
 
-Compares a freshly produced ``BENCH_engine.json`` / ``BENCH_serve.json``
-against the committed smoke baselines in ``benchmarks/results/`` and fails
-(exit 1) when a guarded metric regressed beyond the tolerance.
+Compares a freshly produced ``BENCH_engine.json`` / ``BENCH_serve.json`` /
+``BENCH_rl.json`` against the committed smoke baselines in
+``benchmarks/results/`` and fails (exit 1) when a guarded metric regressed
+beyond the tolerance.
 
 Two kinds of checks:
 
 * **relative metrics** (default, machine-portable): ratios measured inside
   one process on one machine — the CSR-vs-dense training speedup per
-  config/sparsity, and the batched-vs-unbatched serving speedup per
-  sparsity.  These cancel out absolute machine speed, so a committed
-  baseline from one box meaningfully gates a CI runner of a different
-  speed.  The serving speedup additionally has a hard floor
-  (``--min-batch-speedup``) independent of the baseline.
+  config/sparsity, the batched-vs-unbatched serving speedup per sparsity,
+  and the sparse-vs-dense DQN gradient-steps/sec ratio per sparsity.
+  These cancel out absolute machine speed, so a committed baseline from
+  one box meaningfully gates a CI runner of a different speed.  The
+  serving speedup additionally has a hard floor (``--min-batch-speedup``)
+  independent of the baseline.
 * **absolute metrics** (``--absolute``): every steps/sec and requests/sec
   leaf compared directly.  Only meaningful when baseline and fresh run on
   comparable machines (e.g. the nightly job re-baselining against its own
@@ -25,6 +27,7 @@ Usage::
 
     python scripts/check_bench_regression.py \
         [--engine BENCH_engine.json] [--serve BENCH_serve.json] \
+        [--rl BENCH_rl.json] \
         [--baseline-dir benchmarks/results] [--tolerance 0.25] [--absolute]
 
 Refreshing baselines (after an intentional perf change, commit the copies)::
@@ -33,6 +36,8 @@ Refreshing baselines (after an intentional perf change, commit the copies)::
     cp BENCH_engine.json benchmarks/results/BENCH_engine_smoke_baseline.json
     REPRO_SCALE=small python benchmarks/bench_serve.py
     cp BENCH_serve.json benchmarks/results/BENCH_serve_smoke_baseline.json
+    REPRO_SCALE=small python benchmarks/bench_rl.py
+    cp BENCH_rl.json benchmarks/results/BENCH_rl_smoke_baseline.json
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 ENGINE_BASELINE = "BENCH_engine_smoke_baseline.json"
 SERVE_BASELINE = "BENCH_serve_smoke_baseline.json"
+RL_BASELINE = "BENCH_rl_smoke_baseline.json"
 
 
 class Gate:
@@ -186,6 +192,45 @@ def check_serve(
                     gate.relative(f"serve {section} req/s @s={sparsity}", fresh_rps, base_rps)
 
 
+def check_rl(fresh: dict, baseline: dict, gate: Gate, absolute: bool) -> None:
+    """Guard the RL workload's sparse-vs-dense throughput ratios.
+
+    ``train_steps_per_sec`` keys are sparsity levels with ``"0"`` the dense
+    reference row; the guarded metric is ``sparse / dense`` gradient
+    steps/sec measured within one run — machine-portable like the engine's
+    csr/dense ratio.
+    """
+    fresh_sps = fresh.get("train_steps_per_sec", {})
+    base_sps = baseline.get("train_steps_per_sec", {})
+    base_dense = base_sps.get("0")
+    fresh_dense = fresh_sps.get("0")
+    if base_dense:
+        if not fresh_dense:
+            print("[FAIL] rl: dense (s=0) reference row missing in fresh run")
+            gate.failures += 1
+        else:
+            for sparsity, base_value in base_sps.items():
+                if sparsity == "0" or not base_value:
+                    continue
+                fresh_value = fresh_sps.get(sparsity)
+                if not fresh_value:
+                    print(f"[FAIL] rl: sparsity {sparsity} missing in fresh run")
+                    gate.failures += 1
+                    continue
+                gate.relative(
+                    f"rl train steps/sec ratio @s={sparsity}",
+                    fresh_value / fresh_dense,
+                    base_value / base_dense,
+                )
+    if absolute:
+        for section in ("train_steps_per_sec", "env_steps_per_sec"):
+            base_leaves = _numeric_leaves(baseline.get(section, {}), section)
+            fresh_leaves = _numeric_leaves(fresh.get(section, {}), section)
+            for name, base_value in sorted(base_leaves.items()):
+                if name in fresh_leaves and base_value > 0:
+                    gate.relative(f"rl {name}", fresh_leaves[name], base_value)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -197,6 +242,11 @@ def main(argv: list[str] | None = None) -> int:
         "--serve",
         default=str(REPO_ROOT / "BENCH_serve.json"),
         help="fresh serve bench JSON",
+    )
+    parser.add_argument(
+        "--rl",
+        default=str(REPO_ROOT / "BENCH_rl.json"),
+        help="fresh RL bench JSON",
     )
     parser.add_argument(
         "--baseline-dir",
@@ -241,7 +291,15 @@ def main(argv: list[str] | None = None) -> int:
         else:
             gate.failures += 1
 
-    if engine_fresh is None and serve_fresh is None:
+    rl_fresh = _load(pathlib.Path(args.rl), "rl fresh")
+    rl_base = _load(baseline_dir / RL_BASELINE, "rl baseline")
+    if rl_fresh is not None and rl_base is not None:
+        if _scales_match(rl_fresh, rl_base, "rl"):
+            check_rl(rl_fresh, rl_base, gate, args.absolute)
+        else:
+            gate.failures += 1
+
+    if engine_fresh is None and serve_fresh is None and rl_fresh is None:
         print("error: no fresh bench JSON found to check", file=sys.stderr)
         return 2
     print(f"\n{gate.checks} checks, {gate.failures} failures (tolerance {args.tolerance:.0%})")

@@ -1,0 +1,134 @@
+"""CI smoke: RL train → SIGKILL → resume → serve-export round trip.
+
+Exercises the RL workload's fault-tolerance and deployment path end to end
+through the CLI, mirroring ``resume_smoke.py`` / ``serve_smoke.py``:
+
+1. run a tiny CartPole DQN uninterrupted and export its policy artifact
+   (the reference);
+2. launch the same run in a subprocess with step-granular checkpoints and
+   SIGKILL it as soon as the first checkpoint file appears (mid-episode);
+3. rerun the killed command with ``--resume`` (exporting its artifact);
+4. assert the resumed run's printed summary is byte-identical to the
+   reference's and that the two exported artifacts produce bitwise-equal
+   Q-value predictions.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/rl_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+RUN_ARGS = (
+    "run-rl --env cartpole --method dst_ee --sparsity 0.9 --total-steps 700 "
+    "--warmup-steps 100 --hidden 32 32 --batch-size 32 --delta-t 20 "
+    "--target-sync-every 50 --seed 0"
+).split()
+KILL_WAIT_SECONDS = 120
+# Lines whose content legitimately differs between runs (timing, paths).
+VOLATILE_PREFIXES = ("wall time:", "artifact:", "serve with:")
+
+
+def _command(out: str, checkpoint_dir: str | None = None, resume: bool = False) -> list[str]:
+    cmd = [sys.executable, "-m", "repro.experiments.cli", *RUN_ARGS, "--out", out]
+    if checkpoint_dir is not None:
+        cmd += ["--checkpoint-dir", checkpoint_dir, "--checkpoint-every-steps", "50"]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def _run(cmd: list[str]) -> str:
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        raise SystemExit(
+            f"command failed ({result.returncode}): {' '.join(cmd)}\n"
+            f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        )
+    return result.stdout
+
+
+def _summary(stdout: str) -> str:
+    """The run's deterministic summary (timing and path lines dropped)."""
+    kept = [
+        line
+        for line in stdout.splitlines()
+        if line.strip() and not line.strip().startswith(VOLATILE_PREFIXES)
+    ]
+    return "\n".join(kept)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as workdir:
+        ref_artifact = os.path.join(workdir, "reference.npz")
+        res_artifact = os.path.join(workdir, "resumed.npz")
+        kill_dir = os.path.join(workdir, "checkpoints")
+
+        print("[1/4] reference run (uninterrupted, with export)...", flush=True)
+        reference = _summary(_run(_command(ref_artifact)))
+
+        print("[2/4] run to be SIGKILLed at first checkpoint...", flush=True)
+        victim = subprocess.Popen(
+            _command(res_artifact, checkpoint_dir=kill_dir),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + KILL_WAIT_SECONDS
+        first_checkpoint = None
+        while time.monotonic() < deadline and victim.poll() is None:
+            checkpoints = list(pathlib.Path(kill_dir).glob("ckpt-*.npz"))
+            if checkpoints:
+                first_checkpoint = checkpoints[0]
+                break
+            time.sleep(0.02)
+        if victim.poll() is not None:
+            raise SystemExit(
+                "victim run finished before any checkpoint appeared; "
+                "enlarge the workload so the kill lands mid-run"
+            )
+        if first_checkpoint is None:
+            victim.kill()
+            raise SystemExit("no checkpoint appeared within the wait budget")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        assert victim.returncode == -signal.SIGKILL, victim.returncode
+        print(f"    killed mid-run (first checkpoint: {first_checkpoint.name})", flush=True)
+
+        print("[3/4] resuming the killed run...", flush=True)
+        resumed = _summary(_run(_command(res_artifact, checkpoint_dir=kill_dir, resume=True)))
+
+        if resumed != reference:
+            raise SystemExit(
+                "resumed summary differs from the uninterrupted reference\n"
+                f"--- reference ---\n{reference}\n--- resumed ---\n{resumed}"
+            )
+        print("    resumed summary matches the uninterrupted run", flush=True)
+
+        print("[4/4] comparing exported policy artifacts...", flush=True)
+        from repro.serve import load_model
+
+        reference_model = load_model(ref_artifact)
+        resumed_model = load_model(res_artifact)
+        batch = np.random.default_rng(7).standard_normal((16, 4)).astype(np.float32)
+        if not np.array_equal(reference_model.predict(batch), resumed_model.predict(batch)):
+            raise SystemExit("resumed artifact predictions differ from the reference's")
+        print("rl smoke OK: resume is exact and the exported policies agree")
+        print(reference)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

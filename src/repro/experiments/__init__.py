@@ -4,12 +4,20 @@ from repro.experiments.registry import (
     ALL_METHODS,
     DENSE_TO_SPARSE_METHODS,
     DYNAMIC_METHODS,
+    RL_METHODS,
     STATIC_METHODS,
     MethodSetup,
     build_method,
+    enumerate_rl_cells,
     method_family,
 )
 from repro.experiments.runner import RunResult, run_image_classification, run_multi_seed
+from repro.experiments.rl import (
+    RLRunResult,
+    run_rl,
+    run_rl_multi_seed,
+    run_rl_sweep,
+)
 from repro.experiments.gnn import (
     GNNResult,
     evaluate_link_prediction,
@@ -38,9 +46,15 @@ __all__ = [
     "MethodSetup",
     "build_method",
     "method_family",
+    "RL_METHODS",
+    "RLRunResult",
     "RunResult",
+    "enumerate_rl_cells",
     "run_image_classification",
     "run_multi_seed",
+    "run_rl",
+    "run_rl_multi_seed",
+    "run_rl_sweep",
     "GNNResult",
     "evaluate_link_prediction",
     "train_link_predictor",

@@ -38,7 +38,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.registry import ALL_METHODS, method_family
+from repro.experiments.registry import ALL_METHODS, RL_METHODS, method_family
 
 __all__ = ["build_parser", "main"]
 
@@ -53,8 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
     # Training/dataset knobs shared by `run` and `sweep` — declared once so
     # the two entry points cannot drift apart.
     common = argparse.ArgumentParser(add_help=False)
-    common.add_argument("--dataset", default="cifar10",
-                        choices=["cifar10", "cifar100", "imagenet"])
+    common.add_argument("--dataset", default="cifar10", choices=["cifar10", "cifar100", "imagenet"])
     common.add_argument("--batch-size", type=int, default=64)
     common.add_argument("--lr", type=float, default=0.05)
     common.add_argument("--delta-t", type=int, default=6)
@@ -62,94 +61,260 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--n-train", type=int, default=1024)
     common.add_argument("--n-test", type=int, default=512)
     common.add_argument("--image-size", type=int, default=12)
-    common.add_argument("--nproc", type=int, default=None,
-                        help="worker processes for cell/seed sharding "
-                             "(default: REPRO_NPROC, 1 = serial)")
-    common.add_argument("--checkpoint-dir", default=None,
-                        help="write resume-exact training checkpoints here "
-                             "(see docs/checkpointing.md)")
-    common.add_argument("--checkpoint-every-epochs", type=int, default=1,
-                        help="epoch checkpoint cadence (with --checkpoint-dir)")
-    common.add_argument("--checkpoint-every-steps", type=int, default=None,
-                        help="additional step-granularity checkpoint cadence")
-    common.add_argument("--keep-last", type=int, default=None,
-                        help="retain only the newest K checkpoints per run")
-    common.add_argument("--resume", action="store_true",
-                        help="resume from the latest checkpoint in "
-                             "--checkpoint-dir (bitwise-identical to an "
-                             "uninterrupted run)")
+    common.add_argument(
+        "--nproc",
+        type=int,
+        default=None,
+        help="worker processes for cell/seed sharding " "(default: REPRO_NPROC, 1 = serial)",
+    )
+    common.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write resume-exact training checkpoints here " "(see docs/checkpointing.md)",
+    )
+    common.add_argument(
+        "--checkpoint-every-epochs",
+        type=int,
+        default=1,
+        help="epoch checkpoint cadence (with --checkpoint-dir)",
+    )
+    common.add_argument(
+        "--checkpoint-every-steps",
+        type=int,
+        default=None,
+        help="additional step-granularity checkpoint cadence",
+    )
+    common.add_argument(
+        "--keep-last",
+        type=int,
+        default=None,
+        help="retain only the newest K checkpoints per run",
+    )
+    common.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest checkpoint in "
+        "--checkpoint-dir (bitwise-identical to an "
+        "uninterrupted run)",
+    )
 
-    run = sub.add_parser("run", parents=[common],
-                         help="one image-classification training run")
+    run = sub.add_parser("run", parents=[common], help="one image-classification training run")
     run.add_argument("--method", default="dst_ee", choices=ALL_METHODS)
-    run.add_argument("--model", default="vgg19",
-                     choices=["vgg19", "vgg11", "resnet50", "resnet50_mini", "mlp"])
+    run.add_argument(
+        "--model",
+        default="vgg19",
+        choices=["vgg19", "vgg11", "resnet50", "resnet50_mini", "mlp"],
+    )
     run.add_argument("--sparsity", type=float, default=0.9)
     run.add_argument("--epochs", type=int, default=4)
-    run.add_argument("--c", type=float, default=1e-3,
-                     help="exploration-exploitation coefficient (Eq. 1)")
+    run.add_argument(
+        "--c",
+        type=float,
+        default=1e-3,
+        help="exploration-exploitation coefficient (Eq. 1)",
+    )
     run.add_argument("--epsilon", type=float, default=1.0)
-    run.add_argument("--distribution", default="erk",
-                     choices=["erk", "er", "uniform"])
+    run.add_argument("--distribution", default="erk", choices=["erk", "er", "uniform"])
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--seeds", type=int, nargs="+", default=None,
-                     help="run the paper's multi-seed protocol over these seeds")
-    run.add_argument("--n-workers", type=int, default=0,
-                     help="data-parallel gradient workers per run (0 = in-process)")
+    run.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="run the paper's multi-seed protocol over these seeds",
+    )
+    run.add_argument(
+        "--n-workers",
+        type=int,
+        default=0,
+        help="data-parallel gradient workers per run (0 = in-process)",
+    )
 
-    sweep = sub.add_parser("sweep", parents=[common],
-                           help="grid of (method x model x sparsity x seed) cells")
-    sweep.add_argument("--methods", nargs="+", default=["set", "rigl", "dst_ee"],
-                       choices=ALL_METHODS)
-    sweep.add_argument("--models", nargs="+", default=["vgg11"],
-                       choices=["vgg19", "vgg11", "resnet50", "resnet50_mini", "mlp"])
+    sweep = sub.add_parser(
+        "sweep",
+        parents=[common],
+        help="grid of (method x model x sparsity x seed) cells",
+    )
+    sweep.add_argument(
+        "--methods",
+        nargs="+",
+        default=["set", "rigl", "dst_ee"],
+        choices=ALL_METHODS,
+    )
+    sweep.add_argument(
+        "--models",
+        nargs="+",
+        default=["vgg11"],
+        choices=["vgg19", "vgg11", "resnet50", "resnet50_mini", "mlp"],
+    )
     sweep.add_argument("--sparsities", type=float, nargs="+", default=[0.9])
     sweep.add_argument("--seeds", type=int, nargs="+", default=[0])
-    sweep.add_argument("--root-seed", type=int, default=None,
-                       help="derive per-cell seeds from this root via SeedSequence.spawn")
+    sweep.add_argument(
+        "--root-seed",
+        type=int,
+        default=None,
+        help="derive per-cell seeds from this root via SeedSequence.spawn",
+    )
     sweep.add_argument("--epochs", type=int, default=2)
-    sweep.add_argument("--seed", type=int, default=0,
-                       help="dataset generation seed")
+    sweep.add_argument("--seed", type=int, default=0, help="dataset generation seed")
+
+    run_rl = sub.add_parser("run-rl", help="one DQN training run on a classic-control environment")
+    run_rl.add_argument("--env", default="cartpole", choices=["cartpole", "acrobot"])
+    run_rl.add_argument("--method", default="dst_ee", choices=RL_METHODS)
+    run_rl.add_argument("--sparsity", type=float, default=0.9)
+    run_rl.add_argument("--total-steps", type=int, default=5000)
+    run_rl.add_argument(
+        "--hidden",
+        type=int,
+        nargs="+",
+        default=[256, 256],
+        help="Q-network widths",
+    )
+    run_rl.add_argument("--batch-size", type=int, default=64)
+    run_rl.add_argument("--lr", type=float, default=1e-3)
+    run_rl.add_argument("--gamma", type=float, default=0.99)
+    run_rl.add_argument("--buffer-capacity", type=int, default=10_000)
+    run_rl.add_argument("--warmup-steps", type=int, default=500)
+    run_rl.add_argument("--train-every", type=int, default=1, help="env steps per gradient step")
+    run_rl.add_argument(
+        "--target-sync-every",
+        type=int,
+        default=200,
+        help="target-network sync cadence in gradient steps",
+    )
+    run_rl.add_argument("--epsilon-start", type=float, default=1.0)
+    run_rl.add_argument("--epsilon-end", type=float, default=0.05)
+    run_rl.add_argument(
+        "--huber-delta",
+        type=float,
+        default=1.0,
+        help="transition point of the Huber TD loss",
+    )
+    run_rl.add_argument(
+        "--epsilon-decay-fraction",
+        type=float,
+        default=0.4,
+        help="fraction of total steps over which epsilon decays",
+    )
+    run_rl.add_argument(
+        "--delta-t",
+        type=int,
+        default=100,
+        help="mask-update period in gradient steps",
+    )
+    run_rl.add_argument("--drop-fraction", type=float, default=0.3)
+    run_rl.add_argument(
+        "--c",
+        type=float,
+        default=1e-3,
+        help="exploration-exploitation coefficient (Eq. 1)",
+    )
+    run_rl.add_argument(
+        "--ee-epsilon",
+        type=float,
+        default=1.0,
+        help="DST-EE epsilon (distinct from epsilon-greedy)",
+    )
+    run_rl.add_argument("--distribution", default="erk", choices=["erk", "er", "uniform"])
+    run_rl.add_argument(
+        "--sparse-backend",
+        default=None,
+        choices=["auto", "csr", "dense"],
+        help="execution backend for the masked Q-network layers "
+        "(see docs/performance.md; default: plain masked-dense)",
+    )
+    run_rl.add_argument("--seed", type=int, default=0)
+    run_rl.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="multi-seed protocol over these seeds",
+    )
+    run_rl.add_argument(
+        "--nproc",
+        type=int,
+        default=None,
+        help="worker processes for seed sharding",
+    )
+    run_rl.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write resume-exact RL training checkpoints here",
+    )
+    run_rl.add_argument("--checkpoint-every-episodes", type=int, default=1)
+    run_rl.add_argument("--checkpoint-every-steps", type=int, default=None)
+    run_rl.add_argument("--keep-last", type=int, default=None)
+    run_rl.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+    run_rl.add_argument(
+        "--out",
+        default=None,
+        help="export the trained policy net as a serving artifact",
+    )
 
     export = sub.add_parser(
-        "export", parents=[common],
-        help="train one configuration and write a serving artifact")
+        "export",
+        parents=[common],
+        help="train one configuration and write a serving artifact",
+    )
     export.add_argument("--method", default="dst_ee", choices=ALL_METHODS)
-    export.add_argument("--model", default="mlp",
-                        choices=["vgg19", "vgg11", "resnet50", "resnet50_mini", "mlp"])
+    export.add_argument(
+        "--model",
+        default="mlp",
+        choices=["vgg19", "vgg11", "resnet50", "resnet50_mini", "mlp"],
+    )
     export.add_argument("--sparsity", type=float, default=0.95)
     export.add_argument("--epochs", type=int, default=4)
     export.add_argument("--c", type=float, default=1e-3)
     export.add_argument("--epsilon", type=float, default=1.0)
-    export.add_argument("--distribution", default="erk",
-                        choices=["erk", "er", "uniform"])
+    export.add_argument("--distribution", default="erk", choices=["erk", "er", "uniform"])
     export.add_argument("--seed", type=int, default=0)
-    export.add_argument("--out", required=True,
-                        help="artifact path to write (.npz)")
+    export.add_argument("--out", required=True, help="artifact path to write (.npz)")
 
     serve = sub.add_parser("serve", help="serve a model artifact over HTTP")
-    serve.add_argument("--artifact", required=True,
-                       help="artifact written by `export` (or serve.export_model)")
+    serve.add_argument(
+        "--artifact",
+        required=True,
+        help="artifact written by `export` (or serve.export_model)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8100)
-    serve.add_argument("--max-batch", type=int, default=32,
-                       help="micro-batching: flush at this many pending requests")
-    serve.add_argument("--max-latency-ms", type=float, default=2.0,
-                       help="micro-batching: flush when the oldest request "
-                            "has waited this long")
-    serve.add_argument("--n-workers", type=int, default=0,
-                       help="forked serving processes sharing one read-only "
-                            "weight arena (0 = in-process)")
-    serve.add_argument("--no-batching", action="store_true",
-                       help="disable request coalescing (A/B baseline)")
-    serve.add_argument("--no-verify", action="store_true",
-                       help="skip artifact fingerprint verification at load")
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="micro-batching: flush at this many pending requests",
+    )
+    serve.add_argument(
+        "--max-latency-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching: flush when the oldest request " "has waited this long",
+    )
+    serve.add_argument(
+        "--n-workers",
+        type=int,
+        default=0,
+        help="forked serving processes sharing one read-only " "weight arena (0 = in-process)",
+    )
+    serve.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="disable request coalescing (A/B baseline)",
+    )
+    serve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip artifact fingerprint verification at load",
+    )
 
     gnn = sub.add_parser("gnn", help="GNN link-prediction experiment")
-    gnn.add_argument("--dataset", default="wiki_talk",
-                     choices=["wiki_talk", "ia_email"])
-    gnn.add_argument("--method", default="dst_ee",
-                     choices=["dense", "dst_ee", "admm"])
+    gnn.add_argument("--dataset", default="wiki_talk", choices=["wiki_talk", "ia_email"])
+    gnn.add_argument("--method", default="dst_ee", choices=["dense", "dst_ee", "admm"])
     gnn.add_argument("--sparsity", type=float, default=0.9)
     gnn.add_argument("--epochs", type=int, default=12)
     gnn.add_argument("--nodes", type=int, default=400)
@@ -163,15 +328,27 @@ def _dataset(args):
     from repro.data import cifar10_like, cifar100_like, imagenet_like
 
     if args.dataset == "cifar10":
-        return cifar10_like(n_train=args.n_train, n_test=args.n_test,
-                            image_size=args.image_size, seed=args.seed)
+        return cifar10_like(
+            n_train=args.n_train,
+            n_test=args.n_test,
+            image_size=args.image_size,
+            seed=args.seed,
+        )
     if args.dataset == "cifar100":
-        return cifar100_like(n_train=args.n_train, n_test=args.n_test,
-                             image_size=args.image_size, n_classes=20,
-                             seed=args.seed)
-    return imagenet_like(n_train=args.n_train, n_test=args.n_test,
-                         image_size=args.image_size, n_classes=20,
-                         seed=args.seed)
+        return cifar100_like(
+            n_train=args.n_train,
+            n_test=args.n_test,
+            image_size=args.image_size,
+            n_classes=20,
+            seed=args.seed,
+        )
+    return imagenet_like(
+        n_train=args.n_train,
+        n_test=args.n_test,
+        image_size=args.image_size,
+        n_classes=20,
+        seed=args.seed,
+    )
 
 
 def _model_kwargs(args, num_classes: int) -> dict:
@@ -182,14 +359,23 @@ def _model_kwargs(args, num_classes: int) -> dict:
     artifact would rebuild a different architecture than was trained.
     """
     return {
-        "vgg19": {"num_classes": num_classes, "width_mult": args.width_mult,
-                  "input_size": args.image_size},
-        "vgg11": {"num_classes": num_classes, "width_mult": args.width_mult,
-                  "input_size": args.image_size},
+        "vgg19": {
+            "num_classes": num_classes,
+            "width_mult": args.width_mult,
+            "input_size": args.image_size,
+        },
+        "vgg11": {
+            "num_classes": num_classes,
+            "width_mult": args.width_mult,
+            "input_size": args.image_size,
+        },
         "resnet50": {"num_classes": num_classes, "width_mult": args.width_mult},
         "resnet50_mini": {"num_classes": num_classes, "width_mult": args.width_mult},
-        "mlp": {"in_features": 3 * args.image_size**2, "hidden": [128, 64],
-                "num_classes": num_classes},
+        "mlp": {
+            "in_features": 3 * args.image_size**2,
+            "hidden": [128, 64],
+            "num_classes": num_classes,
+        },
     }
 
 
@@ -234,27 +420,45 @@ def _command_run(args) -> int:
                 "resumable multi-seed grids"
             )
         mean, std, results = run_multi_seed(
-            args.method, _model_factory(args, data.num_classes), data,
-            seeds=tuple(args.seeds), n_proc=args.nproc,
-            sparsity=args.sparsity, epochs=args.epochs,
-            batch_size=args.batch_size, lr=args.lr, delta_t=args.delta_t,
-            c=args.c, epsilon=args.epsilon, distribution=args.distribution,
+            args.method,
+            _model_factory(args, data.num_classes),
+            data,
+            seeds=tuple(args.seeds),
+            n_proc=args.nproc,
+            sparsity=args.sparsity,
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            lr=args.lr,
+            delta_t=args.delta_t,
+            c=args.c,
+            epsilon=args.epsilon,
+            distribution=args.distribution,
             n_workers=args.n_workers,
         )
         print(f"method:               {args.method}")
         print(f"dataset:              {data.name}")
         print(f"seeds:                {list(args.seeds)}")
         for seed, result in zip(args.seeds, results):
-            print(f"  seed {seed}: final {result.final_accuracy:.4f} "
-                  f"(best {result.best_accuracy:.4f}, {result.seconds:.1f}s)")
+            print(
+                f"  seed {seed}: final {result.final_accuracy:.4f} "
+                f"(best {result.best_accuracy:.4f}, {result.seconds:.1f}s)"
+            )
         print(f"accuracy:             {mean:.4f} ± {std:.4f}")
         return 0
     result = run_image_classification(
-        args.method, _model_factory(args, data.num_classes), data,
-        sparsity=args.sparsity, epochs=args.epochs,
-        batch_size=args.batch_size, lr=args.lr, delta_t=args.delta_t,
-        c=args.c, epsilon=args.epsilon, distribution=args.distribution,
-        seed=args.seed, n_workers=args.n_workers,
+        args.method,
+        _model_factory(args, data.num_classes),
+        data,
+        sparsity=args.sparsity,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        delta_t=args.delta_t,
+        c=args.c,
+        epsilon=args.epsilon,
+        distribution=args.distribution,
+        seed=args.seed,
+        n_workers=args.n_workers,
         **checkpoint_kwargs,
     )
     print(f"method:               {result.method}")
@@ -278,8 +482,12 @@ def _command_sweep(args) -> int:
 
     data = _dataset(args)
     cells = enumerate_cells(
-        args.methods, args.models, [args.dataset], args.sparsities,
-        seeds=args.seeds, root_seed=args.root_seed,
+        args.methods,
+        args.models,
+        [args.dataset],
+        args.sparsities,
+        seeds=args.seeds,
+        root_seed=args.root_seed,
     )
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
@@ -298,7 +506,9 @@ def _command_sweep(args) -> int:
         {name: (lambda num_classes, b=builders[name]: b) for name in args.models},
         {args.dataset: data},
         n_proc=args.nproc,
-        epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
         delta_t=args.delta_t,
         **sweep_kwargs,
     )
@@ -316,14 +526,153 @@ def _command_sweep(args) -> int:
         }
         for row in report.aggregate()
     ]
-    print(format_table(
-        rows, ["method", "model", "sparsity", "accuracy", "seeds"],
-        title=f"sweep on {args.dataset} ({len(cells)} cells)",
-    ))
+    print(
+        format_table(
+            rows,
+            ["method", "model", "sparsity", "accuracy", "seeds"],
+            title=f"sweep on {args.dataset} ({len(cells)} cells)",
+        )
+    )
     for outcome in report.failures:
         print(f"\nFAILED {outcome.cell}:")
         print("  " + (outcome.error or "").strip().replace("\n", "\n  "))
     return 1 if report.failures else 0
+
+
+def _format_return(value: float | None) -> str:
+    return "n/a" if value is None else f"{value:.2f}"
+
+
+def _command_run_rl(args) -> int:
+    from repro.experiments.rl import run_rl, run_rl_multi_seed
+    from repro.rl.envs import ENV_REGISTRY
+
+    rl_kwargs = dict(
+        sparsity=args.sparsity,
+        total_steps=args.total_steps,
+        hidden=tuple(args.hidden),
+        batch_size=args.batch_size,
+        lr=args.lr,
+        gamma=args.gamma,
+        buffer_capacity=args.buffer_capacity,
+        warmup_steps=args.warmup_steps,
+        train_every=args.train_every,
+        target_sync_every=args.target_sync_every,
+        epsilon_start=args.epsilon_start,
+        epsilon_end=args.epsilon_end,
+        epsilon_decay_fraction=args.epsilon_decay_fraction,
+        huber_delta=args.huber_delta,
+        delta_t=args.delta_t,
+        drop_fraction=args.drop_fraction,
+        c=args.c,
+        ee_epsilon=args.ee_epsilon,
+        distribution=args.distribution,
+        sparse_backend=args.sparse_backend,
+    )
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    if args.seeds is not None:
+        if args.checkpoint_dir:
+            raise SystemExit(
+                "--checkpoint-dir with --seeds is not supported by `run-rl` "
+                "(every seed would share one directory); use run_rl_sweep for "
+                "resumable multi-seed grids"
+            )
+        if args.out:
+            raise SystemExit("--out exports a single run; drop --seeds")
+        mean, std, results = run_rl_multi_seed(
+            args.method,
+            args.env,
+            seeds=tuple(args.seeds),
+            n_proc=args.nproc,
+            **rl_kwargs,
+        )
+        print(f"method:               {args.method}")
+        print(f"environment:          {args.env}")
+        print(f"seeds:                {list(args.seeds)}")
+        for seed, result in zip(args.seeds, results):
+            solved = (
+                f"solved @ step {result.solved_at_step}" if result.solved else "not solved"
+            )
+            # A run too short to finish a single episode reports no return.
+            final = _format_return(result.final_avg_return)
+            best = _format_return(result.best_avg_return)
+            print(f"  seed {seed}: final avg return {final} (best {best}, {solved})")
+        print(f"avg return:           {mean:.2f} ± {std:.2f}")
+        print(f"solved seeds:         {sum(1 for r in results if r.solved)}" f"/{len(results)}")
+        return 0
+
+    checkpoint_kwargs = {}
+    if args.checkpoint_dir:
+        checkpoint_kwargs = {
+            "checkpoint_dir": args.checkpoint_dir,
+            "checkpoint_every_episodes": args.checkpoint_every_episodes,
+            "checkpoint_every_steps": args.checkpoint_every_steps,
+            "checkpoint_keep_last": args.keep_last,
+            "resume_from": args.checkpoint_dir if args.resume else None,
+        }
+    result = run_rl(
+        args.method,
+        args.env,
+        seed=args.seed,
+        keep_model=bool(args.out),
+        **rl_kwargs,
+        **checkpoint_kwargs,
+    )
+    print(f"method:               {result.method}")
+    print(f"environment:          {result.env}")
+    print(f"episodes:             {result.episodes}")
+    print(f"env steps:            {result.total_steps}")
+    print(f"gradient steps:       {result.train_steps}")
+    if result.final_avg_return is not None:
+        print(f"final avg return:     {result.final_avg_return:.2f}")
+        # best is None until a full solve window of episodes has finished.
+        print(f"best avg return:      {_format_return(result.best_avg_return)}")
+    solved = f"yes (step {result.solved_at_step})" if result.solved else "no"
+    print(f"solved (>= {result.solve_threshold:g}):   {solved}")
+    if result.actual_sparsity is not None:
+        print(f"actual sparsity:      {result.actual_sparsity:.4f}")
+    if result.exploration_rate is not None:
+        print(f"exploration rate R:   {result.exploration_rate:.4f}")
+    print(f"wall time:            {result.seconds:.1f}s")
+
+    if args.out:
+        from repro.serve import export_model
+
+        if result.masked is None:
+            raise SystemExit(
+                f"method {args.method!r} trains a dense policy; nothing sparse "
+                "to export"
+            )
+        env_cls = ENV_REGISTRY[args.env]
+        path = export_model(
+            result.masked,
+            args.out,
+            model_config={
+                "builder": "mlp",
+                "kwargs": {
+                    "in_features": env_cls.observation_size,
+                    "hidden": [int(width) for width in args.hidden],
+                    "num_classes": env_cls.n_actions,
+                    "seed": args.seed,
+                },
+            },
+            preprocessing={"input_shape": [env_cls.observation_size]},
+            metadata={
+                "workload": "rl",
+                "method": args.method,
+                "environment": args.env,
+                "sparsity": args.sparsity,
+                "actual_sparsity": result.actual_sparsity,
+                "final_avg_return": result.final_avg_return,
+                "total_steps": result.total_steps,
+                "seed": args.seed,
+            },
+        )
+        size_kib = path.stat().st_size / 1024
+        print(f"artifact:             {path} ({size_kib:.0f} KiB)")
+        print(f"serve with:           python -m repro.experiments.cli serve " f"--artifact {path}")
+    return 0
 
 
 def _model_export_config(args, num_classes: int) -> dict:
@@ -344,19 +693,26 @@ def _command_export(args) -> int:
     checkpoint_kwargs = _checkpoint_kwargs(args)
     data = _dataset(args)
     result = run_image_classification(
-        args.method, _model_factory(args, data.num_classes), data,
-        sparsity=args.sparsity, epochs=args.epochs,
-        batch_size=args.batch_size, lr=args.lr, delta_t=args.delta_t,
-        c=args.c, epsilon=args.epsilon, distribution=args.distribution,
-        seed=args.seed, keep_model=True,
+        args.method,
+        _model_factory(args, data.num_classes),
+        data,
+        sparsity=args.sparsity,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        delta_t=args.delta_t,
+        c=args.c,
+        epsilon=args.epsilon,
+        distribution=args.distribution,
+        seed=args.seed,
+        keep_model=True,
         **checkpoint_kwargs,
     )
     if result.masked is None:
-        raise SystemExit(
-            f"method {args.method!r} trains a dense model; nothing sparse to export"
-        )
+        raise SystemExit(f"method {args.method!r} trains a dense model; nothing sparse to export")
     path = export_model(
-        result.masked, args.out,
+        result.masked,
+        args.out,
         model_config=_model_export_config(args, data.num_classes),
         preprocessing={"input_shape": list(data.input_shape)},
         metadata={
@@ -428,13 +784,16 @@ def _command_gnn(args) -> int:
     if args.method == "dense":
         result = run_gnn_dense(data, epochs=args.epochs, seed=args.seed)
     elif args.method == "dst_ee":
-        result = run_gnn_dst_ee(data, args.sparsity, epochs=args.epochs,
-                                seed=args.seed)
+        result = run_gnn_dst_ee(data, args.sparsity, epochs=args.epochs, seed=args.seed)
     else:
         third = max(1, args.epochs // 3)
         result = run_admm_prune_from_dense(
-            data, args.sparsity, pretrain_epochs=third, admm_epochs=third,
-            retrain_epochs=third, seed=args.seed,
+            data,
+            args.sparsity,
+            pretrain_epochs=third,
+            admm_epochs=third,
+            retrain_epochs=third,
+            seed=args.seed,
         )
     print(f"method:          {result.method}")
     print(f"dataset:         {result.dataset}")
@@ -458,6 +817,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "run-rl":
+        return _command_run_rl(args)
     if args.command == "export":
         return _command_export(args)
     if args.command == "serve":

@@ -87,22 +87,53 @@ class Scale:
 
 _SCALES = {
     "small": Scale(
-        name="small", n_train=1024, n_test=512, image_size=12,
-        epochs=4, extended_epochs=6, batch_size=64, delta_t=6,
-        drop_fraction=0.3, seeds=(0,), vgg_width=0.2, resnet_width=0.125,
+        name="small",
+        n_train=1024,
+        n_test=512,
+        image_size=12,
+        epochs=4,
+        extended_epochs=6,
+        batch_size=64,
+        delta_t=6,
+        drop_fraction=0.3,
+        seeds=(0,),
+        vgg_width=0.2,
+        resnet_width=0.125,
         lr=0.05,
     ),
     "medium": Scale(
-        name="medium", n_train=2048, n_test=768, image_size=12,
-        epochs=6, extended_epochs=9, batch_size=64, delta_t=10,
-        drop_fraction=0.3, seeds=(0, 1), vgg_width=0.25, resnet_width=0.2,
-        lr=0.05, cifar100_classes=40, imagenet_classes=40,
+        name="medium",
+        n_train=2048,
+        n_test=768,
+        image_size=12,
+        epochs=6,
+        extended_epochs=9,
+        batch_size=64,
+        delta_t=10,
+        drop_fraction=0.3,
+        seeds=(0, 1),
+        vgg_width=0.25,
+        resnet_width=0.2,
+        lr=0.05,
+        cifar100_classes=40,
+        imagenet_classes=40,
     ),
     "full": Scale(
-        name="full", n_train=4096, n_test=1024, image_size=16,
-        epochs=12, extended_epochs=18, batch_size=128, delta_t=16,
-        drop_fraction=0.3, seeds=(0, 1, 2), vgg_width=0.25, resnet_width=0.25,
-        cifar100_classes=100, imagenet_classes=50, imagenet_size=16,
+        name="full",
+        n_train=4096,
+        n_test=1024,
+        image_size=16,
+        epochs=12,
+        extended_epochs=18,
+        batch_size=128,
+        delta_t=16,
+        drop_fraction=0.3,
+        seeds=(0, 1, 2),
+        vgg_width=0.25,
+        resnet_width=0.25,
+        cifar100_classes=100,
+        imagenet_classes=50,
+        imagenet_size=16,
         gnn_nodes=800,
     ),
 }
@@ -114,9 +145,7 @@ def get_scale() -> Scale:
     try:
         return _SCALES[name]
     except KeyError:
-        raise ValueError(
-            f"REPRO_SCALE={name!r} unknown; choose from {sorted(_SCALES)}"
-        ) from None
+        raise ValueError(f"REPRO_SCALE={name!r} unknown; choose from {sorted(_SCALES)}") from None
 
 
 @dataclass
@@ -144,24 +173,33 @@ def table1_settings() -> TableSettings:
     scale = get_scale()
     datasets = {
         "cifar10": cifar10_like(
-            n_train=scale.n_train, n_test=scale.n_test,
-            image_size=scale.image_size, seed=7,
+            n_train=scale.n_train,
+            n_test=scale.n_test,
+            image_size=scale.image_size,
+            seed=7,
         ),
         "cifar100": cifar100_like(
-            n_train=scale.n_train, n_test=scale.n_test,
-            image_size=scale.image_size, n_classes=scale.cifar100_classes, seed=17,
+            n_train=scale.n_train,
+            n_test=scale.n_test,
+            image_size=scale.image_size,
+            n_classes=scale.cifar100_classes,
+            seed=17,
         ),
     }
 
     def vgg_factory(num_classes: int) -> Callable:
         return lambda seed: vgg19(
-            num_classes=num_classes, width_mult=scale.vgg_width,
-            input_size=scale.image_size, seed=seed,
+            num_classes=num_classes,
+            width_mult=scale.vgg_width,
+            input_size=scale.image_size,
+            seed=seed,
         )
 
     def resnet_factory(num_classes: int) -> Callable:
         return lambda seed: resnet50_mini(
-            num_classes=num_classes, width_mult=scale.resnet_width, seed=seed
+            num_classes=num_classes,
+            width_mult=scale.resnet_width,
+            seed=seed,
         )
 
     model_factories = {
@@ -182,15 +220,19 @@ def table2_settings() -> TableSettings:
     scale = get_scale()
     datasets = {
         "imagenet": imagenet_like(
-            n_train=scale.n_train, n_test=scale.n_test,
-            image_size=scale.imagenet_size, n_classes=scale.imagenet_classes,
+            n_train=scale.n_train,
+            n_test=scale.n_test,
+            image_size=scale.imagenet_size,
+            n_classes=scale.imagenet_classes,
             seed=27,
-        )
+        ),
     }
 
     def resnet_factory(num_classes: int) -> Callable:
         return lambda seed: resnet50_mini(
-            num_classes=num_classes, width_mult=scale.resnet_width, seed=seed
+            num_classes=num_classes,
+            width_mult=scale.resnet_width,
+            seed=seed,
         )
 
     return TableSettings(

@@ -125,15 +125,22 @@ def train_link_predictor(
 
 
 def run_gnn_dense(
-    data: LinkPredictionData, epochs: int = 50, seed: int = 0, lr: float = 5e-3
+    data: LinkPredictionData,
+    epochs: int = 50,
+    seed: int = 0,
+    lr: float = 5e-3,
 ) -> GNNResult:
     """Dense reference row of Tables III/IV."""
     start = time.time()
     model = GNNLinkModel(data.n_features, seed=seed)
     best, final, _ = train_link_predictor(model, data, epochs, lr=lr, seed=seed)
     return GNNResult(
-        method="dense", dataset=data.name, sparsity=None,
-        best_accuracy=best, final_accuracy=final, epochs=epochs,
+        method="dense",
+        dataset=data.name,
+        sparsity=None,
+        best_accuracy=best,
+        final_accuracy=final,
+        epochs=epochs,
         seconds=time.time() - start,
     )
 
@@ -155,23 +162,41 @@ def run_gnn_dst_ee(
     model = GNNLinkModel(data.n_features, seed=seed)
     rng = np.random.default_rng(seed)
     masked = MaskedModel(
-        model, sparsity, distribution="uniform", rng=rng,
+        model,
+        sparsity,
+        distribution="uniform",
+        rng=rng,
         include_modules=model.sparse_target_modules(),
     )
     optimizer = Adam(model.parameters(), lr=lr)
     n_batches = int(np.ceil((len(data.train_pos) + len(data.train_neg)) / 512))
     total_steps = epochs * max(n_batches, 1)
     engine = DynamicSparseEngine(
-        masked, DSTEEGrowth(c=c, epsilon=epsilon), total_steps=total_steps,
-        delta_t=delta_t, drop_fraction=drop_fraction, optimizer=optimizer, rng=rng,
+        masked,
+        DSTEEGrowth(c=c, epsilon=epsilon),
+        total_steps=total_steps,
+        delta_t=delta_t,
+        drop_fraction=drop_fraction,
+        optimizer=optimizer,
+        rng=rng,
     )
     best, final, _ = train_link_predictor(
-        model, data, epochs, controller=engine, optimizer=optimizer, seed=seed
+        model,
+        data,
+        epochs,
+        controller=engine,
+        optimizer=optimizer,
+        seed=seed,
     )
     return GNNResult(
-        method="dst_ee", dataset=data.name, sparsity=sparsity,
-        best_accuracy=best, final_accuracy=final, epochs=epochs,
-        seconds=time.time() - start, actual_sparsity=masked.global_sparsity(),
+        method="dst_ee",
+        dataset=data.name,
+        sparsity=sparsity,
+        best_accuracy=best,
+        final_accuracy=final,
+        epochs=epochs,
+        seconds=time.time() - start,
+        actual_sparsity=masked.global_sparsity(),
     )
 
 
@@ -199,23 +224,41 @@ def run_admm_prune_from_dense(
     # Phase 2: ADMM (reweighted) training toward the sparse constraint set.
     pruner = ADMMPruner(model, sparsity, rho=rho, include_modules=targets)
     train_link_predictor(
-        model, data, admm_epochs, lr=lr, optimizer=optimizer,
-        admm=pruner, seed=seed + 1,
+        model,
+        data,
+        admm_epochs,
+        lr=lr,
+        optimizer=optimizer,
+        admm=pruner,
+        seed=seed + 1,
     )
 
     # Phase 3: hard prune + fixed-mask retraining.
     masks = pruner.hard_prune_masks()
     masked = MaskedModel(
-        model, sparsity, distribution="uniform",
-        include_modules=targets, masks=masks,
+        model,
+        sparsity,
+        distribution="uniform",
+        include_modules=targets,
+        masks=masks,
     )
     controller = FixedMaskController(masked)
     best, final, _ = train_link_predictor(
-        model, data, retrain_epochs, lr=lr, controller=controller, seed=seed + 2
+        model,
+        data,
+        retrain_epochs,
+        lr=lr,
+        controller=controller,
+        seed=seed + 2,
     )
     total_epochs = pretrain_epochs + admm_epochs + retrain_epochs
     return GNNResult(
-        method="prune_from_dense_admm", dataset=data.name, sparsity=sparsity,
-        best_accuracy=best, final_accuracy=final, epochs=total_epochs,
-        seconds=time.time() - start, actual_sparsity=masked.global_sparsity(),
+        method="prune_from_dense_admm",
+        dataset=data.name,
+        sparsity=sparsity,
+        best_accuracy=best,
+        final_accuracy=final,
+        epochs=total_epochs,
+        seconds=time.time() - start,
+        actual_sparsity=masked.global_sparsity(),
     )

@@ -41,15 +41,31 @@ from repro.sparse import (
     synflow_masks,
 )
 
-__all__ = ["MethodSetup", "SweepCell", "build_method", "enumerate_cells",
-           "DYNAMIC_METHODS", "STATIC_METHODS", "DENSE_TO_SPARSE_METHODS",
-           "ALL_METHODS", "method_family"]
+__all__ = [
+    "MethodSetup",
+    "SweepCell",
+    "build_method",
+    "enumerate_cells",
+    "enumerate_rl_cells",
+    "DYNAMIC_METHODS",
+    "STATIC_METHODS",
+    "DENSE_TO_SPARSE_METHODS",
+    "ALL_METHODS",
+    "RL_METHODS",
+    "method_family",
+]
 
 
 DYNAMIC_METHODS = ("set", "rigl", "rigl_itop", "deepr", "snfs", "dsr", "mest", "dst_ee")
 STATIC_METHODS = ("snip", "grasp", "synflow", "static_random")
 DENSE_TO_SPARSE_METHODS = ("str", "gmp", "granet", "gap")
 ALL_METHODS = ("dense",) + STATIC_METHODS + DENSE_TO_SPARSE_METHODS + DYNAMIC_METHODS
+
+# Methods the RL workload supports: the dense reference plus every
+# drop-and-grow controller.  Static pruners need saliency batches and the
+# dense-to-sparse schedules are epoch-keyed — neither maps onto the
+# step-driven DQN loop without a separate design.
+RL_METHODS = ("dense",) + DYNAMIC_METHODS
 
 
 def method_family(name: str) -> str:
@@ -132,6 +148,49 @@ def enumerate_cells(
     return [SweepCell(*entry) for entry in grid]
 
 
+def enumerate_rl_cells(
+    methods: Sequence[str],
+    envs: Sequence[str],
+    sparsities: Sequence[float],
+    seeds: Sequence[int] = (0, 1, 2),
+    root_seed: int | None = None,
+) -> list[SweepCell]:
+    """Deterministic cell list for an RL (method × env × sparsity × seed) grid.
+
+    RL cells reuse :class:`SweepCell` with ``model="dqn"`` and the
+    environment name in the ``dataset`` slot, so the sweep runner,
+    checkpoint records, and report aggregation all work unchanged (see
+    :func:`repro.experiments.rl.run_rl_sweep`).  Seeding semantics match
+    :func:`enumerate_cells`: ``root_seed`` derives one independent seed per
+    cell via ``SeedSequence.spawn``.
+    """
+    from repro.rl.envs import ENV_REGISTRY
+
+    for name in methods:
+        if name not in RL_METHODS:
+            raise ValueError(f"method {name!r} is not RL-capable; known: {RL_METHODS}")
+    for env_name in envs:
+        if env_name not in ENV_REGISTRY:
+            known = ", ".join(sorted(ENV_REGISTRY))
+            raise ValueError(f"unknown environment {env_name!r}; registered: {known}")
+    grid = [
+        (method, "dqn", env_name, sparsity, seed)
+        for method in methods
+        for env_name in envs
+        for sparsity in sparsities
+        for seed in seeds
+    ]
+    if root_seed is not None:
+        from repro.parallel import derive_seeds
+
+        derived = derive_seeds(root_seed, len(grid))
+        grid = [
+            (method, model, env_name, sparsity, derived[index])
+            for index, (method, model, env_name, sparsity, _) in enumerate(grid)
+        ]
+    return [SweepCell(*entry) for entry in grid]
+
+
 def build_method(
     name: str,
     model: Module,
@@ -167,21 +226,35 @@ def build_method(
     if family == "static":
         if name == "static_random":
             masked = MaskedModel(
-                model, sparsity, distribution=distribution, rng=rng,
+                model,
+                sparsity,
+                distribution=distribution,
+                rng=rng,
                 include_modules=include_modules,
             )
         else:
             masks = _static_masks(
-                name, model, sparsity, loss_fn, saliency_batches, input_shape,
+                name,
+                model,
+                sparsity,
+                loss_fn,
+                saliency_batches,
+                input_shape,
                 include_modules,
             )
             masked = MaskedModel(
-                model, sparsity, distribution=distribution, rng=rng,
-                include_modules=include_modules, masks=masks,
+                model,
+                sparsity,
+                distribution=distribution,
+                rng=rng,
+                include_modules=include_modules,
+                masks=masks,
             )
         return MethodSetup(
-            name=name, family=family,
-            controller=FixedMaskController(masked), masked=masked,
+            name=name,
+            family=family,
+            controller=FixedMaskController(masked),
+            masked=masked,
         )
 
     if family == "dense_to_sparse":
@@ -190,33 +263,47 @@ def build_method(
             from repro.sparse.gap import GaPController
 
             masked = MaskedModel(
-                model, sparsity, distribution=distribution, rng=rng,
+                model,
+                sparsity,
+                distribution=distribution,
+                rng=rng,
                 include_modules=include_modules,
             )
             controller = GaPController(masked, total_steps=total_steps)
-            return MethodSetup(
-                name=name, family=family, controller=controller, masked=masked
-            )
+            return MethodSetup(name=name, family=family, controller=controller, masked=masked)
         masked = MaskedModel(
-            model, 0.0, distribution="uniform", rng=rng,
+            model,
+            0.0,
+            distribution="uniform",
+            rng=rng,
             include_modules=include_modules,
         )
         if name == "str":
             controller = STRController(masked, sparsity, total_steps, delta_t=delta_t)
             return MethodSetup(
-                name=name, family=family, controller=controller, masked=masked,
+                name=name,
+                family=family,
+                controller=controller,
+                masked=masked,
                 finalize=controller.finalize,
             )
         regrow = 0.5 if name == "granet" else 0.0
         controller = GMPController(
-            masked, sparsity, total_steps, delta_t=delta_t,
-            regrow_fraction=regrow, rng=rng,
+            masked,
+            sparsity,
+            total_steps,
+            delta_t=delta_t,
+            regrow_fraction=regrow,
+            rng=rng,
         )
         return MethodSetup(name=name, family=family, controller=controller, masked=masked)
 
     # ------------------------------------------------------------------ dynamic
     masked = MaskedModel(
-        model, sparsity, distribution=distribution, rng=rng,
+        model,
+        sparsity,
+        distribution=distribution,
+        rng=rng,
         include_modules=include_modules,
     )
     growth, drop, extra = _dynamic_rules(name, c, epsilon, mest_lambda)
@@ -247,7 +334,8 @@ def _dynamic_rules(name: str, c: float, epsilon: float, mest_lambda: float):
         # ITOP setting: keep exploring for the whole run with an un-annealed
         # drop fraction, maximizing coverage.
         return GradientGrowth(), MagnitudeDrop(), {
-            "drop_schedule": "constant", "stop_fraction": 1.0,
+            "drop_schedule": "constant",
+            "stop_fraction": 1.0,
         }
     if name == "dst_ee":
         return DSTEEGrowth(c=c, epsilon=epsilon), MagnitudeDrop(), {}
@@ -257,12 +345,11 @@ def _dynamic_rules(name: str, c: float, epsilon: float, mest_lambda: float):
         return RandomGrowth(), SignFlipDrop(), {"drop_schedule": "constant"}
     if name == "dsr":
         return RandomGrowth(), MagnitudeDrop(), {
-            "global_drop": True, "grow_allocation": "proportional",
+            "global_drop": True,
+            "grow_allocation": "proportional",
         }
     if name == "mest":
-        return RandomGrowth(), MagnitudeGradientDrop(mest_lambda), {
-            "drop_schedule": "linear",
-        }
+        return RandomGrowth(), MagnitudeGradientDrop(mest_lambda), {"drop_schedule": "linear"}
     raise ValueError(f"unknown dynamic method {name!r}")
 
 

@@ -49,6 +49,7 @@ __all__ = [
     "CellOutcome",
     "SweepReport",
     "cell_key",
+    "run_cell_grid",
     "run_image_classification",
     "run_multi_seed",
     "run_sweep",
@@ -94,9 +95,7 @@ class _DensitySnapshotCallback(Callback):
 
     def on_epoch_end(self, record) -> None:
         if self._masked is not None:
-            self.snapshots.append(
-                {t.name: t.density for t in self._masked.targets}
-            )
+            self.snapshots.append({t.name: t.density for t in self._masked.targets})
 
     def state_dict(self) -> dict:
         return {"snapshots": [dict(s) for s in self.snapshots]}
@@ -170,22 +169,24 @@ def run_image_classification(
     rng = np.random.default_rng(seed)
     model = model_factory(seed)
     train_loader = DataLoader(
-        data.train, batch_size=batch_size, shuffle=True,
+        data.train,
+        batch_size=batch_size,
+        shuffle=True,
         rng=np.random.default_rng(seed + 1),
     )
     test_loader = DataLoader(data.test, batch_size=256)
     steps_per_epoch = len(train_loader)
     total_steps = epochs * steps_per_epoch
 
-    optimizer = SGD(
-        model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay
-    )
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
     scheduler = CosineAnnealingLR(optimizer, t_max=epochs)
 
     saliency_batches = None
     if method in ("snip", "grasp"):
         saliency_loader = DataLoader(
-            data.train, batch_size=batch_size, shuffle=True,
+            data.train,
+            batch_size=batch_size,
+            shuffle=True,
             rng=np.random.default_rng(seed + 2),
         )
         saliency_batches = [next(iter(saliency_loader))]
@@ -253,7 +254,8 @@ def run_image_classification(
         _, infer_mult = sparse_inference_flops(profile, masks)
         density_snapshots = snapshot_callback.snapshots
         train_mult = training_flops_multiplier(
-            profile, density_snapshots if density_snapshots else masks
+            profile,
+            density_snapshots if density_snapshots else masks,
         )
         actual_sparsity = setup.masked.global_sparsity()
     else:
@@ -359,9 +361,7 @@ class SweepReport:
             groups.setdefault(key, []).append(outcome)
         rows = []
         for (method, model, dataset, sparsity), members in groups.items():
-            scores = np.array(
-                [o.result.final_accuracy for o in members if o.ok], dtype=np.float64
-            )
+            scores = np.array([o.result.final_accuracy for o in members if o.ok], dtype=np.float64)
             rows.append(
                 {
                     "method": method,
@@ -433,7 +433,9 @@ def _invalidate_stale_cell(cell_dir: pathlib.Path, fingerprint: str) -> None:
 
 
 def _load_cached_outcome(
-    cell: "SweepCell", cell_dir: pathlib.Path, fingerprint: str
+    cell: "SweepCell",
+    cell_dir: pathlib.Path,
+    fingerprint: str,
 ) -> CellOutcome | None:
     record_path = cell_dir / "result.pkl"
     if not record_path.exists():
@@ -450,9 +452,7 @@ def _load_cached_outcome(
             result: RunResult = pickle.load(handle)
     except Exception:
         return None  # torn/corrupt record: re-run the cell
-    return CellOutcome(
-        cell=cell, result=result, seconds=result.seconds, cached=True
-    )
+    return CellOutcome(cell=cell, result=result, seconds=result.seconds, cached=True)
 
 
 def _write_manifest(checkpoint_dir: pathlib.Path, outcomes: list[CellOutcome]) -> None:
@@ -468,7 +468,7 @@ def _write_manifest(checkpoint_dir: pathlib.Path, outcomes: list[CellOutcome]) -
                 "error": outcome.error,
             }
             for outcome in outcomes
-        }
+        },
     }
     atomic_write_bytes(
         checkpoint_dir / "manifest.json",
@@ -510,6 +510,49 @@ def run_sweep(
             raise KeyError(f"no model factory for {cell.model!r}")
         if cell.dataset not in datasets:
             raise KeyError(f"no dataset named {cell.dataset!r}")
+
+    def run_cell(cell: "SweepCell", cell_dir, resume_cell: bool, kwargs: dict):
+        data = datasets[cell.dataset]
+        factory = model_factories[cell.model](data.num_classes)
+        return run_image_classification(
+            cell.method,
+            factory,
+            data,
+            sparsity=cell.sparsity,
+            seed=cell.seed,
+            checkpoint_dir=cell_dir,
+            resume_from=cell_dir if resume_cell else None,
+            **kwargs,
+        )
+
+    return run_cell_grid(
+        cells,
+        run_cell,
+        n_proc=n_proc,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        **run_kwargs,
+    )
+
+
+def run_cell_grid(
+    cells: Sequence["SweepCell"],
+    run_cell: Callable,
+    n_proc: int | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    **run_kwargs,
+) -> SweepReport:
+    """Workload-agnostic sweep orchestration (shared by every cell grid).
+
+    ``run_cell(cell, cell_dir, resume, run_kwargs)`` trains one cell and
+    returns its picklable result; everything else — config-fingerprint
+    invalidation, cached-outcome resume, per-job crash isolation across
+    ``n_proc`` forked workers, atomic per-cell ``result.pkl`` records, and
+    the ``manifest.json`` — lives here exactly once, so the supervised and
+    RL sweeps cannot drift apart.
+    """
+    cells = list(cells)
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
     checkpoint_root = (
@@ -520,9 +563,7 @@ def run_sweep(
     cached: dict[int, CellOutcome] = {}
     if checkpoint_root is not None and resume:
         for index, cell in enumerate(cells):
-            outcome = _load_cached_outcome(
-                cell, checkpoint_root / cell_key(cell), fingerprint
-            )
+            outcome = _load_cached_outcome(cell, checkpoint_root / cell_key(cell), fingerprint)
             if outcome is not None:
                 cached[index] = outcome
 
@@ -536,15 +577,7 @@ def run_sweep(
                 # Checkpoints/results recorded under different sweep
                 # arguments must not leak into this run or a later resume.
                 _invalidate_stale_cell(cell_dir, fingerprint)
-            data = datasets[cell.dataset]
-            factory = model_factories[cell.model](data.num_classes)
-            result = run_image_classification(
-                cell.method, factory, data,
-                sparsity=cell.sparsity, seed=cell.seed,
-                checkpoint_dir=cell_dir,
-                resume_from=cell_dir if resume else None,
-                **run_kwargs,
-            )
+            result = run_cell(cell, cell_dir, resume, run_kwargs)
             if cell_dir is not None:
                 # The completed-cell record is written by whichever process
                 # ran the cell, so a killed *parent* loses nothing.
@@ -553,6 +586,7 @@ def run_sweep(
                     pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
                 )
             return result
+
         return job
 
     pending = [index for index in range(len(cells)) if index not in cached]

@@ -22,9 +22,11 @@ from repro.nn.dropout import Dropout
 from repro.nn.losses import (
     BCEWithLogitsLoss,
     CrossEntropyLoss,
+    HuberLoss,
     MSELoss,
     binary_cross_entropy_with_logits,
     cross_entropy,
+    huber_loss,
     mse_loss,
 )
 from repro.nn import functional, init
@@ -51,9 +53,11 @@ __all__ = [
     "Dropout",
     "CrossEntropyLoss",
     "BCEWithLogitsLoss",
+    "HuberLoss",
     "MSELoss",
     "cross_entropy",
     "binary_cross_entropy_with_logits",
+    "huber_loss",
     "mse_loss",
     "init",
     "functional",

@@ -1,4 +1,4 @@
-"""Loss functions (cross-entropy, binary cross-entropy with logits, MSE)."""
+"""Loss functions (cross-entropy, BCE with logits, MSE, Huber)."""
 
 from __future__ import annotations
 
@@ -11,9 +11,11 @@ from repro.nn.module import Module
 __all__ = [
     "cross_entropy",
     "binary_cross_entropy_with_logits",
+    "huber_loss",
     "mse_loss",
     "CrossEntropyLoss",
     "BCEWithLogitsLoss",
+    "HuberLoss",
     "MSELoss",
 ]
 
@@ -62,6 +64,26 @@ def mse_loss(prediction: Tensor, target) -> Tensor:
     return ops.mean(ops.mul(diff, diff))
 
 
+def huber_loss(prediction: Tensor, target, delta: float = 1.0) -> Tensor:
+    """Mean Huber loss (quadratic within ``delta``, linear outside).
+
+    ``loss = 0.5 * d**2`` for ``|d| <= delta`` else
+    ``delta * (|d| - 0.5 * delta)``, averaged over elements — matching
+    ``torch.nn.functional.huber_loss`` with mean reduction.  The standard
+    TD-error loss for DQN: large bootstrapped-target errors contribute
+    bounded gradients, which keeps early Q-learning stable.
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    prediction = ensure_tensor(prediction)
+    target = ensure_tensor(target)
+    diff = ops.sub(prediction, target)
+    abs_diff = ops.abs(diff)
+    quadratic = ops.mul(0.5, ops.mul(diff, diff))
+    linear = ops.mul(delta, ops.sub(abs_diff, 0.5 * delta))
+    return ops.mean(ops.where(abs_diff.data <= delta, quadratic, linear))
+
+
 class CrossEntropyLoss(Module):
     """Module wrapper around :func:`cross_entropy`."""
 
@@ -81,3 +103,14 @@ class MSELoss(Module):
 
     def forward(self, prediction, target):
         return mse_loss(prediction, target)
+
+
+class HuberLoss(Module):
+    """Module wrapper around :func:`huber_loss`."""
+
+    def __init__(self, delta: float = 1.0):
+        super().__init__()
+        self.delta = float(delta)
+
+    def forward(self, prediction, target):
+        return huber_loss(prediction, target, delta=self.delta)

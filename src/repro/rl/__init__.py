@@ -1,0 +1,35 @@
+"""Reinforcement-learning workload driven by the DST engine.
+
+Dependency-free classic-control environments, a ring-buffer replay store,
+a DQN agent whose Q-networks are sparsified through the same
+:class:`~repro.sparse.masked.MaskedModel` / controller machinery as the
+supervised experiments, and a resume-exact training loop.  See
+``docs/rl.md``.
+"""
+
+from repro.rl.agent import DQNAgent, EpsilonSchedule
+from repro.rl.envs import (
+    SOLVE_WINDOW,
+    AcrobotEnv,
+    CartPoleEnv,
+    ENV_REGISTRY,
+    Env,
+    make_env,
+)
+from repro.rl.replay import ReplayBuffer
+from repro.rl.trainer import EpisodeRecord, RLTrainer, rolling_returns
+
+__all__ = [
+    "SOLVE_WINDOW",
+    "AcrobotEnv",
+    "CartPoleEnv",
+    "DQNAgent",
+    "ENV_REGISTRY",
+    "Env",
+    "EpisodeRecord",
+    "EpsilonSchedule",
+    "RLTrainer",
+    "ReplayBuffer",
+    "make_env",
+    "rolling_returns",
+]

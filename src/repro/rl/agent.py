@@ -1,0 +1,140 @@
+"""DQN agent: online + target Q-networks, epsilon-greedy policy, Huber TD loss.
+
+The agent is deliberately thin: it owns the two Q-networks and one action
+``Generator`` and exposes exactly the three operations the
+:class:`~repro.rl.trainer.RLTrainer` loop needs — act, compute the TD loss
+on a replay batch, and sync the target network.  Sparsity is orthogonal:
+the online network's weights are masked in place by a
+:class:`~repro.sparse.masked.MaskedModel` / controller pair exactly as in
+supervised training, and :meth:`sync_target` copies the masked weights
+verbatim (zeros included), so the target network always evaluates the same
+sparse topology the online network trains.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.losses import huber_loss
+from repro.nn.module import Module
+
+__all__ = ["DQNAgent", "EpsilonSchedule"]
+
+
+class EpsilonSchedule:
+    """Linear epsilon decay: ``start`` → ``end`` over ``decay_steps`` steps.
+
+    A pure function of the global environment step, so it needs no
+    checkpoint state.
+    """
+
+    def __init__(self, start: float = 1.0, end: float = 0.05, decay_steps: int = 10_000):
+        if decay_steps < 1:
+            raise ValueError(f"decay_steps must be >= 1, got {decay_steps}")
+        self.start = float(start)
+        self.end = float(end)
+        self.decay_steps = int(decay_steps)
+
+    def __call__(self, step: int) -> float:
+        fraction = min(max(step, 0) / self.decay_steps, 1.0)
+        return self.start + (self.end - self.start) * fraction
+
+
+class DQNAgent:
+    """Q-learning agent with a frozen bootstrap (target) network.
+
+    Parameters
+    ----------
+    online, target:
+        Two identically shaped Q-networks mapping a batch of observations
+        to per-action values.  ``target`` is synchronized from ``online``
+        at construction and then only via :meth:`sync_target`.
+    n_actions:
+        Size of the discrete action space.
+    gamma:
+        Discount factor for the bootstrapped TD target.
+    huber_delta:
+        Transition point of the Huber TD loss.
+    rng:
+        Generator for epsilon-greedy exploration draws.
+    """
+
+    def __init__(
+        self,
+        online: Module,
+        target: Module,
+        n_actions: int,
+        gamma: float = 0.99,
+        huber_delta: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        self.online = online
+        self.target = target
+        self.n_actions = int(n_actions)
+        self.gamma = float(gamma)
+        self.huber_delta = float(huber_delta)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.sync_target()
+        self.target.eval()
+
+    # ------------------------------------------------------------------
+    # acting
+    # ------------------------------------------------------------------
+    def greedy_action(self, observation: np.ndarray) -> int:
+        """Argmax action of the online network for one observation."""
+        with no_grad():
+            q = self.online(Tensor(np.asarray(observation, np.float32)[None, :]))
+        return int(np.argmax(q.data[0]))
+
+    def act(self, observation: np.ndarray, epsilon: float) -> int:
+        """Epsilon-greedy action.
+
+        Exactly one uniform draw per call, plus one integer draw on the
+        exploration branch — the fixed draw pattern is what keeps resumed
+        runs on the same action stream.
+        """
+        if self.rng.random() < epsilon:
+            return int(self.rng.integers(self.n_actions))
+        return self.greedy_action(observation)
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+    def td_loss(
+        self,
+        observations: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_observations: np.ndarray,
+        dones: np.ndarray,
+    ):
+        """Huber loss between Q(s, a) and the frozen bootstrapped target.
+
+        Targets ``r + gamma * (1 - done) * max_a' Q_target(s', a')`` are
+        computed without autograd — only the online network's gathered
+        Q-values carry gradient.
+        """
+        with no_grad():
+            next_q = self.target(Tensor(next_observations)).data
+        targets = rewards + self.gamma * (1.0 - dones) * next_q.max(axis=1)
+        q_values = self.online(Tensor(observations))
+        batch_index = np.arange(len(actions))
+        predicted = ops.getitem(q_values, (batch_index, np.asarray(actions)))
+        return huber_loss(predicted, targets.astype(np.float32), delta=self.huber_delta)
+
+    def sync_target(self) -> None:
+        """Copy the online network's parameters into the target network."""
+        self.target.load_state_dict(self.online.state_dict())
+
+    # ------------------------------------------------------------------
+    # checkpointing (network/optimizer state is owned by the trainer)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"rng": copy.deepcopy(self.rng.bit_generator.state)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rng.bit_generator.state = copy.deepcopy(state["rng"])

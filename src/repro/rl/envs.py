@@ -1,0 +1,293 @@
+"""Dependency-free classic-control environments (NumPy only).
+
+Two standard benchmarks for value-based RL, implemented from their textbook
+dynamics so the repository needs no gym/gymnasium dependency:
+
+* :class:`CartPoleEnv` — the Barto-Sutton-Anderson cart-pole balancing task
+  (Euler integration at 50 Hz, +1 reward per step, 200-step cap);
+* :class:`AcrobotEnv` — Sutton's two-link underactuated swing-up (RK4
+  integration, -1 reward per step until the tip clears one link height).
+
+Both follow the repository's RNG conventions: all randomness flows through
+one ``np.random.Generator`` owned by the environment, and the complete
+evolving state (physics, step counter, generator bit state) round-trips
+through ``state_dict``/``load_state_dict`` so an RL training run can be
+checkpointed and resumed bitwise-exactly mid-episode (see
+:mod:`repro.rl.trainer`).
+
+The API is intentionally tiny::
+
+    env = make_env("cartpole", seed=0)
+    obs = env.reset()
+    obs, reward, done = env.step(action)
+
+``solve_threshold`` is the average episode return over
+``SOLVE_WINDOW``-episode windows at which the task counts as solved —
+the number the RL benches and the acceptance gate consult.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+__all__ = [
+    "SOLVE_WINDOW",
+    "AcrobotEnv",
+    "CartPoleEnv",
+    "ENV_REGISTRY",
+    "Env",
+    "make_env",
+]
+
+# Episodes averaged when deciding whether an environment is solved.
+SOLVE_WINDOW = 20
+
+
+class Env:
+    """Base class: seeded episodic environment with checkpointable state.
+
+    Subclasses set the class attributes below and implement
+    :meth:`_reset_state`, :meth:`_step_physics`, and :meth:`_observe`.
+    """
+
+    observation_size: int
+    n_actions: int
+    max_episode_steps: int
+    solve_threshold: float
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.state = np.zeros(0, dtype=np.float64)
+        self.steps = 0
+        self.needs_reset = True
+
+    # ------------------------------------------------------------------
+    # episode protocol
+    # ------------------------------------------------------------------
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+        self.state = self._reset_state()
+        self.steps = 0
+        self.needs_reset = False
+        return self._observe()
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, bool]:
+        """Advance one step; returns ``(observation, reward, terminated, truncated)``.
+
+        ``terminated`` marks a true environment terminal (pole fell, tip
+        reached the target); ``truncated`` marks the ``max_episode_steps``
+        cutoff.  The distinction matters for value bootstrapping: a
+        truncated episode is *not* a zero-value terminal, and treating it
+        as one visibly caps DQN returns near the time limit.
+        """
+        if self.needs_reset:
+            raise RuntimeError("episode is over; call reset() first")
+        action = int(action)
+        if not 0 <= action < self.n_actions:
+            raise ValueError(f"action must be in [0, {self.n_actions}), got {action}")
+        reward, terminated = self._step_physics(action)
+        self.steps += 1
+        truncated = not terminated and self.steps >= self.max_episode_steps
+        self.needs_reset = terminated or truncated
+        return self._observe(), float(reward), terminated, truncated
+
+    # ------------------------------------------------------------------
+    # checkpointing (resume-exact: physics + step counter + RNG stream)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "state": self.state.copy(),
+            "steps": self.steps,
+            "needs_reset": self.needs_reset,
+            "rng": copy.deepcopy(self.rng.bit_generator.state),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        saved_type = state.get("type", type(self).__name__)
+        if saved_type != type(self).__name__:
+            raise ValueError(
+                f"checkpoint environment is {saved_type!r}, this environment "
+                f"is {type(self).__name__!r}"
+            )
+        self.state = np.asarray(state["state"], dtype=np.float64).copy()
+        self.steps = int(state["steps"])
+        self.needs_reset = bool(state["needs_reset"])
+        self.rng.bit_generator.state = copy.deepcopy(state["rng"])
+
+    # ------------------------------------------------------------------
+    # physics hooks
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _step_physics(self, action: int) -> tuple[float, bool]:
+        raise NotImplementedError
+
+    def _observe(self) -> np.ndarray:
+        raise NotImplementedError
+
+
+class CartPoleEnv(Env):
+    """Cart-pole balancing (Barto, Sutton & Anderson 1983; CartPole-v0 setup).
+
+    State ``(x, x_dot, theta, theta_dot)``; two actions push the cart left
+    or right with a fixed force; +1 reward per step; the episode ends when
+    the pole tilts past 12 degrees, the cart leaves the track, or 200 steps
+    elapse.  ``solve_threshold`` follows the classic CartPole-v0 definition:
+    average return of at least 195 over recent episodes.
+    """
+
+    observation_size = 4
+    n_actions = 2
+    max_episode_steps = 200
+    solve_threshold = 195.0
+
+    GRAVITY = 9.8
+    CART_MASS = 1.0
+    POLE_MASS = 0.1
+    POLE_HALF_LENGTH = 0.5
+    FORCE_MAG = 10.0
+    TAU = 0.02  # integration step (50 Hz)
+    THETA_LIMIT = 12.0 * np.pi / 180.0
+    X_LIMIT = 2.4
+
+    def _reset_state(self) -> np.ndarray:
+        return self.rng.uniform(-0.05, 0.05, size=4)
+
+    def _step_physics(self, action: int) -> tuple[float, bool]:
+        x, x_dot, theta, theta_dot = self.state
+        force = self.FORCE_MAG if action == 1 else -self.FORCE_MAG
+        total_mass = self.CART_MASS + self.POLE_MASS
+        pole_mass_length = self.POLE_MASS * self.POLE_HALF_LENGTH
+
+        cos_t = np.cos(theta)
+        sin_t = np.sin(theta)
+        temp = (force + pole_mass_length * theta_dot**2 * sin_t) / total_mass
+        theta_acc = (self.GRAVITY * sin_t - cos_t * temp) / (
+            self.POLE_HALF_LENGTH * (4.0 / 3.0 - self.POLE_MASS * cos_t**2 / total_mass)
+        )
+        x_acc = temp - pole_mass_length * theta_acc * cos_t / total_mass
+
+        x = x + self.TAU * x_dot
+        x_dot = x_dot + self.TAU * x_acc
+        theta = theta + self.TAU * theta_dot
+        theta_dot = theta_dot + self.TAU * theta_acc
+        self.state = np.array([x, x_dot, theta, theta_dot], dtype=np.float64)
+
+        terminated = bool(abs(x) > self.X_LIMIT or abs(theta) > self.THETA_LIMIT)
+        return 1.0, terminated
+
+    def _observe(self) -> np.ndarray:
+        return self.state.astype(np.float32)
+
+
+class AcrobotEnv(Env):
+    """Two-link acrobot swing-up (Sutton 1996 dynamics, RK4 integration).
+
+    State ``(theta1, theta2, theta1_dot, theta2_dot)``; three actions apply
+    torque {-1, 0, +1} at the elbow; -1 reward per step until the tip rises
+    one link length above the pivot (or 500 steps elapse).  Observations
+    are the standard six features ``(cos t1, sin t1, cos t2, sin t2, t1_dot,
+    t2_dot)``.
+    """
+
+    observation_size = 6
+    n_actions = 3
+    max_episode_steps = 500
+    solve_threshold = -100.0
+
+    DT = 0.2
+    LINK_LENGTH = 1.0
+    LINK_MASS = 1.0
+    LINK_COM = 0.5
+    LINK_INERTIA = 1.0
+    GRAVITY = 9.8
+    MAX_VEL_1 = 4.0 * np.pi
+    MAX_VEL_2 = 9.0 * np.pi
+    TORQUES = (-1.0, 0.0, 1.0)
+
+    def _reset_state(self) -> np.ndarray:
+        return self.rng.uniform(-0.1, 0.1, size=4)
+
+    def _dynamics(self, s: np.ndarray, torque: float) -> np.ndarray:
+        m = self.LINK_MASS
+        length = self.LINK_LENGTH
+        lc = self.LINK_COM
+        inertia = self.LINK_INERTIA
+        g = self.GRAVITY
+        theta1, theta2, dtheta1, dtheta2 = s
+
+        d1 = (
+            m * lc**2
+            + m * (length**2 + lc**2 + 2 * length * lc * np.cos(theta2))
+            + 2 * inertia
+        )
+        d2 = m * (lc**2 + length * lc * np.cos(theta2)) + inertia
+        phi2 = m * lc * g * np.cos(theta1 + theta2 - np.pi / 2.0)
+        phi1 = (
+            -m * length * lc * dtheta2**2 * np.sin(theta2)
+            - 2 * m * length * lc * dtheta2 * dtheta1 * np.sin(theta2)
+            + (m * lc + m * length) * g * np.cos(theta1 - np.pi / 2.0)
+            + phi2
+        )
+        ddtheta2 = (
+            torque
+            + d2 / d1 * phi1
+            - m * length * lc * dtheta1**2 * np.sin(theta2)
+            - phi2
+        ) / (m * lc**2 + inertia - d2**2 / d1)
+        ddtheta1 = -(d2 * ddtheta2 + phi1) / d1
+        return np.array([dtheta1, dtheta2, ddtheta1, ddtheta2], dtype=np.float64)
+
+    def _step_physics(self, action: int) -> tuple[float, bool]:
+        torque = self.TORQUES[action]
+        s = self.state
+        # One RK4 step over the control interval.
+        k1 = self._dynamics(s, torque)
+        k2 = self._dynamics(s + 0.5 * self.DT * k1, torque)
+        k3 = self._dynamics(s + 0.5 * self.DT * k2, torque)
+        k4 = self._dynamics(s + self.DT * k3, torque)
+        s = s + self.DT / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)
+
+        # Wrap angles to [-pi, pi) and clamp velocities (Sutton's bounds).
+        s[0] = ((s[0] + np.pi) % (2 * np.pi)) - np.pi
+        s[1] = ((s[1] + np.pi) % (2 * np.pi)) - np.pi
+        s[2] = np.clip(s[2], -self.MAX_VEL_1, self.MAX_VEL_1)
+        s[3] = np.clip(s[3], -self.MAX_VEL_2, self.MAX_VEL_2)
+        self.state = s
+
+        terminated = bool(-np.cos(s[0]) - np.cos(s[1] + s[0]) > 1.0)
+        return -1.0, terminated
+
+    def _observe(self) -> np.ndarray:
+        theta1, theta2, dtheta1, dtheta2 = self.state
+        return np.array(
+            [
+                np.cos(theta1),
+                np.sin(theta1),
+                np.cos(theta2),
+                np.sin(theta2),
+                dtheta1,
+                dtheta2,
+            ],
+            dtype=np.float32,
+        )
+
+
+ENV_REGISTRY: dict[str, type[Env]] = {
+    "cartpole": CartPoleEnv,
+    "acrobot": AcrobotEnv,
+}
+
+
+def make_env(name: str, seed: int | None = None) -> Env:
+    """Instantiate a registered environment with its own seeded generator."""
+    try:
+        env_cls = ENV_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(ENV_REGISTRY))
+        raise KeyError(f"unknown environment {name!r}; registered: {known}") from None
+    return env_cls(rng=np.random.default_rng(seed))

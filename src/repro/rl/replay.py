@@ -1,0 +1,126 @@
+"""Ring-buffer experience replay with deterministic sampling.
+
+Storage is preallocated once (no per-transition allocation on the hot
+path), writes wrap around FIFO, and sampling draws indices from a private
+``np.random.Generator`` — so given the same seed and the same push/sample
+sequence, a :class:`ReplayBuffer` produces bitwise-identical batches.  The
+complete evolving state (contents, write position, generator bit state)
+round-trips through ``state_dict``/``load_state_dict``, which is what makes
+killed-and-resumed DQN runs continue exactly (see :mod:`repro.rl.trainer`).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+__all__ = ["ReplayBuffer"]
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO transition store for off-policy RL.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of stored transitions; older entries are overwritten.
+    observation_size:
+        Flat observation dimension (transitions store float32 observations).
+    rng:
+        Generator used by :meth:`sample`; defaults to a fresh unseeded one.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        observation_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.observation_size = int(observation_size)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.observations = np.zeros((capacity, observation_size), dtype=np.float32)
+        self.next_observations = np.zeros((capacity, observation_size), dtype=np.float32)
+        self.actions = np.zeros(capacity, dtype=np.int64)
+        self.rewards = np.zeros(capacity, dtype=np.float32)
+        self.dones = np.zeros(capacity, dtype=np.float32)
+        self.position = 0
+        self.size = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def push(
+        self,
+        observation: np.ndarray,
+        action: int,
+        reward: float,
+        next_observation: np.ndarray,
+        done: bool,
+    ) -> None:
+        """Store one transition, overwriting the oldest once full."""
+        index = self.position
+        self.observations[index] = observation
+        self.next_observations[index] = next_observation
+        self.actions[index] = action
+        self.rewards[index] = reward
+        self.dones[index] = 1.0 if done else 0.0
+        self.position = (index + 1) % self.capacity
+        self.size = min(self.size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> dict[str, np.ndarray]:
+        """Uniform random batch (with replacement) from the stored window.
+
+        Deterministic given the generator's state: the only randomness is
+        one ``rng.integers`` draw.
+        """
+        if self.size == 0:
+            raise ValueError("cannot sample from an empty replay buffer")
+        indices = self.rng.integers(0, self.size, size=int(batch_size))
+        return {
+            "observations": self.observations[indices],
+            "actions": self.actions[indices],
+            "rewards": self.rewards[indices],
+            "next_observations": self.next_observations[indices],
+            "dones": self.dones[indices],
+        }
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "observation_size": self.observation_size,
+            "position": self.position,
+            "size": self.size,
+            "observations": self.observations.copy(),
+            "next_observations": self.next_observations.copy(),
+            "actions": self.actions.copy(),
+            "rewards": self.rewards.copy(),
+            "dones": self.dones.copy(),
+            "rng": copy.deepcopy(self.rng.bit_generator.state),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if int(state["capacity"]) != self.capacity:
+            raise ValueError(
+                f"checkpoint buffer capacity {state['capacity']} does not "
+                f"match this buffer's capacity {self.capacity}"
+            )
+        if int(state["observation_size"]) != self.observation_size:
+            raise ValueError(
+                f"checkpoint observation size {state['observation_size']} does "
+                f"not match this buffer's {self.observation_size}"
+            )
+        self.position = int(state["position"])
+        self.size = int(state["size"])
+        np.copyto(self.observations, state["observations"])
+        np.copyto(self.next_observations, state["next_observations"])
+        self.actions[:] = state["actions"]
+        np.copyto(self.rewards, state["rewards"])
+        np.copyto(self.dones, state["dones"])
+        self.rng.bit_generator.state = copy.deepcopy(state["rng"])

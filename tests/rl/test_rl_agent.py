@@ -1,0 +1,156 @@
+"""DQN agent: epsilon schedule, action policy, TD loss, target syncs."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.models import MLP
+from repro.nn.losses import huber_loss
+from repro.rl.agent import DQNAgent, EpsilonSchedule
+
+
+def make_agent(seed=0, gamma=0.9):
+    online = MLP(4, (16,), 2, seed=seed)
+    target = MLP(4, (16,), 2, seed=seed + 100)
+    return DQNAgent(
+        online, target, n_actions=2, gamma=gamma, rng=np.random.default_rng(seed)
+    )
+
+
+class TestEpsilonSchedule:
+    def test_endpoints_and_linearity(self):
+        schedule = EpsilonSchedule(start=1.0, end=0.1, decay_steps=100)
+        assert schedule(0) == 1.0
+        assert schedule(50) == pytest.approx(0.55)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(10_000) == pytest.approx(0.1)
+
+    def test_invalid_decay_steps(self):
+        with pytest.raises(ValueError, match="decay_steps"):
+            EpsilonSchedule(decay_steps=0)
+
+
+class TestHuberLoss:
+    def test_quadratic_inside_linear_outside(self):
+        prediction = Tensor(np.array([0.0, 0.0, 0.0], np.float32), requires_grad=True)
+        target = np.array([0.5, 2.0, -3.0], np.float32)
+        loss = huber_loss(prediction, target, delta=1.0)
+        expected = np.mean([0.5 * 0.25, 2.0 - 0.5, 3.0 - 0.5])
+        assert loss.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_gradient_is_clipped_to_delta(self):
+        prediction = Tensor(np.array([10.0, -10.0], np.float32), requires_grad=True)
+        loss = huber_loss(prediction, np.zeros(2, np.float32), delta=1.0)
+        loss.backward()
+        # d/dx of delta*(|x| - delta/2) is +-delta, averaged over 2 elements.
+        assert np.allclose(prediction.grad, [0.5, -0.5])
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError, match="delta"):
+            huber_loss(Tensor(np.zeros(2)), np.zeros(2), delta=0.0)
+
+
+class TestActing:
+    def test_construction_syncs_target(self):
+        agent = make_agent()
+        for key, value in agent.online.state_dict().items():
+            assert np.array_equal(value, agent.target.state_dict()[key])
+
+    def test_epsilon_zero_is_greedy_and_deterministic(self):
+        agent = make_agent(seed=1)
+        obs = np.ones(4, np.float32)
+        actions = {agent.act(obs, epsilon=0.0) for _ in range(5)}
+        assert actions == {agent.greedy_action(obs)}
+
+    def test_epsilon_one_explores_with_seeded_stream(self):
+        a = make_agent(seed=2)
+        b = make_agent(seed=2)
+        obs = np.zeros(4, np.float32)
+        seq_a = [a.act(obs, epsilon=1.0) for _ in range(20)]
+        seq_b = [b.act(obs, epsilon=1.0) for _ in range(20)]
+        assert seq_a == seq_b
+        assert set(seq_a) == {0, 1}
+
+    def test_rng_state_round_trip(self):
+        agent = make_agent(seed=3)
+        obs = np.zeros(4, np.float32)
+        [agent.act(obs, 1.0) for _ in range(3)]
+        state = agent.state_dict()
+        expected = [agent.act(obs, 1.0) for _ in range(10)]
+        agent.load_state_dict(state)
+        assert [agent.act(obs, 1.0) for _ in range(10)] == expected
+
+
+class TestTDLoss:
+    def test_terminal_targets_ignore_bootstrap(self):
+        agent = make_agent(gamma=0.9)
+        observations = np.zeros((2, 4), np.float32)
+        next_observations = np.ones((2, 4), np.float32)
+        actions = np.array([0, 1])
+        rewards = np.array([1.0, 1.0], np.float32)
+
+        loss_terminal = agent.td_loss(
+            observations, actions, rewards, next_observations,
+            dones=np.ones(2, np.float32),
+        )
+        # Terminal targets are exactly the rewards.
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            q = agent.online(Tensor(observations)).data
+        picked = q[np.arange(2), actions]
+        expected = huber_loss(
+            Tensor(picked.astype(np.float32)), rewards.astype(np.float32)
+        ).item()
+        assert loss_terminal.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_bootstrap_uses_target_network_max(self):
+        agent = make_agent(gamma=0.5)
+        observations = np.zeros((1, 4), np.float32)
+        next_observations = np.full((1, 4), 0.5, np.float32)
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            next_q = agent.target(Tensor(next_observations)).data.max()
+            online_q = agent.online(Tensor(observations)).data[0, 1]
+        target_value = 2.0 + 0.5 * next_q
+        loss = agent.td_loss(
+            observations,
+            np.array([1]),
+            np.array([2.0], np.float32),
+            next_observations,
+            np.zeros(1, np.float32),
+        )
+        expected = huber_loss(
+            Tensor(np.array([online_q], np.float32)),
+            np.array([target_value], np.float32),
+        ).item()
+        assert loss.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_loss_backward_only_touches_online(self):
+        agent = make_agent()
+        batch = dict(
+            observations=np.random.default_rng(0).standard_normal((8, 4)).astype(np.float32),
+            actions=np.zeros(8, np.int64),
+            rewards=np.ones(8, np.float32),
+            next_observations=np.zeros((8, 4), np.float32),
+            dones=np.zeros(8, np.float32),
+        )
+        loss = agent.td_loss(**batch)
+        loss.backward()
+        assert any(p.grad is not None for p in agent.online.parameters())
+        assert all(p.grad is None for p in agent.target.parameters())
+
+
+def test_sync_target_copies_masked_zeros():
+    from repro.sparse.masked import MaskedModel
+
+    online = MLP(4, (16,), 2, seed=0)
+    target = MLP(4, (16,), 2, seed=5)
+    masked = MaskedModel(online, 0.8, rng=np.random.default_rng(1))
+    agent = DQNAgent(online, target, 2, rng=np.random.default_rng(2))
+    agent.sync_target()
+    for sparse in masked.targets:
+        copied = dict(agent.target.named_parameters())[sparse.name]
+        assert np.array_equal(copied.data, sparse.param.data)
+        assert np.all(copied.data[~sparse.mask] == 0.0)

@@ -1,0 +1,133 @@
+"""Environment determinism, physics sanity, and checkpoint round trips."""
+
+import numpy as np
+import pytest
+
+from repro.rl.envs import AcrobotEnv, CartPoleEnv, ENV_REGISTRY, make_env
+
+
+def rollout(env, actions):
+    observations = [env.reset()]
+    transitions = []
+    for action in actions:
+        obs, reward, terminated, truncated = env.step(action)
+        observations.append(obs)
+        transitions.append((reward, terminated, truncated))
+        if terminated or truncated:
+            break
+    return observations, transitions
+
+
+class TestCartPole:
+    def test_reset_is_seed_deterministic(self):
+        a = make_env("cartpole", seed=5).reset()
+        b = make_env("cartpole", seed=5).reset()
+        c = make_env("cartpole", seed=6).reset()
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_observation_shape_and_dtype(self):
+        env = make_env("cartpole", seed=0)
+        obs = env.reset()
+        assert obs.shape == (env.observation_size,)
+        assert obs.dtype == np.float32
+
+    def test_constant_action_terminates(self):
+        # Always pushing right destabilizes the pole well before the cap.
+        env = make_env("cartpole", seed=0)
+        _, transitions = rollout(env, [1] * env.max_episode_steps)
+        assert transitions[-1][1]  # terminated, not truncated
+        assert len(transitions) < env.max_episode_steps
+
+    def test_rewards_are_one_per_step(self):
+        env = make_env("cartpole", seed=0)
+        _, transitions = rollout(env, [0, 1] * 10)
+        assert all(reward == 1.0 for reward, _, _ in transitions)
+
+    def test_truncation_at_step_cap_is_not_termination(self):
+        env = make_env("cartpole", seed=0)
+        env.max_episode_steps = 3  # force the cap before the pole can fall
+        _, transitions = rollout(env, [0, 1, 0, 1])
+        assert len(transitions) == 3
+        reward, terminated, truncated = transitions[-1]
+        assert truncated and not terminated
+
+    def test_step_after_done_raises(self):
+        env = make_env("cartpole", seed=0)
+        rollout(env, [1] * 500)
+        with pytest.raises(RuntimeError, match="reset"):
+            env.step(0)
+
+    def test_invalid_action_raises(self):
+        env = make_env("cartpole", seed=0)
+        env.reset()
+        with pytest.raises(ValueError, match="action"):
+            env.step(2)
+
+
+class TestAcrobot:
+    def test_observation_features(self):
+        env = make_env("acrobot", seed=1)
+        obs = env.reset()
+        assert obs.shape == (6,)
+        # First four features are cos/sin pairs.
+        assert np.all(np.abs(obs[:4]) <= 1.0 + 1e-6)
+
+    def test_negative_reward_until_done(self):
+        env = make_env("acrobot", seed=1)
+        _, transitions = rollout(env, [0] * 50)
+        assert all(reward == -1.0 for reward, _, _ in transitions)
+
+    def test_velocities_stay_bounded(self):
+        env = make_env("acrobot", seed=2)
+        env.reset()
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            _, _, terminated, truncated = env.step(int(rng.integers(3)))
+            assert abs(env.state[2]) <= AcrobotEnv.MAX_VEL_1 + 1e-9
+            assert abs(env.state[3]) <= AcrobotEnv.MAX_VEL_2 + 1e-9
+            if terminated or truncated:
+                env.reset()
+
+
+class TestCheckpointing:
+    @pytest.mark.parametrize("name", sorted(ENV_REGISTRY))
+    def test_state_round_trip_continues_identically(self, name):
+        env = make_env(name, seed=3)
+        env.reset()
+        for _ in range(7):
+            env.step(0)
+        state = env.state_dict()
+
+        twin = make_env(name, seed=999)  # different seed: state must win
+        twin.load_state_dict(state)
+
+        for action in [1, 0, 1, 1, 0]:
+            expected = env.step(action)
+            got = twin.step(action)
+            assert np.array_equal(expected[0], got[0])
+            assert expected[1:] == got[1:]
+            if env.needs_reset:
+                break
+        # The reset stream is part of the state too.
+        if env.needs_reset:
+            assert np.array_equal(env.reset(), twin.reset())
+        assert np.array_equal(env.state, twin.state)
+
+    def test_wrong_env_type_rejected(self):
+        cartpole = make_env("cartpole", seed=0)
+        cartpole.reset()
+        acrobot = make_env("acrobot", seed=0)
+        with pytest.raises(ValueError, match="CartPoleEnv"):
+            acrobot.load_state_dict(cartpole.state_dict())
+
+    def test_unknown_env_name(self):
+        with pytest.raises(KeyError, match="registered"):
+            make_env("pong")
+
+
+def test_registry_contents():
+    assert ENV_REGISTRY["cartpole"] is CartPoleEnv
+    assert ENV_REGISTRY["acrobot"] is AcrobotEnv
+    assert CartPoleEnv.n_actions == 2
+    assert AcrobotEnv.n_actions == 3
