@@ -102,6 +102,12 @@ _CONV_CONFIGS = {
 }
 _CONV_STEPS = {"small": (3, 8, 2), "medium": (6, 20, 3), "full": (6, 20, 3)}
 
+# Block-structured sparsity axis: tile size for the BSR side of the
+# dense-vs-bsr conv A/B, and interleaved rounds per scale (alternating
+# same-process chunks cancel shared-box load drift; best-of-N per side).
+_BLOCK_SIZE = 4
+_BLOCK_AB_ROUNDS = {"small": 2, "medium": 8, "full": 8}
+
 # Multi-seed sweep axis: worker-process counts to shard run_multi_seed over.
 _SWEEP_NPROCS = (2, 4)
 _SWEEP_SETTINGS = {
@@ -111,7 +117,7 @@ _SWEEP_SETTINGS = {
 }
 
 
-def _build(config: dict, sparsity: float, seed: int = 0):
+def _build(config: dict, sparsity: float, seed: int = 0, block_size: int = 1):
     model = MLP(
         in_features=config["in_features"],
         hidden=config["hidden"],
@@ -119,7 +125,11 @@ def _build(config: dict, sparsity: float, seed: int = 0):
         seed=seed,
     )
     masked = MaskedModel(
-        model, sparsity, distribution="uniform", rng=np.random.default_rng(seed + 1)
+        model,
+        sparsity,
+        distribution="uniform",
+        rng=np.random.default_rng(seed + 1),
+        block_size=block_size,
     )
     optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
     scale = get_scale()
@@ -159,6 +169,7 @@ def time_training(config: dict, sparsity: float, mode: str) -> float:
     warmup, timed, chunks = _STEPS[get_scale().name]
 
     def one_step(step: int) -> None:
+        engine.before_backward(step)
         model.zero_grad()
         loss = nn.cross_entropy(model(x), y)
         loss.backward()
@@ -180,13 +191,17 @@ def time_training(config: dict, sparsity: float, mode: str) -> float:
     return timed / best
 
 
-def _build_conv(config: dict, sparsity: float, seed: int = 0):
+def _build_conv(config: dict, sparsity: float, seed: int = 0, block_size: int = 1):
     if config["model"] == "vgg11":
         model = vgg11(config["num_classes"], config["width"], config["image_size"], seed=seed)
     else:
         model = resnet50_mini(config["num_classes"], config["width"], seed=seed)
     masked = MaskedModel(
-        model, sparsity, distribution="uniform", rng=np.random.default_rng(seed + 1)
+        model,
+        sparsity,
+        distribution="uniform",
+        rng=np.random.default_rng(seed + 1),
+        block_size=block_size,
     )
     optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
     engine = DynamicSparseEngine(
@@ -212,6 +227,7 @@ def time_conv_training(config: dict, sparsity: float, mode: str) -> float:
     warmup, timed, chunks = _CONV_STEPS[get_scale().name]
 
     def one_step(step: int) -> None:
+        engine.before_backward(step)
         model.zero_grad()
         loss = nn.cross_entropy(model(x), y)
         loss.backward()
@@ -231,6 +247,85 @@ def time_conv_training(config: dict, sparsity: float, mode: str) -> float:
             one_step(step)
         best = min(best, time.perf_counter() - start)
     return timed / best
+
+
+def conv_block_ab() -> dict:
+    """Interleaved A/B: unstructured masked-dense vs block-4 BSR conv training.
+
+    Both sides train the same architecture at the same sparsity; the BSR
+    side uses ``block_size=4`` masks with the ``bsr`` kernel backend, the
+    reference side unstructured masks on the plain masked-dense path.
+    Chunks alternate inside one process (best-of-N per side) so shared-box
+    load drift cancels out of ``ratio`` — the number the regression gate
+    guards.  Each side's mean drop-and-grow wall time (from the engine's
+    update history) rides along as ``mask_update_ms_*``.
+    """
+    section: dict[str, dict[str, dict[str, float]]] = {}
+    scale = get_scale().name
+    rounds = _BLOCK_AB_ROUNDS[scale]
+    warmup, timed, _ = _CONV_STEPS[scale]
+    for name, config in _CONV_CONFIGS[scale].items():
+        section[name] = {}
+        for sparsity in SPARSITIES:
+            sides = {}
+            for key, mode, block in (("dense", "dense", 1), ("bsr", "bsr", _BLOCK_SIZE)):
+                model, masked, optimizer, engine = _build_conv(
+                    config, sparsity, block_size=block
+                )
+                _apply_backend(masked, optimizer, mode)
+                rng = np.random.default_rng(3)
+                size = config["image_size"]
+                x = Tensor(
+                    rng.standard_normal((config["batch"], 3, size, size)).astype(np.float32)
+                )
+                y = rng.integers(0, config["num_classes"], size=config["batch"])
+                sides[key] = {
+                    "model": model, "engine": engine, "optimizer": optimizer,
+                    "x": x, "y": y, "step": 0, "best": float("inf"),
+                }
+
+            def one_step(side: dict) -> None:
+                side["step"] += 1
+                step = side["step"]
+                engine, model, optimizer = side["engine"], side["model"], side["optimizer"]
+                engine.before_backward(step)
+                model.zero_grad()
+                loss = nn.cross_entropy(model(side["x"]), side["y"])
+                loss.backward()
+                if not engine.on_backward(step):
+                    optimizer.step()
+                    engine.after_step(step)
+
+            for side in sides.values():
+                for _ in range(warmup):
+                    one_step(side)
+            for _ in range(rounds):
+                for side in sides.values():
+                    start = time.perf_counter()
+                    for _ in range(timed):
+                        one_step(side)
+                    side["best"] = min(side["best"], time.perf_counter() - start)
+
+            sps = {key: timed / side["best"] for key, side in sides.items()}
+            upd = {
+                key: float(np.mean([r.duration_ms for r in side["engine"].history]))
+                for key, side in sides.items()
+            }
+            ratio = sps["bsr"] / sps["dense"]
+            section[name][f"{sparsity:g}"] = {
+                "dense": round(sps["dense"], 3),
+                "bsr": round(sps["bsr"], 3),
+                "ratio": round(ratio, 3),
+                "block_size": _BLOCK_SIZE,
+                "mask_update_ms_dense": round(upd["dense"], 3),
+                "mask_update_ms_bsr": round(upd["bsr"], 3),
+            }
+            print(
+                f"[block] {name} s={sparsity:g}: dense={sps['dense']:.2f} "
+                f"bsr={sps['bsr']:.2f} ({ratio:.2f}x) "
+                f"upd {upd['dense']:.1f}->{upd['bsr']:.1f} ms"
+            )
+    return section
 
 
 def conv_workspace_ab() -> dict:
@@ -327,9 +422,9 @@ def time_multi_seed_sweep() -> dict:
     return section
 
 
-def time_mask_update(config: dict, sparsity: float) -> float:
+def time_mask_update(config: dict, sparsity: float, block_size: int = 1) -> float:
     """Mean latency (ms) of one full drop-and-grow round."""
-    _, masked, _, engine = _build(config, sparsity)
+    _, masked, _, engine = _build(config, sparsity, block_size=block_size)
     rng = np.random.default_rng(11)
     rounds = 3 if get_scale().name == "small" else 10
     delta_t = engine.update_schedule.delta_t
@@ -375,6 +470,16 @@ def run() -> dict:
             mask_update[name][key] = round(latency, 4)
             print(f"[mask ] {name} s={key}: {latency:.3f} ms/round")
 
+    # ΔT latency across the block axis: triplet (COO) block masks update
+    # O(nnz_blocks) state per round instead of O(numel) dense mask scans.
+    mask_update_block: dict[str, dict[str, float]] = {}
+    for name, config in configs.items():
+        mask_update_block[name] = {}
+        for block in (1, _BLOCK_SIZE):
+            latency = time_mask_update(config, 0.95, block_size=block)
+            mask_update_block[name][str(block)] = round(latency, 4)
+            print(f"[mask ] {name} s=0.95 block={block}: {latency:.3f} ms/round")
+
     conv_training: dict[str, dict[str, dict[str, float]]] = {}
     conv_modes = [m for m in modes if m != "legacy"] or ["dense"]
     for name, config in _CONV_CONFIGS[scale.name].items():
@@ -386,6 +491,7 @@ def run() -> dict:
                 conv_training[name][mode][key] = round(sps, 3)
                 print(f"[conv ] {name} s={key} backend={mode}: {sps:.2f} steps/s")
 
+    block_ab = conv_block_ab()
     workspace_ab = conv_workspace_ab()
     sweep = time_multi_seed_sweep()
 
@@ -408,8 +514,10 @@ def run() -> dict:
         "modes": modes,
         "training_steps_per_sec": training,
         "conv_training_steps_per_sec": conv_training,
+        "conv_block_ab": block_ab,
         "conv_workspace_ab": workspace_ab,
         "mask_update_ms": mask_update,
+        "mask_update_block_ms": mask_update_block,
         "multi_seed_sweep": sweep,
         "baseline": baseline,
         "speedup_vs_baseline": {},

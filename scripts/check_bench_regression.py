@@ -109,6 +109,29 @@ def _numeric_leaves(node, prefix: str = "") -> dict[str, float]:
     return leaves
 
 
+def check_engine_block_floor(fresh: dict, gate: Gate, min_ratio: float) -> None:
+    """Hard floor on the conv block-sparse/dense training ratio at s=0.95.
+
+    Baseline-independent, like the serving batched/unbatched floor: the
+    interleaved A/B ratio is measured within one process so it is
+    machine-portable.  Only enforced at medium/full scale — the small CI
+    smoke's truncated step counts don't amortize the BSR rebuild cost.
+    """
+    if fresh.get("scale") not in ("medium", "full"):
+        return
+    row = fresh.get("conv_block_ab", {}).get("vgg_small", {}).get("0.95")
+    if row is None or not row.get("ratio"):
+        print("[FAIL] engine: no conv block A/B ratio for vgg_small at s=0.95")
+        gate.failures += 1
+        return
+    gate.check(
+        "engine conv bsr/dense hard floor vgg_small @s=0.95",
+        row["ratio"],
+        min_ratio,
+        "absolute floor, baseline-independent",
+    )
+
+
 def check_engine(fresh: dict, baseline: dict, gate: Gate, absolute: bool) -> None:
     fresh_training = fresh.get("training_steps_per_sec", {})
     base_training = baseline.get("training_steps_per_sec", {})
@@ -136,6 +159,26 @@ def check_engine(fresh: dict, baseline: dict, gate: Gate, absolute: bool) -> Non
                 f"engine {config} csr/dense ratio @s={sparsity}",
                 fresh_csr / fresh_dense,
                 base_csr / base_dense,
+            )
+    fresh_block = fresh.get("conv_block_ab", {})
+    for config, base_rows in baseline.get("conv_block_ab", {}).items():
+        fresh_rows = fresh_block.get(config, {})
+        for sparsity, base_row in base_rows.items():
+            base_ratio = base_row.get("ratio")
+            if not base_ratio:
+                continue
+            fresh_row = fresh_rows.get(sparsity, {})
+            if not fresh_row.get("ratio"):
+                print(
+                    f"[FAIL] engine: conv block A/B {config} s={sparsity} "
+                    "missing in fresh run"
+                )
+                gate.failures += 1
+                continue
+            gate.relative(
+                f"engine {config} bsr/dense ratio @s={sparsity}",
+                fresh_row["ratio"],
+                base_ratio,
             )
     if absolute:
         base_leaves = _numeric_leaves(
@@ -266,6 +309,13 @@ def main(argv: list[str] | None = None) -> int:
         help="hard floor for batched/unbatched serving speedup at 95%% sparsity",
     )
     parser.add_argument(
+        "--min-conv-block-speedup",
+        type=float,
+        default=1.3,
+        help="hard floor for the conv block-sparse/dense training ratio at "
+        "95%% sparsity (vgg_small, medium/full scale only)",
+    )
+    parser.add_argument(
         "--absolute",
         action="store_true",
         help="also compare absolute steps/sec and req/s (same-machine baselines only)",
@@ -277,6 +327,8 @@ def main(argv: list[str] | None = None) -> int:
 
     engine_fresh = _load(pathlib.Path(args.engine), "engine fresh")
     engine_base = _load(baseline_dir / ENGINE_BASELINE, "engine baseline")
+    if engine_fresh is not None:
+        check_engine_block_floor(engine_fresh, gate, args.min_conv_block_speedup)
     if engine_fresh is not None and engine_base is not None:
         if _scales_match(engine_fresh, engine_base, "engine"):
             check_engine(engine_fresh, engine_base, gate, args.absolute)

@@ -25,6 +25,13 @@ import os
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+try:  # pragma: no cover - scipy ships with the pinned environment
+    import scipy.sparse as _sp
+    from scipy.sparse import _sparsetools as _spt
+except ImportError:  # pragma: no cover
+    _sp = None
+    _spt = None
+
 from repro.autograd.tensor import Tensor, ensure_tensor
 
 __all__ = [
@@ -191,6 +198,109 @@ def _col2im(
     return grad_padded
 
 
+# Cached col2im scatter operators, keyed by conv geometry.  Each entry is a
+# CSR matrix (h*w, kh*kw*out_h*out_w) summing window-offset contributions
+# into *interior* (un-padded) image positions — contributions that land in
+# the padding are simply absent, so no work is spent on values the crop
+# would discard.  One entry exists per distinct conv geometry in the model.
+_COL2IM_OPS: dict[tuple, "object"] = {}
+
+
+def _col2im_scatter_op(
+    kh: int, kw: int, sh: int, sw: int, out_h: int, out_w: int,
+    ph: int, pw: int, h: int, w: int,
+):
+    key = (kh, kw, sh, sw, out_h, out_w, ph, pw, h, w)
+    op = _COL2IM_OPS.get(key)
+    if op is None:
+        i = np.arange(kh).reshape(-1, 1, 1, 1)
+        j = np.arange(kw).reshape(1, -1, 1, 1)
+        y = np.arange(out_h).reshape(1, 1, -1, 1)
+        x = np.arange(out_w).reshape(1, 1, 1, -1)
+        py = i + sh * y - ph
+        px = j + sw * x - pw
+        valid = (py >= 0) & (py < h) & (px >= 0) & (px < w)
+        p = np.broadcast_to(py * w + px, valid.shape)[valid]
+        q = np.arange(kh * kw * out_h * out_w).reshape(valid.shape)[valid]
+        op = _sp.csr_matrix(
+            (np.ones(p.size, dtype=np.float32), (p, q)),
+            shape=(h * w, kh * kw * out_h * out_w),
+        )
+        op.sort_indices()
+        _COL2IM_OPS[key] = op
+    return op
+
+
+def _col2im_t(
+    grad_cols_t: np.ndarray,
+    padded_shape: tuple[int, ...],
+    kh: int,
+    kw: int,
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    out_shape: tuple[int, ...],
+    workspace: ConvWorkspace | None = None,
+) -> np.ndarray:
+    """:func:`_col2im` for channel-major window gradients.
+
+    ``grad_cols_t`` has shape ``(C, kh, kw, N, out_h, out_w)`` — the natural
+    output layout of the BSR input-gradient matmul (``(C*kh*kw, N*H'*W')``
+    reshaped).  Instead of :func:`_col2im`'s ``kh*kw`` strided slice-adds
+    (whose tiny spatial inner loops dominate at this library's image
+    sizes), the scatter is one CSR product with a cached per-geometry
+    operator over a ``(window offsets, C*N)`` staging of the gradient; the
+    per-position accumulation order matches the slice-add loop's ``(i, j)``
+    ascending order bitwise.  Falls back to slice-adds without scipy.
+    """
+    sh, sw = stride
+    ph, pw = padding
+    c, _, _, n, out_h, out_w = grad_cols_t.shape
+    h, w = out_shape[2], out_shape[3]
+    if _spt is not None:
+        op = _col2im_scatter_op(kh, kw, sh, sw, out_h, out_w, ph, pw, h, w)
+        q_dim, v_dim = kh * kw * out_h * out_w, c * n
+        if workspace is not None:
+            staged = workspace.get("col2im_g", (q_dim, v_dim), grad_cols_t.dtype)
+            scattered = workspace.get("col2im_p", (h * w, v_dim), grad_cols_t.dtype)
+        else:
+            staged = np.empty((q_dim, v_dim), dtype=grad_cols_t.dtype)
+            scattered = np.empty((h * w, v_dim), dtype=grad_cols_t.dtype)
+        np.copyto(
+            staged.reshape(kh, kw, out_h, out_w, c, n),
+            grad_cols_t.transpose(1, 2, 4, 5, 0, 3),
+        )
+        scattered.fill(0)
+        _spt.csr_matvecs(
+            h * w, q_dim, v_dim, op.indptr, op.indices, op.data,
+            staged.ravel(), scattered.ravel(),
+        )
+        src = scattered.reshape(h, w, c, n).transpose(3, 2, 0, 1)
+        if workspace is not None:
+            grad_x = workspace.get("grad_x", out_shape, grad_cols_t.dtype)
+            np.copyto(grad_x, src)
+            return grad_x
+        return np.ascontiguousarray(src)
+    padded_t_shape = (c, n, padded_shape[2], padded_shape[3])
+    if workspace is not None:
+        grad_padded = workspace.get(
+            "col2im_scratch_t", padded_t_shape, grad_cols_t.dtype
+        )
+        grad_padded.fill(0)
+    else:
+        grad_padded = np.zeros(padded_t_shape, dtype=grad_cols_t.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            grad_padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += (
+                grad_cols_t[:, i, j]
+            )
+    cropped = grad_padded[:, :, ph : ph + h, pw : pw + w]
+    if workspace is not None:
+        grad_x = workspace.get("grad_x", out_shape, grad_cols_t.dtype)
+        np.copyto(grad_x, cropped.transpose(1, 0, 2, 3))
+        return grad_x
+    return np.ascontiguousarray(cropped.transpose(1, 0, 2, 3))
+
+
 def _stage_grad_mat(
     grad: np.ndarray, n: int, out_h: int, out_w: int, c_out: int,
     workspace: ConvWorkspace | None,
@@ -313,11 +423,54 @@ def conv2d(x, weight, bias=None, stride=1, padding=0, workspace=None) -> Tensor:
     return Tensor._make(out_data, parents, backward)
 
 
+def _max_pool2d_tiled(x, kh: int, kw: int) -> Tensor:
+    """Non-overlapping max pool (kernel == stride).
+
+    A pure reshape-reduction — no im2col, window copies, or argmax
+    bookkeeping.  When H/W do not divide evenly the trailing rows/columns
+    are cropped, exactly as the generic path's window enumeration skips
+    them.  The backward replays the windows in the same row-major order as
+    the generic path's ``argmax``, routing each gradient to the *first*
+    position attaining the max (identical tie-breaking).
+    """
+    n, c, h, w = x.shape
+    out_h, out_w = h // kh, w // kw
+    hu, wu = out_h * kh, out_w * kw
+    # Strided np.maximum over the kh*kw window offsets beats a reshape
+    # reduction by an order of magnitude here: the reduced axes have length
+    # kh/kw (tiny), so ufunc.reduce degenerates to per-pair inner loops.
+    out_data = x.data[:, :, 0:hu:kh, 0:wu:kw].copy()
+    for i in range(kh):
+        for j in range(kw):
+            if i or j:
+                np.maximum(out_data, x.data[:, :, i:hu:kh, j:wu:kw], out=out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_x = np.zeros(x.shape, dtype=grad.dtype)
+        unassigned = None
+        for i in range(kh):
+            for j in range(kw):
+                take = np.equal(x.data[:, :, i:hu:kh, j:wu:kw], out_data)
+                if unassigned is not None:
+                    take &= unassigned
+                np.multiply(grad, take, out=grad_x[:, :, i:hu:kh, j:wu:kw])
+                if i < kh - 1 or j < kw - 1:
+                    if unassigned is None:
+                        unassigned = np.logical_not(take)
+                    else:
+                        unassigned &= np.logical_not(take, out=take)
+        x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
 def max_pool2d(x, kernel_size, stride=None) -> Tensor:
     """Max pooling over ``kernel_size`` windows (default stride = kernel)."""
     x = ensure_tensor(x)
     kh, kw = _pair(kernel_size)
     stride_hw = _pair(stride) if stride is not None else (kh, kw)
+    if stride_hw == (kh, kw) and x.shape[2] >= kh and x.shape[3] >= kw:
+        return _max_pool2d_tiled(x, kh, kw)
     cols, padded_shape, out_h, out_w = _im2col(x.data, kh, kw, stride_hw, (0, 0))
     n, _, c = cols.shape[0], cols.shape[1], cols.shape[3]
     flat = _contiguous_cols(cols).reshape(n, out_h, out_w, c, kh * kw)

@@ -57,6 +57,20 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--batch-size", type=int, default=64)
     common.add_argument("--lr", type=float, default=0.05)
     common.add_argument("--delta-t", type=int, default=6)
+    common.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="block-structured mask tile size (1 = unstructured; "
+        "default: REPRO_SPARSE_BLOCK_SIZE or 1)",
+    )
+    common.add_argument(
+        "--sparse-backend",
+        default=None,
+        choices=["auto", "csr", "bsr", "dense"],
+        help="execution backend for masked layers during training "
+        "(see docs/performance.md; default: plain masked-dense)",
+    )
     common.add_argument("--width-mult", type=float, default=0.2)
     common.add_argument("--n-train", type=int, default=1024)
     common.add_argument("--n-test", type=int, default=512)
@@ -219,7 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_rl.add_argument(
         "--sparse-backend",
         default=None,
-        choices=["auto", "csr", "dense"],
+        choices=["auto", "csr", "bsr", "dense"],
         help="execution backend for the masked Q-network layers "
         "(see docs/performance.md; default: plain masked-dense)",
     )
@@ -433,6 +447,8 @@ def _command_run(args) -> int:
             c=args.c,
             epsilon=args.epsilon,
             distribution=args.distribution,
+            block_size=args.block_size,
+            sparse_backend=args.sparse_backend,
             n_workers=args.n_workers,
         )
         print(f"method:               {args.method}")
@@ -457,6 +473,8 @@ def _command_run(args) -> int:
         c=args.c,
         epsilon=args.epsilon,
         distribution=args.distribution,
+        block_size=args.block_size,
+        sparse_backend=args.sparse_backend,
         seed=args.seed,
         n_workers=args.n_workers,
         **checkpoint_kwargs,
@@ -510,6 +528,8 @@ def _command_sweep(args) -> int:
         batch_size=args.batch_size,
         lr=args.lr,
         delta_t=args.delta_t,
+        block_size=args.block_size,
+        sparse_backend=args.sparse_backend,
         **sweep_kwargs,
     )
     rows = [
@@ -704,6 +724,8 @@ def _command_export(args) -> int:
         c=args.c,
         epsilon=args.epsilon,
         distribution=args.distribution,
+        block_size=args.block_size,
+        sparse_backend=args.sparse_backend,
         seed=args.seed,
         keep_model=True,
         **checkpoint_kwargs,

@@ -210,18 +210,35 @@ def build_method(
     input_shape: tuple[int, ...] | None = None,
     include_modules: Sequence[Module] | None = None,
     rng: np.random.Generator | None = None,
+    block_size: int | None = None,
 ) -> MethodSetup:
     """Construct the named sparsification method around ``model``.
 
     ``saliency_batches`` (an iterable of ``(inputs, targets)``) is required
     for SNIP/GraSP; ``input_shape`` for SynFlow.  ``include_modules``
     restricts sparsification (the GNN experiments pass the two FC layers).
+
+    ``block_size`` > 1 requests block-structured masks (drop-and-grow on
+    ``block_size × block_size`` tiles; see :mod:`repro.sparse.blocks`).  It
+    applies to the distribution-sampled mask families — random-static and
+    the dynamic methods — and is rejected for saliency-derived or
+    dense-to-sparse methods, whose unstructured scores have no block form.
     """
     family = method_family(name)
     rng = rng if rng is not None else np.random.default_rng()
 
     if family == "dense":
         return MethodSetup(name=name, family=family, controller=None, masked=None)
+
+    from repro.sparse.masked import resolve_block_size
+
+    resolved_block = resolve_block_size(block_size)
+    if resolved_block > 1 and not (family == "dynamic" or name == "static_random"):
+        raise ValueError(
+            f"block_size={resolved_block} is not supported for method "
+            f"{name!r} (family {family!r}); block-structured masks apply to "
+            "the dynamic methods and static_random"
+        )
 
     if family == "static":
         if name == "static_random":
@@ -231,6 +248,7 @@ def build_method(
                 distribution=distribution,
                 rng=rng,
                 include_modules=include_modules,
+                block_size=resolved_block,
             )
         else:
             masks = _static_masks(
@@ -305,6 +323,7 @@ def build_method(
         distribution=distribution,
         rng=rng,
         include_modules=include_modules,
+        block_size=resolved_block,
     )
     growth, drop, extra = _dynamic_rules(name, c, epsilon, mest_lambda)
     engine = DynamicSparseEngine(

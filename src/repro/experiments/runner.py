@@ -141,6 +141,8 @@ def run_image_classification(
     c: float = 1e-3,
     epsilon: float = 1.0,
     distribution: str = "erk",
+    block_size: int | None = None,
+    sparse_backend: str | None = None,
     seed: int = 0,
     eval_every: int = 1,
     n_workers: int = 0,
@@ -206,6 +208,7 @@ def run_image_classification(
         saliency_batches=saliency_batches,
         input_shape=data.input_shape,
         rng=rng,
+        block_size=block_size,
     )
 
     # Track density snapshots per epoch for training-FLOPs accounting of
@@ -232,6 +235,7 @@ def run_image_classification(
         controller=setup.controller,
         callbacks=all_callbacks,
         eval_every=eval_every,
+        sparse_backend=sparse_backend,
         n_workers=n_workers,
     )
     resume_path = _resolve_resume_path(resume_from)

@@ -34,15 +34,13 @@ class _BatchNorm(Module):
     def forward(self, x: Tensor) -> Tensor:
         shape = self._param_shape
         if self.training:
-            mu = ops.mean(x, axis=self._reduce_axes, keepdims=True)
-            centered = ops.sub(x, mu)
-            var = ops.mean(ops.mul(centered, centered), axis=self._reduce_axes, keepdims=True)
-            with_eps = ops.add(var, self.eps)
-            inv_std = ops.div(1.0, ops.sqrt(with_eps))
-            x_hat = ops.mul(centered, inv_std)
+            # Fused batch-norm node: one forward pass and a closed-form
+            # backward instead of a ten-op elementwise graph (the composed
+            # form dominated conv-model step profiles).
+            out, batch_mean, batch_var = ops.batch_norm(
+                x, self.weight, self.bias, self._reduce_axes, self.eps
+            )
             # Update running statistics outside the graph.
-            batch_mean = mu.data.reshape(-1)
-            batch_var = var.data.reshape(-1)
             m = self.momentum
             self.register_buffer(
                 "running_mean", ((1 - m) * self.running_mean + m * batch_mean).astype(np.float32)
@@ -50,10 +48,10 @@ class _BatchNorm(Module):
             self.register_buffer(
                 "running_var", ((1 - m) * self.running_var + m * batch_var).astype(np.float32)
             )
-        else:
-            mean_c = self.running_mean.reshape(shape)
-            var_c = self.running_var.reshape(shape)
-            x_hat = ops.div(ops.sub(x, mean_c), np.sqrt(var_c + self.eps))
+            return out
+        mean_c = self.running_mean.reshape(shape)
+        var_c = self.running_var.reshape(shape)
+        x_hat = ops.div(ops.sub(x, mean_c), np.sqrt(var_c + self.eps))
         gamma = ops.reshape(self.weight, shape)
         beta = ops.reshape(self.bias, shape)
         return ops.add(ops.mul(x_hat, gamma), beta)

@@ -241,6 +241,8 @@ class RLTrainer:
     def _train_on_batch(self) -> None:
         batch = self.buffer.sample(self.batch_size)
         self.agent.online.zero_grad()
+        if self.controller is not None:
+            self.controller.before_backward(self.train_step + 1)
         loss = self.agent.td_loss(**batch)
         loss.backward()
         self.train_step += 1

@@ -36,7 +36,13 @@ import numpy as np
 from repro.models import build_model
 from repro.nn.module import Module
 from repro.serve.preprocess import Preprocessor
-from repro.sparse.inference import SparseConv2d, SparseLinear, compile_sparse_model
+from repro.sparse.inference import (
+    BlockSparseConv2d,
+    BlockSparseLinear,
+    SparseConv2d,
+    SparseLinear,
+    compile_sparse_model,
+)
 from repro.sparse.masked import MaskedModel
 from repro.train.checkpoint import (
     atomic_write_bytes,
@@ -72,7 +78,40 @@ def _pair(value) -> list[int]:
 def _layer_records(model: Module) -> list[dict]:
     records: list[dict] = []
     for name, module in model.named_modules():
-        if isinstance(module, SparseLinear):
+        if isinstance(module, BlockSparseLinear):
+            matrix = module.weight_bsr
+            records.append(
+                {
+                    "name": name,
+                    "type": "linear",
+                    "block_size": module.block_size,
+                    "in_features": module.in_features,
+                    "out_features": module.out_features,
+                    "data": matrix.data,
+                    "indices": matrix.indices,
+                    "indptr": matrix.indptr,
+                    "bias": module.bias_data,
+                }
+            )
+        elif isinstance(module, BlockSparseConv2d):
+            matrix = module.weight_bsr
+            records.append(
+                {
+                    "name": name,
+                    "type": "conv2d",
+                    "block_size": module.block_size,
+                    "in_channels": module.in_channels,
+                    "out_channels": module.out_channels,
+                    "kernel_size": list(module.kernel_size),
+                    "stride": _pair(module.stride),
+                    "padding": _pair(module.padding),
+                    "data": matrix.data,
+                    "indices": matrix.indices,
+                    "indptr": matrix.indptr,
+                    "bias": module.bias_data,
+                }
+            )
+        elif isinstance(module, SparseLinear):
             records.append(
                 {
                     "name": name,
@@ -263,29 +302,57 @@ def load_model(path, verify: bool = True) -> LoadedModel:
     model = build_model(config["builder"], **dict(config.get("kwargs", {})))
 
     for record in state["layers"]:
+        block_size = int(record.get("block_size", 1))
         if record["type"] == "linear":
-            replacement = SparseLinear.from_csr(
-                record["in_features"],
-                record["out_features"],
-                record["data"],
-                record["indices"],
-                record["indptr"],
-                bias=record["bias"],
-                copy=False,
-            )
+            if block_size > 1:
+                replacement = BlockSparseLinear.from_bsr(
+                    record["in_features"],
+                    record["out_features"],
+                    block_size,
+                    record["data"],
+                    record["indices"],
+                    record["indptr"],
+                    bias=record["bias"],
+                    copy=False,
+                )
+            else:
+                replacement = SparseLinear.from_csr(
+                    record["in_features"],
+                    record["out_features"],
+                    record["data"],
+                    record["indices"],
+                    record["indptr"],
+                    bias=record["bias"],
+                    copy=False,
+                )
         elif record["type"] == "conv2d":
-            replacement = SparseConv2d.from_csr(
-                record["in_channels"],
-                record["out_channels"],
-                tuple(record["kernel_size"]),
-                tuple(record["stride"]),
-                tuple(record["padding"]),
-                record["data"],
-                record["indices"],
-                record["indptr"],
-                bias=record["bias"],
-                copy=False,
-            )
+            if block_size > 1:
+                replacement = BlockSparseConv2d.from_bsr(
+                    record["in_channels"],
+                    record["out_channels"],
+                    tuple(record["kernel_size"]),
+                    tuple(record["stride"]),
+                    tuple(record["padding"]),
+                    block_size,
+                    record["data"],
+                    record["indices"],
+                    record["indptr"],
+                    bias=record["bias"],
+                    copy=False,
+                )
+            else:
+                replacement = SparseConv2d.from_csr(
+                    record["in_channels"],
+                    record["out_channels"],
+                    tuple(record["kernel_size"]),
+                    tuple(record["stride"]),
+                    tuple(record["padding"]),
+                    record["data"],
+                    record["indices"],
+                    record["indptr"],
+                    bias=record["bias"],
+                    copy=False,
+                )
         else:
             raise ArtifactError(f"unknown artifact layer type {record['type']!r}")
         _replace_module(model, record["name"], replacement)

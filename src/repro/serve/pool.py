@@ -50,7 +50,7 @@ def share_model_weights(model: Module) -> SharedArena | None:
         if not isinstance(module, (SparseLinear, SparseConv2d)):
             continue
         layers.append((name, module))
-        for orient, matrix in (("csr", module.weight_csr), ("csr_t", module.weight_csr_t)):
+        for orient, matrix in module.shared_matrices():
             packed[f"{name}.{orient}.data"] = matrix.data
             packed[f"{name}.{orient}.indices"] = matrix.indices
             packed[f"{name}.{orient}.indptr"] = matrix.indptr
@@ -60,7 +60,7 @@ def share_model_weights(model: Module) -> SharedArena | None:
         return None
     arena = SharedArena(packed, readonly=True)
     for name, module in layers:
-        for orient, matrix in (("csr", module.weight_csr), ("csr_t", module.weight_csr_t)):
+        for orient, matrix in module.shared_matrices():
             matrix.data = arena.view(f"{name}.{orient}.data")
             matrix.indices = arena.view(f"{name}.{orient}.indices")
             matrix.indptr = arena.view(f"{name}.{orient}.indptr")
@@ -80,7 +80,7 @@ def unshare_model_weights(model: Module) -> None:
     for _, module in model.named_modules():
         if not isinstance(module, (SparseLinear, SparseConv2d)):
             continue
-        for matrix in (module.weight_csr, module.weight_csr_t):
+        for _orient, matrix in module.shared_matrices():
             matrix.data = np.array(matrix.data, copy=True)
             matrix.indices = np.array(matrix.indices, copy=True)
             matrix.indptr = np.array(matrix.indptr, copy=True)

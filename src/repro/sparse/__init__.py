@@ -15,6 +15,7 @@ Quick start::
 and pass ``engine`` to :class:`repro.train.Trainer`.
 """
 
+from repro.sparse.blocks import BlockMask, MatrixBlockIndexer, expand_block_csr
 from repro.sparse.masked import MaskedModel, SparseParam, collect_sparsifiable
 from repro.sparse.distribution import (
     erdos_renyi,
@@ -53,12 +54,15 @@ from repro.sparse.admm import ADMMPruner, project_topk
 from repro.sparse.io import load_sparse_checkpoint, save_sparse_checkpoint
 from repro.sparse.gap import GaPController
 from repro.sparse.inference import (
+    BlockSparseConv2d,
+    BlockSparseLinear,
     SparseConv2d,
     SparseLinear,
     compile_sparse_model,
     sparse_storage_bytes,
 )
 from repro.sparse.kernels import (
+    BsrMatmul,
     CsrMatmul,
     install_training_backends,
     remove_training_backends,
@@ -66,6 +70,9 @@ from repro.sparse.kernels import (
 )
 
 __all__ = [
+    "BlockMask",
+    "MatrixBlockIndexer",
+    "expand_block_csr",
     "MaskedModel",
     "SparseParam",
     "collect_sparsifiable",
@@ -107,9 +114,12 @@ __all__ = [
     "GaPController",
     "SparseLinear",
     "SparseConv2d",
+    "BlockSparseLinear",
+    "BlockSparseConv2d",
     "compile_sparse_model",
     "sparse_storage_bytes",
     "CsrMatmul",
+    "BsrMatmul",
     "install_training_backends",
     "remove_training_backends",
     "select_backend",

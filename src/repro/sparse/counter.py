@@ -55,10 +55,7 @@ class CoverageTracker:
         """
         covered = 0
         for target in self.masked.targets:
-            np.add(
-                self.counters[target.name], target.mask,
-                out=self.counters[target.name],
-            )
+            np.add(self.counters[target.name], target.mask, out=self.counters[target.name])
             ever = self.ever_active[target.name]
             np.logical_or(ever, target.mask, out=ever)
             covered += int(np.count_nonzero(ever))
@@ -72,9 +69,7 @@ class CoverageTracker:
         """Serializable snapshot of counters, ever-active sets and rounds."""
         return {
             "counters": {name: arr.copy() for name, arr in self.counters.items()},
-            "ever_active": {
-                name: arr.copy() for name, arr in self.ever_active.items()
-            },
+            "ever_active": {name: arr.copy() for name, arr in self.ever_active.items()},
             "rounds": self.rounds,
         }
 
@@ -103,9 +98,7 @@ class CoverageTracker:
 
     def layer_exploration_rates(self) -> dict[str, float]:
         """Per-layer ever-active fraction."""
-        return {
-            t.name: float(self.ever_active[t.name].mean()) for t in self.masked.targets
-        }
+        return {t.name: float(self.ever_active[t.name].mean()) for t in self.masked.targets}
 
     def never_active_fraction(self) -> float:
         """Fraction of weights never activated (complement of ``R``)."""

@@ -14,7 +14,13 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["uniform_density", "erdos_renyi", "erdos_renyi_kernel", "layer_densities"]
+__all__ = [
+    "uniform_density",
+    "erdos_renyi",
+    "erdos_renyi_kernel",
+    "layer_densities",
+    "block_budget",
+]
 
 
 def _validate_density(density: float) -> float:
@@ -29,8 +35,9 @@ def uniform_density(shapes: Sequence[tuple[int, ...]], density: float) -> list[f
     return [density for _ in shapes]
 
 
-def _proportional(shapes: Sequence[tuple[int, ...]], density: float,
-                  raw_scores: np.ndarray) -> list[float]:
+def _proportional(
+    shapes: Sequence[tuple[int, ...]], density: float, raw_scores: np.ndarray
+) -> list[float]:
     """Distribute a global non-zero budget proportionally to ``raw_scores``.
 
     Iteratively caps layers at density 1 and redistributes the remainder,
@@ -63,18 +70,34 @@ def erdos_renyi(shapes: Sequence[tuple[int, ...]], density: float) -> list[float
 
     Kernel dimensions are ignored (original SET formulation for FC layers).
     """
-    raw = np.array(
-        [(s[0] + s[1]) / (s[0] * s[1]) for s in shapes], dtype=np.float64
-    )
+    raw = np.array([(s[0] + s[1]) / (s[0] * s[1]) for s in shapes], dtype=np.float64)
     return _proportional(shapes, density, raw)
 
 
 def erdos_renyi_kernel(shapes: Sequence[tuple[int, ...]], density: float) -> list[float]:
     """ERK: density ∝ ``sum(dims) / prod(dims)`` (kernel-aware, paper default)."""
-    raw = np.array(
-        [np.sum(s) / np.prod(s) for s in shapes], dtype=np.float64
-    )
+    raw = np.array([np.sum(s) / np.prod(s) for s in shapes], dtype=np.float64)
     return _proportional(shapes, density, raw)
+
+
+def block_budget(density: float, n_blocks: int) -> tuple[int, float]:
+    """Quantize a layer density to a whole-block budget.
+
+    Block-structured layers allocate non-zeros in ``B×B`` tiles, so the
+    layer budget must be a whole number of blocks.  Returns ``(n_active
+    blocks, exact density)`` where the density is the quantized budget as a
+    fraction of ``n_blocks`` — this is the ``target_density`` the layer
+    actually trains at, so downstream drop-count math never works from the
+    pre-quantization value.  A positive density always gets at least one
+    block (an empty layer cannot train).
+    """
+    if n_blocks < 1:
+        raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
+    if density <= 0.0:
+        return 0, 0.0
+    n_active = int(round(_validate_density(density) * n_blocks))
+    n_active = max(1, min(n_blocks, n_active))
+    return n_active, n_active / n_blocks
 
 
 _DISTRIBUTIONS = {

@@ -20,6 +20,7 @@ DSR are all configurations of drop rule × growth rule × allocation (see
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -53,6 +54,15 @@ class SparsityController:
     """
 
     masked: MaskedModel
+
+    def before_backward(self, step: int) -> None:
+        """Optional hook called with the step number before its backward.
+
+        Lets a controller tell the kernels what the coming backward must
+        produce (e.g. whether dense weight gradients are needed).  The
+        base implementation does nothing; training loops that never call
+        it get the always-safe default (dense gradients every step).
+        """
 
     def on_backward(self, step: int) -> bool:
         raise NotImplementedError
@@ -120,7 +130,12 @@ class FixedMaskController(SparsityController):
 
 @dataclass
 class MaskUpdateRecord:
-    """Bookkeeping for one drop-and-grow round (feeds Fig. 3 and tests)."""
+    """Bookkeeping for one drop-and-grow round (feeds Fig. 3 and tests).
+
+    ``duration_ms`` is the wall-clock cost of the round (the ΔT overhead the
+    perf bench reports); it defaults to 0 so checkpoints written before the
+    field existed still load.
+    """
 
     step: int
     round_index: int
@@ -129,6 +144,7 @@ class MaskUpdateRecord:
     total_grown: int
     exploration_rate: float
     global_density: float
+    duration_ms: float = 0.0
 
 
 class DynamicSparseEngine(SparsityController):
@@ -226,6 +242,19 @@ class DynamicSparseEngine(SparsityController):
     # ------------------------------------------------------------------
     # trainer hooks
     # ------------------------------------------------------------------
+    def before_backward(self, step: int) -> None:
+        """Tell the kernels whether this step's backward needs dense grads.
+
+        Growth rules only consult dense weight gradients at mask-update
+        steps (EMA-based rules consult them every step), so in between the
+        block kernels may compute active-tile gradients only.  The flag is
+        a pure function of ``step``, which keeps kill-and-resume runs
+        bitwise identical to uninterrupted ones.
+        """
+        dense_needed = self._needs_ema or self.update_schedule.is_update_step(step)
+        for target in self.masked.targets:
+            target.dense_grads_required = dense_needed
+
     def on_backward(self, step: int) -> bool:
         """Algorithm 1's branch: mask update (skip SGD) or masked gradient step."""
         if self._needs_ema:
@@ -233,7 +262,10 @@ class DynamicSparseEngine(SparsityController):
         if self.update_schedule.is_update_step(step):
             self.mask_update(step)
             return True
-        self.masked.mask_gradients()
+        if self.masked.per_step_apply_needed:
+            # A bound sparse-aware optimizer never reads inactive-coordinate
+            # gradients, so zeroing them is pure overhead in that mode.
+            self.masked.mask_gradients()
         return False
 
     def after_step(self, step: int) -> None:
@@ -271,12 +303,25 @@ class DynamicSparseEngine(SparsityController):
             sign_reference=self._sign_refs.get(target.name),
         )
 
+    @staticmethod
+    def _unit_size(target: SparseParam) -> int:
+        """Elements per drop/grow unit: ``B*B`` for block layers, else 1."""
+        return target.block_size * target.block_size if target.indexer is not None else 1
+
+    @staticmethod
+    def _unit_counts(target: SparseParam) -> tuple[int, int]:
+        """``(active, inactive)`` unit counts at the layer's granularity."""
+        if target.indexer is not None:
+            active = target.active_block_count
+            return active, target.indexer.n_blocks - active
+        active = target.active_count
+        return active, target.size - active
+
     def _drop_counts(self, fraction: float) -> list[int]:
-        """Per-layer number of weights to move this round."""
+        """Per-layer number of *units* (blocks or weights) to move this round."""
         counts = []
         for target in self.masked.targets:
-            active = target.active_count
-            inactive = target.size - active
+            active, inactive = self._unit_counts(target)
             k = int(fraction * active)
             # Cannot drop more than would leave the layer empty, nor grow
             # more than the number of inactive positions.
@@ -298,55 +343,108 @@ class DynamicSparseEngine(SparsityController):
         scores = np.asarray(self.drop_rule.scores(target, ctx), dtype=np.float64)
         return scores.reshape(-1)[active_idx]
 
+    def _active_unit_drop_scores(self, target: SparseParam, step: int) -> np.ndarray:
+        """Drop scores per active *unit*, aligned with the active unit order.
+
+        Unstructured layers return element scores at ``active_indices``;
+        block layers pool element scores to a tile mean (same scale as
+        element scores, so global rankings mix granularities cleanly),
+        aligned with ``active_blocks``.
+        """
+        scores = self._active_drop_scores(target, step)
+        if target.indexer is None:
+            return scores
+        blocks = target.active_blocks
+        block_ids = target.indexer.blocks_of_flat(target.active_indices)
+        pos = np.searchsorted(blocks, block_ids)
+        pooled = np.bincount(pos, weights=scores, minlength=blocks.size)
+        return pooled / self._unit_size(target)
+
     def _global_drop_counts(self, fraction: float, step: int) -> list[int]:
-        """DSR-style: rank all active weights globally, drop the bottom set."""
+        """DSR-style: rank all active units globally, drop the bottom set.
+
+        Units are weighted by their element count, so the global budget
+        (``fraction`` of active *weights*) stays exact when block and
+        unstructured layers mix: units are taken in ascending-score order
+        until the cumulative element weight reaches the budget.
+        """
         all_scores = []
         owners = []
+        weights = []
+        total_active = 0
         for index, target in enumerate(self.masked.targets):
-            active_scores = self._active_drop_scores(target, step)
-            all_scores.append(active_scores)
-            owners.append(np.full(active_scores.size, index))
+            unit_scores = self._active_unit_drop_scores(target, step)
+            all_scores.append(unit_scores)
+            owners.append(np.full(unit_scores.size, index))
+            weights.append(np.full(unit_scores.size, self._unit_size(target)))
+            total_active += target.active_count
         flat_scores = np.concatenate(all_scores)
         flat_owners = np.concatenate(owners)
-        k_total = int(fraction * flat_scores.size)
+        flat_weights = np.concatenate(weights)
+        k_total = int(fraction * total_active)
         if k_total == 0:
             return [0] * len(self.masked.targets)
-        chosen = np.argpartition(flat_scores, k_total - 1)[:k_total]
+        order = np.argsort(flat_scores, kind="stable")
+        cum = np.cumsum(flat_weights[order])
+        n_chosen = int(np.searchsorted(cum, k_total))
+        if n_chosen < order.size and cum[n_chosen] <= k_total:
+            n_chosen += 1
+        chosen = order[:n_chosen]
         counts = np.bincount(flat_owners[chosen], minlength=len(self.masked.targets))
-        # Respect per-layer feasibility.
+        # Respect per-layer feasibility (in units).
         feasible = []
         for target, k in zip(self.masked.targets, counts):
-            inactive = target.size - target.active_count
-            feasible.append(int(min(k, max(target.active_count - 1, 0), inactive)))
+            active, inactive = self._unit_counts(target)
+            feasible.append(int(min(k, max(active - 1, 0), inactive)))
         return feasible
 
     def _allocate_growth(self, drop_counts: list[int]) -> list[int]:
-        """How many weights each layer grows back this round."""
+        """How many *units* each layer grows back this round.
+
+        Proportional allocation works in element space (the paper's budget
+        is a weight count) and quantizes each block layer's share down to
+        whole tiles; any quantization shortfall is made up by
+        :meth:`_fill_deficit` reviving just-dropped weights.
+        """
         if self.grow_allocation == "per_layer":
             return list(drop_counts)
         # Proportional (DSR): redistribute the global budget by active share.
-        total = int(np.sum(drop_counts))
+        sizes = [self._unit_size(t) for t in self.masked.targets]
+        total = int(sum(k * s for k, s in zip(drop_counts, sizes)))
         if total == 0:
             return [0] * len(drop_counts)
         actives = np.array(
-            [t.active_count - k for t, k in zip(self.masked.targets, drop_counts)],
+            [t.active_count - k * s for t, k, s in zip(self.masked.targets, drop_counts, sizes)],
             dtype=np.float64,
         )
-        weights = actives / actives.sum() if actives.sum() > 0 else np.ones_like(actives) / len(actives)
+        if actives.sum() > 0:
+            weights = actives / actives.sum()
+        else:
+            weights = np.ones_like(actives) / len(actives)
         raw = weights * total
         alloc = np.floor(raw).astype(int)
         remainder = total - alloc.sum()
         order = np.argsort(-(raw - alloc))
         for i in range(remainder):
             alloc[order[i % len(alloc)]] += 1
-        # Clamp to available inactive slots per layer; spill leftover to others.
-        for index, target in enumerate(self.masked.targets):
-            capacity = target.size - (target.active_count - drop_counts[index])
-            alloc[index] = min(alloc[index], capacity)
-        return [int(a) for a in alloc]
+        # Clamp to available inactive slots per layer and quantize block
+        # layers to whole tiles (floor — never exceed the element budget).
+        units = []
+        for index, (target, size) in enumerate(zip(self.masked.targets, sizes)):
+            inactive_units = self._unit_counts(target)[1]
+            capacity = (inactive_units + drop_counts[index]) * size
+            elements = min(int(alloc[index]), capacity)
+            units.append(elements // size)
+        return units
 
     def mask_update(self, step: int) -> MaskUpdateRecord:
-        """One drop-and-grow round.  Requires fresh (dense) gradients."""
+        """One drop-and-grow round.  Requires fresh (dense) gradients.
+
+        Block layers drop and grow whole ``B×B`` tiles (unit counts from the
+        allocators, tile-pooled scores for the rankings); unstructured
+        layers keep the original element-granular path.
+        """
+        start = time.perf_counter()
         fraction = self.drop_schedule(step)
         if self.global_drop:
             drop_counts = self._global_drop_counts(fraction, step)
@@ -356,34 +454,52 @@ class DynamicSparseEngine(SparsityController):
 
         total_dropped = 0
         total_grown = 0
-        dropped_indices: list[np.ndarray] = []
+        dropped_indices: list[np.ndarray] = []  # element indices (all layers)
+        dropped_blocks: list[np.ndarray | None] = []  # block ids (block layers)
 
         # ---------------- drop phase ----------------
         for target, k_drop in zip(self.masked.targets, drop_counts):
             if k_drop <= 0:
                 dropped_indices.append(np.empty(0, dtype=np.int64))
+                dropped_blocks.append(
+                    np.empty(0, dtype=np.int64) if target.indexer is not None else None
+                )
                 continue
-            active_idx = target.active_indices
-            active_scores = self._active_drop_scores(target, step)
-            order = np.argpartition(active_scores, k_drop - 1)[:k_drop]
-            drop_idx = active_idx[order]
-            target.mask.reshape(-1)[drop_idx] = False
-            target.mark_mask_dirty()
+            if target.indexer is not None:
+                active_blocks = target.active_blocks
+                block_scores = self._active_unit_drop_scores(target, step)
+                order = np.argpartition(block_scores, k_drop - 1)[:k_drop]
+                drop_blk = active_blocks[order]
+                drop_idx = target.drop_blocks(drop_blk)
+                dropped_blocks.append(drop_blk)
+            else:
+                active_idx = target.active_indices
+                active_scores = self._active_drop_scores(target, step)
+                order = np.argpartition(active_scores, k_drop - 1)[:k_drop]
+                drop_idx = active_idx[order]
+                target.mask.reshape(-1)[drop_idx] = False
+                target.mark_mask_dirty()
+                dropped_blocks.append(None)
             dropped_indices.append(drop_idx)
             total_dropped += int(drop_idx.size)
 
         # ---------------- grow phase ----------------
-        for target, k_grow, drop_idx in zip(self.masked.targets, grow_counts, dropped_indices):
+        for target, k_grow, drop_idx, drop_blk in zip(
+            self.masked.targets, grow_counts, dropped_indices, dropped_blocks
+        ):
             if k_grow <= 0:
                 continue
-            total_grown += self._grow_layer(target, k_grow, drop_idx, step)
+            if target.indexer is not None:
+                total_grown += self._grow_layer_blocks(target, k_grow, drop_blk, step)
+            else:
+                total_grown += self._grow_layer(target, k_grow, drop_idx, step)
 
         # Keep the global non-zero count exact: if allocation clamping or a
         # shortage of inactive slots left a deficit, re-activate the best
         # just-dropped weights anywhere.
         deficit = total_dropped - total_grown
         if deficit > 0:
-            total_grown += self._fill_deficit(deficit, dropped_indices)
+            total_grown += self._fill_deficit(deficit, dropped_indices, dropped_blocks)
 
         # ---------------- bookkeeping ----------------
         self.masked.apply_masks()
@@ -396,13 +512,12 @@ class DynamicSparseEngine(SparsityController):
             total_grown=total_grown,
             exploration_rate=self.coverage.exploration_rate(),
             global_density=self.masked.global_density(),
+            duration_ms=(time.perf_counter() - start) * 1e3,
         )
         self.history.append(record)
         return record
 
-    def _grow_layer(
-        self, target: SparseParam, k_grow: int, drop_idx: np.ndarray, step: int
-    ) -> int:
+    def _grow_layer(self, target: SparseParam, k_grow: int, drop_idx: np.ndarray, step: int) -> int:
         """Activate up to ``k_grow`` inactive weights in one layer."""
         candidate_idx = target.inactive_indices
         if not self.allow_regrow and drop_idx.size:
@@ -430,7 +545,45 @@ class DynamicSparseEngine(SparsityController):
         grow_idx = candidate_idx[top]
         target.mask.reshape(-1)[grow_idx] = True
         target.mark_mask_dirty()
-        # Newly grown weights start from zero with fresh optimizer state.
+        self._init_grown(target, grow_idx)
+        return int(grow_idx.size)
+
+    def _grow_layer_blocks(
+        self, target: SparseParam, k_grow: int, drop_blk: np.ndarray, step: int
+    ) -> int:
+        """Activate up to ``k_grow`` inactive *tiles* in a block layer.
+
+        Growth scores are tile-pooled (mean), so every existing growth rule
+        works unchanged; grown tiles start at zero with fresh optimizer
+        state, exactly like element growth.
+        """
+        candidate_blk = target.inactive_blocks
+        if not self.allow_regrow and drop_blk is not None and drop_blk.size:
+            # Scratch-table membership test, same trick as the element path:
+            # hash-based setdiff1d shows up as the top mask-update cost.
+            exclude = np.zeros(target.indexer.n_blocks, dtype=bool)
+            exclude[drop_blk] = True
+            candidate_blk = candidate_blk[~exclude[candidate_blk]]
+        if candidate_blk.size == 0:
+            return 0
+        k = min(k_grow, candidate_blk.size)
+        ctx = self._context(target, step)
+        scores = np.asarray(self.growth_rule.scores(target, ctx))
+        rows, cols = target.shape2d
+        pooled = target.indexer.pool(scores.reshape(rows, cols))
+        candidate_scores = pooled[candidate_blk]
+        if k < candidate_blk.size:
+            top = np.argpartition(candidate_scores, candidate_scores.size - k)[
+                candidate_scores.size - k:
+            ]
+        else:
+            top = np.arange(candidate_blk.size)
+        grow_idx = target.grow_blocks(candidate_blk[top])
+        self._init_grown(target, grow_idx)
+        return int(grow_idx.size)
+
+    def _init_grown(self, target: SparseParam, grow_idx: np.ndarray) -> None:
+        """Newly grown weights start from zero with fresh optimizer state."""
         flat_weights = target.param.data.reshape(-1)
         flat_weights[grow_idx] = 0.0
         self._reset_optimizer_state(target, grow_idx)
@@ -438,27 +591,52 @@ class DynamicSparseEngine(SparsityController):
             # DeepR assigns a random sign to re-activated connections.
             signs = self._sign_refs[target.name].reshape(-1)
             signs[grow_idx] = self.rng.choice([-1.0, 1.0], size=grow_idx.size)
-        return int(grow_idx.size)
 
-    def _fill_deficit(self, deficit: int, dropped_indices: list[np.ndarray]) -> int:
+    def _fill_deficit(
+        self,
+        deficit: int,
+        dropped_indices: list[np.ndarray],
+        dropped_blocks: list[np.ndarray | None] | None = None,
+    ) -> int:
         """Re-activate the highest-|w| just-dropped weights to keep k fixed.
 
-        Fully vectorized: one concatenated magnitude array and a single
-        argpartition pick the global top-``deficit`` candidates.
+        Candidates are whole units: just-dropped elements (unstructured
+        layers) or just-dropped tiles (block layers, scored by tile-mean
+        magnitude, weighted by their ``B*B`` element count).  Units are
+        revived greedily in descending magnitude while they fit the
+        remaining element deficit, so a block layer can undershoot by at
+        most ``B*B - 1`` elements when granularities mix — the density
+        error is transient (the next round re-balances from the mask).
         """
+        if dropped_blocks is None:
+            dropped_blocks = [None] * len(dropped_indices)
         magnitudes: list[np.ndarray] = []
         owners: list[np.ndarray] = []
         positions: list[np.ndarray] = []
-        for index, (target, drop_idx) in enumerate(
-            zip(self.masked.targets, dropped_indices)
+        weights: list[np.ndarray] = []
+        for index, (target, drop_idx, drop_blk) in enumerate(
+            zip(self.masked.targets, dropped_indices, dropped_blocks)
         ):
             if drop_idx.size == 0:
                 continue
-            flat_mask = target.mask.reshape(-1)
-            candidates = drop_idx[~flat_mask[drop_idx]]  # not re-grown this round
-            if candidates.size == 0:
-                continue
-            magnitudes.append(np.abs(target.param.data.reshape(-1)[candidates]))
+            if target.indexer is not None:
+                # Tiles dropped this round and not re-grown.
+                scratch = np.zeros(target.indexer.n_blocks, dtype=bool)
+                scratch[drop_blk] = True
+                scratch[target.active_blocks] = False
+                candidates = np.flatnonzero(scratch)
+                if candidates.size == 0:
+                    continue
+                tiles = target.param.data.reshape(-1)[target.indexer.expand_blocks(candidates)]
+                magnitudes.append(np.abs(tiles).mean(axis=1))
+                weights.append(np.full(candidates.size, self._unit_size(target), dtype=np.int64))
+            else:
+                flat_mask = target.mask.reshape(-1)
+                candidates = drop_idx[~flat_mask[drop_idx]]  # not re-grown this round
+                if candidates.size == 0:
+                    continue
+                magnitudes.append(np.abs(target.param.data.reshape(-1)[candidates]))
+                weights.append(np.ones(candidates.size, dtype=np.int64))
             owners.append(np.full(candidates.size, index))
             positions.append(candidates)
         if not magnitudes:
@@ -466,18 +644,29 @@ class DynamicSparseEngine(SparsityController):
         flat_mag = np.concatenate(magnitudes)
         flat_owner = np.concatenate(owners)
         flat_pos = np.concatenate(positions)
-        k = min(deficit, flat_mag.size)
-        if k < flat_mag.size:
-            chosen = np.argpartition(-flat_mag, k - 1)[:k]
-        else:
-            chosen = np.arange(flat_mag.size)
+        flat_weight = np.concatenate(weights)
+        order = np.argsort(-flat_mag, kind="stable")
+        remaining = deficit
+        take = np.zeros(flat_mag.size, dtype=bool)
+        for i in order:
+            w = int(flat_weight[i])
+            if w <= remaining:
+                take[i] = True
+                remaining -= w
+                if remaining == 0:
+                    break
+        revived = 0
         for index, target in enumerate(self.masked.targets):
-            revive = flat_pos[chosen[flat_owner[chosen] == index]]
+            revive = flat_pos[take & (flat_owner == index)]
             if revive.size == 0:
                 continue
-            target.mask.reshape(-1)[revive] = True
-            target.mark_mask_dirty()
-        return int(chosen.size)
+            if target.indexer is not None:
+                revived += int(target.grow_blocks(revive).size)
+            else:
+                target.mask.reshape(-1)[revive] = True
+                target.mark_mask_dirty()
+                revived += int(revive.size)
+        return revived
 
     def _reset_optimizer_state(self, target: SparseParam, grow_idx: np.ndarray) -> None:
         if self.optimizer is None:
@@ -506,13 +695,9 @@ class DynamicSparseEngine(SparsityController):
         state["history"] = [vars(record).copy() for record in self.history]
         state["rng"] = self.rng.bit_generator.state
         if self._needs_ema:
-            state["grad_ema"] = {
-                name: arr.copy() for name, arr in self._grad_ema.items()
-            }
+            state["grad_ema"] = {name: arr.copy() for name, arr in self._grad_ema.items()}
         if self._needs_signs:
-            state["sign_refs"] = {
-                name: arr.copy() for name, arr in self._sign_refs.items()
-            }
+            state["sign_refs"] = {name: arr.copy() for name, arr in self._sign_refs.items()}
         return state
 
     def load_state_dict(self, state: dict) -> None:
@@ -531,9 +716,7 @@ class DynamicSparseEngine(SparsityController):
         for name, saved in state.get("sign_refs", {}).items():
             if name not in self._sign_refs:
                 raise KeyError(f"sign reference for unknown layer {name!r}")
-            np.copyto(
-                self._sign_refs[name], saved.reshape(self._sign_refs[name].shape)
-            )
+            np.copyto(self._sign_refs[name], saved.reshape(self._sign_refs[name].shape))
 
     # ------------------------------------------------------------------
     # reporting

@@ -23,9 +23,7 @@ from repro.sparse.masked import MaskedModel
 __all__ = ["cubic_sparsity", "GMPController"]
 
 
-def cubic_sparsity(
-    step: int, t_start: int, t_end: int, initial: float, final: float
-) -> float:
+def cubic_sparsity(step: int, t_start: int, t_end: int, initial: float, final: float) -> float:
     """Zhu–Gupta cubic sparsity schedule, clamped outside ``[t_start, t_end]``."""
     if step <= t_start:
         return initial
@@ -87,10 +85,7 @@ class GMPController(SparsityController):
         )
 
     def on_backward(self, step: int) -> bool:
-        if (
-            step % self.delta_t == 0
-            and self.t_start <= step <= self.t_end + self.delta_t
-        ):
+        if step % self.delta_t == 0 and self.t_start <= step <= self.t_end + self.delta_t:
             self._prune_to(self.current_target(step))
             self.history.append((step, self.masked.global_sparsity()))
         self.masked.mask_gradients()
@@ -169,7 +164,10 @@ class GMPController(SparsityController):
                 continue
             scores = np.abs(grad.reshape(-1)[inactive_idx])
             take = min(count, inactive_idx.size)
-            top = np.argpartition(-scores, take - 1)[:take] if take < scores.size else np.arange(scores.size)
+            if take < scores.size:
+                top = np.argpartition(-scores, take - 1)[:take]
+            else:
+                top = np.arange(scores.size)
             for t in top:
                 entries.append((float(scores[t]), index, int(inactive_idx[t])))
         entries.sort(key=lambda e: -e[0])

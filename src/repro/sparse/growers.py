@@ -168,9 +168,7 @@ class MagnitudeDrop:
     def scores(self, target: SparseParam, ctx: LayerContext) -> np.ndarray:
         return np.abs(target.param.data)
 
-    def scores_at(
-        self, target: SparseParam, ctx: LayerContext, flat_idx: np.ndarray
-    ) -> np.ndarray:
+    def scores_at(self, target: SparseParam, ctx: LayerContext, flat_idx: np.ndarray) -> np.ndarray:
         return np.abs(target.param.data.reshape(-1)[flat_idx])
 
 
@@ -188,9 +186,7 @@ class MagnitudeGradientDrop:
             raise RuntimeError("MagnitudeGradientDrop requires the dense gradient")
         return np.abs(target.param.data) + self.lam * np.abs(ctx.dense_grad)
 
-    def scores_at(
-        self, target: SparseParam, ctx: LayerContext, flat_idx: np.ndarray
-    ) -> np.ndarray:
+    def scores_at(self, target: SparseParam, ctx: LayerContext, flat_idx: np.ndarray) -> np.ndarray:
         if ctx.dense_grad is None:
             raise RuntimeError("MagnitudeGradientDrop requires the dense gradient")
         weights = target.param.data.reshape(-1)[flat_idx]
@@ -216,9 +212,7 @@ class SignFlipDrop:
         flipped = target.param.data * ctx.sign_reference < 0
         return np.where(flipped, -magnitude, magnitude)
 
-    def scores_at(
-        self, target: SparseParam, ctx: LayerContext, flat_idx: np.ndarray
-    ) -> np.ndarray:
+    def scores_at(self, target: SparseParam, ctx: LayerContext, flat_idx: np.ndarray) -> np.ndarray:
         if ctx.sign_reference is None:
             raise RuntimeError("SignFlipDrop requires the activation-time sign snapshot")
         weights = target.param.data.reshape(-1)[flat_idx]

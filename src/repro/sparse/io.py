@@ -78,14 +78,10 @@ def load_sparse_checkpoint(
             if key.startswith(_MASK_PREFIX)
         }
         sparsity = float(archive[_META_SPARSITY])
-        masked = MaskedModel(
-            model, sparsity, masks=masks, include_modules=include_modules
-        )
+        masked = MaskedModel(model, sparsity, masks=masks, include_modules=include_modules)
 
         coverage = None
-        counter_keys = [
-            key for key in archive.files if key.startswith(_COUNTER_PREFIX)
-        ]
+        counter_keys = [key for key in archive.files if key.startswith(_COUNTER_PREFIX)]
         if counter_keys:
             coverage = CoverageTracker(masked)
             for key in counter_keys:

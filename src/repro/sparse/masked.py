@@ -13,19 +13,48 @@ the cached flat active/inactive index sets, so CSR kernel structures (see
 changed, and index lookups between mask edits are O(1).  Code that mutates
 a mask in place (the drop-and-grow engine, GMP) must report the edit via
 :meth:`SparseParam.mark_mask_dirty`.
+
+With ``block_size > 1`` a layer's mask is constrained to ``B×B`` tiles of
+its 2-D weight view (:mod:`repro.sparse.blocks`); the dense boolean mask
+stays the canonical representation (checkpoints, coverage counters and
+worker resyncs are unchanged), while drop-and-grow edits go through
+:meth:`SparseParam.drop_blocks` / :meth:`SparseParam.grow_blocks`, which
+maintain the sorted active-block set in ``O(nnz_blocks)``.  Layers whose
+2-D view is not divisible by the block size (e.g. the first conv with 3
+input channels) fall back to ``block_size=1``, i.e. unstructured.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro import nn
 from repro.nn.module import Module, Parameter
-from repro.sparse.distribution import layer_densities
+from repro.sparse.blocks import BlockMask, MatrixBlockIndexer
+from repro.sparse.distribution import block_budget, layer_densities
 
-__all__ = ["SparseParam", "MaskedModel", "collect_sparsifiable"]
+__all__ = [
+    "BLOCK_SIZE_ENV",
+    "resolve_block_size",
+    "SparseParam",
+    "MaskedModel",
+    "collect_sparsifiable",
+]
+
+BLOCK_SIZE_ENV = "REPRO_SPARSE_BLOCK_SIZE"
+
+
+def resolve_block_size(block_size: int | None = None) -> int:
+    """Explicit argument > ``REPRO_SPARSE_BLOCK_SIZE`` env var > 1."""
+    if block_size is None:
+        block_size = int(os.environ.get(BLOCK_SIZE_ENV, "1"))
+    block_size = int(block_size)
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    return block_size
 
 
 class SparseParam:
@@ -35,28 +64,60 @@ class SparseParam:
         "name",
         "param",
         "target_density",
+        "block_size",
+        "indexer",
         "_mask",
         "_mask_version",
         "_active_idx",
         "_inactive_idx",
+        "_active_blocks",
+        "dense_grads_required",
     )
 
     def __init__(
-        self, name: str, param: Parameter, mask: np.ndarray, target_density: float
+        self,
+        name: str,
+        param: Parameter,
+        mask: np.ndarray,
+        target_density: float,
+        block_size: int = 1,
     ):
         self.name = name
         self.param = param
         self.target_density = float(target_density)
+        self.block_size = int(block_size)
+        rows, cols = self.shape2d
+        self.indexer = (
+            MatrixBlockIndexer(rows, cols, self.block_size)
+            if self.block_size > 1
+            else None
+        )
         self._mask = np.ascontiguousarray(mask, dtype=bool)
         self._mask_version = 0
         self._active_idx: np.ndarray | None = None
         self._inactive_idx: np.ndarray | None = None
+        self._active_blocks: np.ndarray | None = None
+        # Kernel backward contract: True (default, always safe) computes the
+        # full dense weight gradient; a controller whose growth rule only
+        # consults dense gradients at mask-update steps may clear it for
+        # the in-between steps (see DynamicSparseEngine.before_backward),
+        # letting block kernels compute active-tile gradients only.
+        self.dense_grads_required = True
+        if self.indexer is not None:
+            # Fail at construction, not first use, if the mask isn't tiled.
+            self.active_blocks  # noqa: B018 - validates block structure
 
     def __repr__(self) -> str:
         return (
             f"SparseParam(name={self.name!r}, shape={self.param.shape}, "
-            f"density={self.density:.4f})"
+            f"density={self.density:.4f}, block_size={self.block_size})"
         )
+
+    @property
+    def shape2d(self) -> tuple[int, int]:
+        """The 2-D matrix view the kernels (and block tiling) operate on."""
+        shape = self.param.shape
+        return int(shape[0]), int(self.param.size // shape[0])
 
     # ------------------------------------------------------------------
     # mask access & versioning
@@ -80,6 +141,7 @@ class SparseParam:
         self._mask_version += 1
         self._active_idx = None
         self._inactive_idx = None
+        self._active_blocks = None
 
     @property
     def active_indices(self) -> np.ndarray:
@@ -94,6 +156,69 @@ class SparseParam:
         if self._inactive_idx is None:
             self._inactive_idx = np.flatnonzero(~self._mask)
         return self._inactive_idx
+
+    # ------------------------------------------------------------------
+    # block granularity (block_size > 1 only)
+    # ------------------------------------------------------------------
+    @property
+    def active_blocks(self) -> np.ndarray:
+        """Sorted flat ids of active tiles (cached between edits).
+
+        Derived from the canonical dense mask, validating along the way
+        that every tile is all-active or all-inactive — a partially active
+        tile means element-granular code edited a block-structured mask.
+        """
+        if self.indexer is None:
+            raise ValueError(f"{self.name!r} is unstructured (block_size=1)")
+        if self._active_blocks is None:
+            rows, cols = self.shape2d
+            block = BlockMask.from_dense(self.indexer, self._mask.reshape(rows, cols))
+            self._active_blocks = block.active_blocks
+        return self._active_blocks
+
+    @property
+    def inactive_blocks(self) -> np.ndarray:
+        """Sorted flat ids of inactive tiles (recomputed per mask edit)."""
+        scratch = np.ones(self.indexer.n_blocks, dtype=bool)
+        scratch[self.active_blocks] = False
+        return np.flatnonzero(scratch)
+
+    @property
+    def active_block_count(self) -> int:
+        return int(self.active_blocks.size)
+
+    def drop_blocks(self, block_idx: np.ndarray) -> np.ndarray:
+        """Deactivate whole tiles; returns their flat element indices.
+
+        ``block_idx`` must be currently active.  Hash-based ``setdiff1d``
+        dominated mask-update profiles, so the sorted active set is edited
+        with a ``searchsorted`` membership mask instead (``O(nnz_blocks)``).
+        """
+        element_idx = self.indexer.expand_blocks(block_idx).reshape(-1)
+        active = self.active_blocks
+        keep = np.ones(active.size, dtype=bool)
+        keep[np.searchsorted(active, np.asarray(block_idx, dtype=np.int64))] = False
+        new_active = active[keep]
+        self._mask.reshape(-1)[element_idx] = False
+        self.mark_mask_dirty()
+        self._active_blocks = new_active
+        return element_idx
+
+    def grow_blocks(self, block_idx: np.ndarray) -> np.ndarray:
+        """Activate whole tiles; returns their flat element indices.
+
+        ``block_idx`` must be currently inactive, so the union is a plain
+        sorted merge — no hash-based ``union1d``.
+        """
+        element_idx = self.indexer.expand_blocks(block_idx).reshape(-1)
+        merged = np.concatenate(
+            (self.active_blocks, np.asarray(block_idx, dtype=np.int64).reshape(-1))
+        )
+        merged.sort()
+        self._mask.reshape(-1)[element_idx] = True
+        self.mark_mask_dirty()
+        self._active_blocks = merged
+        return element_idx
 
     # ------------------------------------------------------------------
     # statistics
@@ -192,6 +317,12 @@ class MaskedModel:
         Optional precomputed masks keyed by parameter name (static pruners
         compute them on the dense model *before* constructing this class).
         When given, the random initialization is skipped entirely.
+    block_size:
+        Mask granularity: masks are constrained to ``B×B`` tiles of each
+        layer's 2-D weight view.  ``None`` reads ``REPRO_SPARSE_BLOCK_SIZE``
+        (default 1 = unstructured).  Layers whose 2-D view is not divisible
+        by the block size fall back to ``block_size=1`` individually (never
+        silently mis-tiled); :attr:`block_fallbacks` lists them.
     """
 
     def __init__(
@@ -203,12 +334,15 @@ class MaskedModel:
         include_modules: Sequence[Module] | None = None,
         dense_layer_names: Iterable[str] = (),
         masks: dict[str, np.ndarray] | None = None,
+        block_size: int | None = None,
     ):
         if not 0.0 <= sparsity < 1.0:
             raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
         self.model = model
         self.sparsity = float(sparsity)
         self.distribution = distribution
+        self.block_size = resolve_block_size(block_size)
+        self.block_fallbacks: list[str] = []
         self._rng = rng if rng is not None else np.random.default_rng()
         self._bound_optimizer = None
 
@@ -222,6 +356,7 @@ class MaskedModel:
         densities = layer_densities([p.shape for _, p in sparse_pairs], density, distribution)
         self.targets: list[SparseParam] = []
         for (name, param), layer_density in zip(sparse_pairs, densities):
+            layer_block = self._layer_block_size(name, param)
             if masks is not None:
                 if name not in masks:
                     raise KeyError(f"precomputed masks missing layer {name!r}")
@@ -231,14 +366,36 @@ class MaskedModel:
                         f"mask shape mismatch for {name!r}: {mask.shape} vs {param.shape}"
                     )
                 layer_density = float(mask.mean())
+            elif layer_block > 1:
+                mask, layer_density = self._random_block_mask(
+                    param.shape, layer_density, layer_block
+                )
             else:
                 mask = self._random_mask(param.shape, layer_density)
             self.targets.append(
-                SparseParam(name=name, param=param, mask=mask, target_density=layer_density)
+                SparseParam(
+                    name=name,
+                    param=param,
+                    mask=mask,
+                    target_density=layer_density,
+                    block_size=layer_block,
+                )
             )
         self.apply_masks()
 
     # ------------------------------------------------------------------
+    def _layer_block_size(self, name: str, param: Parameter) -> int:
+        """Per-layer granularity: the requested block size, or 1 when the
+        2-D weight view does not tile (recorded in :attr:`block_fallbacks`)."""
+        if self.block_size <= 1:
+            return 1
+        rows = int(param.shape[0])
+        cols = int(param.size // rows)
+        if rows % self.block_size or cols % self.block_size:
+            self.block_fallbacks.append(name)
+            return 1
+        return self.block_size
+
     def _random_mask(self, shape: tuple[int, ...], density: float) -> np.ndarray:
         size = int(np.prod(shape))
         n_active = int(round(density * size))
@@ -248,6 +405,22 @@ class MaskedModel:
             idx = self._rng.choice(size, size=n_active, replace=False)
             mask[idx] = True
         return mask.reshape(shape)
+
+    def _random_block_mask(
+        self, shape: tuple[int, ...], density: float, block_size: int
+    ) -> tuple[np.ndarray, float]:
+        """Random whole-tile mask; returns it with the quantized density."""
+        rows = int(shape[0])
+        cols = int(np.prod(shape)) // rows
+        indexer = MatrixBlockIndexer(rows, cols, block_size)
+        n_active, exact_density = block_budget(density, indexer.n_blocks)
+        blocks = (
+            self._rng.choice(indexer.n_blocks, size=n_active, replace=False)
+            if n_active
+            else np.empty(0, dtype=np.int64)
+        )
+        mask = BlockMask(indexer, blocks).to_dense().reshape(shape)
+        return mask, exact_density
 
     # ------------------------------------------------------------------
     # invariant enforcement

@@ -90,9 +90,7 @@ class UpdateSchedule:
         return step > 0 and step % self.delta_t == 0 and step < self.stop_step
 
 
-def make_drop_schedule(
-    kind: str, fraction: float, total_steps: int
-) -> DropFractionSchedule:
+def make_drop_schedule(kind: str, fraction: float, total_steps: int) -> DropFractionSchedule:
     """Build a named schedule (``"constant"``, ``"cosine"``, ``"linear"``)."""
     kind = kind.lower()
     if kind == "constant":

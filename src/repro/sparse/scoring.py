@@ -20,9 +20,7 @@ def exploitation_score(grad: np.ndarray) -> np.ndarray:
     return np.abs(grad)
 
 
-def exploration_score(
-    counter: np.ndarray, step: int, c: float, epsilon: float = 1.0
-) -> np.ndarray:
+def exploration_score(counter: np.ndarray, step: int, c: float, epsilon: float = 1.0) -> np.ndarray:
     """Exploration term ``c·ln(t)/(N+ε)`` (Eq. 1, second term).
 
     Parameters

@@ -101,9 +101,7 @@ def snip_masks(
     """SNIP: keep the weights with the largest ``|g ⊙ w|`` saliency."""
     targets = collect_sparsifiable(model, include_modules)
     grads = _accumulate_gradients(model, loss_fn, batches, targets)
-    scores = {
-        name: np.abs(grads[name] * param.data) for name, param in targets
-    }
+    scores = {name: np.abs(grads[name] * param.data) for name, param in targets}
     return global_topk_masks(scores, density=1.0 - sparsity, keep="largest")
 
 
@@ -131,9 +129,7 @@ def grasp_masks(
 
     def perturb(sign: float) -> dict[str, np.ndarray]:
         for name, param in targets:
-            param.data = (originals[name] + sign * delta * base_grads[name]).astype(
-                param.dtype
-            )
+            param.data = (originals[name] + sign * delta * base_grads[name]).astype(param.dtype)
         return _accumulate_gradients(model, loss_fn, batch_list, targets)
 
     plus = perturb(+1.0)

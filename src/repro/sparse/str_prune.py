@@ -83,8 +83,7 @@ class STRController(SparsityController):
         grads = [p.grad for p in self.masked.model.parameters() if p.grad is not None]
         if not grads:
             return
-        total_norm = float(np.sqrt(sum(float((g.astype(np.float64) ** 2).sum())
-                                       for g in grads)))
+        total_norm = float(np.sqrt(sum(float((g.astype(np.float64) ** 2).sum()) for g in grads)))
         if total_norm > self.grad_clip:
             scale = self.grad_clip / (total_norm + 1e-12)
             for param in self.masked.model.parameters():

@@ -19,6 +19,7 @@ class EpochRecord:
     sparsity: float | None = None
     exploration_rate: float | None = None
     steps_per_sec: float | None = None
+    mask_update_ms: float | None = None
 
     def to_dict(self) -> dict:
         """Plain-scalar dict (checkpoint serialization)."""

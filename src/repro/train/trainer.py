@@ -225,6 +225,7 @@ class Trainer:
     def _fit(self, epochs: int) -> History:
         start_epoch = len(self.history.epochs)
         for epoch in range(start_epoch, epochs):
+            updates_before = self._mask_update_count()
             train_loss, train_acc, steps_per_sec = self._train_epoch(epoch)
             if self.scheduler is not None:
                 self.scheduler.step()
@@ -250,6 +251,7 @@ class Trainer:
                 ),
                 exploration_rate=self._exploration_rate(),
                 steps_per_sec=steps_per_sec,
+                mask_update_ms=self._mask_update_ms(updates_before),
             )
             self.history.append(record)
             for callback in self.callbacks:
@@ -300,6 +302,8 @@ class Trainer:
                     continue
                 self.global_step += 1
                 steps += 1
+                if self.controller is not None:
+                    self.controller.before_backward(self.global_step)
                 if pool is not None:
                     # Sharded forward/backward: workers fill the shared
                     # gradient block, the parent owns the averaged gradient
@@ -338,6 +342,29 @@ class Trainer:
         if coverage is None:
             return None
         return coverage.exploration_rate()
+
+    def _mask_update_count(self) -> int:
+        records = getattr(self.controller, "history", None)
+        return len(records) if records is not None else 0
+
+    def _mask_update_ms(self, updates_before: int) -> float | None:
+        """Mean wall time of this epoch's drop-and-grow rounds, if any.
+
+        Only controllers with a mask-update ``history`` (the DST engine)
+        report it; fixed-mask / magnitude-pruning controllers leave the
+        column ``None``.
+        """
+        records = getattr(self.controller, "history", None)
+        if records is None:
+            return None
+        fresh = [
+            duration
+            for r in records[updates_before:]
+            if (duration := getattr(r, "duration_ms", None)) is not None
+        ]
+        if not fresh:
+            return None
+        return float(np.mean(fresh))
 
     # ------------------------------------------------------------------
     # checkpointing

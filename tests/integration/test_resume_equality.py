@@ -35,7 +35,7 @@ TRACKED_SERIES = (
 
 
 def _build(tiny_data, tiny_mlp_factory, method, *, optimizer_cls=SGD,
-           callbacks=(), n_workers=0, seed=0):
+           callbacks=(), n_workers=0, seed=0, block_size=None):
     model = tiny_mlp_factory(seed)
     train_loader = DataLoader(
         tiny_data.train, batch_size=BATCH_SIZE, shuffle=True,
@@ -51,6 +51,7 @@ def _build(tiny_data, tiny_mlp_factory, method, *, optimizer_cls=SGD,
     setup = build_method(
         method, model, optimizer, 0.8, total_steps,
         delta_t=DELTA_T, rng=np.random.default_rng(seed),
+        block_size=block_size,
     )
     trainer = Trainer(
         model, optimizer, cross_entropy, train_loader, test_loader,
@@ -166,6 +167,46 @@ class TestKillAndResume:
             if "step" in s_ref:
                 assert s_ref["step"] > 0
                 assert resumed.optimizer.state[id(p_res)]["step"] == s_ref["step"]
+
+    def test_block_mask_resume_is_bitwise_identical(
+        self, tiny_data, tiny_mlp_factory, tmp_path
+    ):
+        """Block-structured masks survive kill-and-resume bit-for-bit.
+
+        The block bookkeeping (active-block triplets, block indexers) is
+        rebuilt from the checkpointed masks; drop-and-grow rounds after the
+        resume must pick the same blocks as the uninterrupted run.
+        """
+        reference, ref_setup = _reference_with_checkpoints(
+            tiny_data, tiny_mlp_factory, "dst_ee", tmp_path, block_size=4
+        )
+        assert all(t.block_size == 4 for t in ref_setup.masked.targets)
+        step = len(reference.train_loader) + 2
+        assert step % DELTA_T != 0
+        resumed, res_setup = _resume_at(
+            tiny_data, tiny_mlp_factory, "dst_ee", tmp_path, step, block_size=4
+        )
+        # Mask updates happened after the resume point, on block granularity.
+        assert any(r.step > step for r in ref_setup.controller.history)
+        _assert_identical(reference, resumed, ref_setup, res_setup)
+
+    def test_block_mask_resume_with_gradient_workers(
+        self, tiny_data, tiny_mlp_factory, tmp_path
+    ):
+        from repro.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("fork not available")
+        reference, ref_setup = _reference_with_checkpoints(
+            tiny_data, tiny_mlp_factory, "dst_ee", tmp_path,
+            block_size=4, n_workers=2,
+        )
+        step = len(reference.train_loader) + 3
+        resumed, res_setup = _resume_at(
+            tiny_data, tiny_mlp_factory, "dst_ee", tmp_path, step,
+            block_size=4, n_workers=2,
+        )
+        _assert_identical(reference, resumed, ref_setup, res_setup)
 
     def test_resume_with_gradient_workers(
         self, tiny_data, tiny_mlp_factory, tmp_path

@@ -205,3 +205,80 @@ class TestManifest:
         sparse = [m for m in compiled.modules()
                   if isinstance(m, (SparseLinear, SparseConv2d))]
         assert len(manifest["state"]["layers"]) == len(sparse)
+
+
+class TestBlockArtifacts:
+    """BSR (block-structured) layers through the export/load round-trip."""
+
+    def _block_artifact(self, tmp_path):
+        # (32, 48) and (32, 32) tile evenly at B=4; the (5, 32) head does
+        # not and must round-trip through the unstructured CSR fallback.
+        model = MLP(48, (32, 32), 5, seed=0)
+        masked = MaskedModel(model, 0.9, distribution="uniform",
+                             rng=np.random.default_rng(1), block_size=4)
+        compiled = compile_sparse_model(masked)
+        path = tmp_path / "block.npz"
+        export_model(compiled, path, model_config=MLP_CONFIG)
+        return compiled, path
+
+    def test_predictions_bitwise_equal_with_fingerprint(self, tmp_path):
+        compiled, path = self._block_artifact(tmp_path)
+        loaded = load_model(path)  # verify=True: fingerprint checked
+        x = RNG.standard_normal((6, 48)).astype(np.float32)
+        with no_grad():
+            expected = compiled(Tensor(x)).data
+        assert np.array_equal(loaded.predict(x), expected)
+
+    def test_manifest_records_block_sizes(self, tmp_path):
+        _, path = self._block_artifact(tmp_path)
+        manifest = read_manifest(path)
+        # Unstructured fallback records omit the key (default 1).
+        block_sizes = sorted(r.get("block_size", 1)
+                             for r in manifest["state"]["layers"])
+        assert block_sizes == [1, 4, 4]
+
+    def test_loaded_layers_use_bsr_structure(self, tmp_path):
+        from repro.sparse.inference import BlockSparseLinear
+
+        _, path = self._block_artifact(tmp_path)
+        loaded = load_model(path)
+        kinds = [type(m).__name__ for m in loaded.model.modules()
+                 if isinstance(m, SparseLinear)]
+        assert kinds.count("BlockSparseLinear") == 2
+        block_layers = [m for m in loaded.model.modules()
+                       if isinstance(m, BlockSparseLinear)]
+        assert all(m.block_size == 4 for m in block_layers)
+
+    def test_fingerprint_detects_tampering_in_block_payload(self, tmp_path):
+        _, path = self._block_artifact(tmp_path)
+        with np.load(path, allow_pickle=False) as archive:
+            entries = {key: archive[key].copy() for key in archive.files}
+        # Corrupt the first BSR value payload in an otherwise-valid archive:
+        # only the fingerprint can notice.
+        for key, value in entries.items():
+            if key != "__artifact__" and value.dtype == np.float32 and value.size:
+                value.reshape(-1)[0] += 1.0
+                break
+        np.savez(path, **entries)
+        with pytest.raises(ArtifactError, match="fingerprint"):
+            load_model(path)
+
+    def test_conv_block_model_round_trip(self, tmp_path):
+        model = vgg11(num_classes=4, width_mult=0.25, input_size=8, seed=3)
+        masked = MaskedModel(model, 0.9, rng=np.random.default_rng(3),
+                             block_size=4)
+        compiled = compile_sparse_model(masked)
+        path = tmp_path / "vgg_block.npz"
+        export_model(
+            compiled, path,
+            model_config={
+                "builder": "vgg11",
+                "kwargs": {"num_classes": 4, "width_mult": 0.25,
+                           "input_size": 8, "seed": 3},
+            },
+        )
+        loaded = load_model(path)
+        x = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        with no_grad():
+            expected = compiled(Tensor(x)).data
+        assert np.array_equal(loaded.predict(x), expected)

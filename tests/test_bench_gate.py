@@ -1,0 +1,147 @@
+"""CI bench-regression gate: the conv block-sparse floor and A/B checks.
+
+``scripts/`` is not a package, so the gate module is loaded by file path.
+These tests pin the gate's contract: the hard conv block-sparse/dense floor
+fires at medium/full scale and stays silent on the small CI smoke, missing
+guarded rows are failures (gate holes) rather than silent passes, and the
+relative conv A/B checks compare fresh ratios against the committed
+baseline with the configured tolerance.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_GATE_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "check_bench_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate_mod():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def gate(gate_mod):
+    return gate_mod.Gate(tolerance=0.25)
+
+
+def _engine(scale, ratio=1.5):
+    return {
+        "scale": scale,
+        "conv_block_ab": {
+            "vgg_small": {
+                "0.95": {"dense": 50.0, "bsr": 50.0 * ratio, "ratio": ratio}
+            }
+        },
+    }
+
+
+class TestBlockFloor:
+    def test_passes_above_floor_at_medium_scale(self, gate_mod, gate):
+        gate_mod.check_engine_block_floor(_engine("medium", ratio=1.5), gate, 1.3)
+        assert (gate.checks, gate.failures) == (1, 0)
+
+    def test_fails_below_floor_at_medium_scale(self, gate_mod, gate):
+        gate_mod.check_engine_block_floor(_engine("medium", ratio=1.1), gate, 1.3)
+        assert gate.failures == 1
+
+    def test_enforced_at_full_scale(self, gate_mod, gate):
+        gate_mod.check_engine_block_floor(_engine("full", ratio=1.1), gate, 1.3)
+        assert gate.failures == 1
+
+    def test_skipped_at_small_scale(self, gate_mod, gate):
+        """The truncated CI smoke doesn't amortize BSR rebuilds; no floor."""
+        gate_mod.check_engine_block_floor(_engine("small", ratio=0.5), gate, 1.3)
+        assert (gate.checks, gate.failures) == (0, 0)
+
+    def test_missing_row_is_a_failure_not_a_pass(self, gate_mod, gate):
+        gate_mod.check_engine_block_floor(
+            {"scale": "medium", "conv_block_ab": {}}, gate, 1.3
+        )
+        assert gate.failures == 1
+
+
+class TestConvBlockRelativeChecks:
+    def _baseline(self):
+        return {
+            "scale": "small",
+            "training_steps_per_sec": {},
+            "conv_block_ab": {
+                "vgg_small": {
+                    "0.95": {"ratio": 1.5},
+                    "0.98": {"ratio": 1.8},
+                }
+            },
+        }
+
+    def test_fresh_ratios_within_tolerance_pass(self, gate_mod, gate):
+        fresh = {
+            "scale": "small",
+            "training_steps_per_sec": {},
+            # 25% tolerance: 1.2 >= 1.5 * 0.75 and 1.4 >= 1.8 * 0.75.
+            "conv_block_ab": {
+                "vgg_small": {"0.95": {"ratio": 1.2}, "0.98": {"ratio": 1.4}}
+            },
+        }
+        gate_mod.check_engine(fresh, self._baseline(), gate, absolute=False)
+        assert (gate.checks, gate.failures) == (2, 0)
+
+    def test_regressed_ratio_fails(self, gate_mod, gate):
+        fresh = {
+            "scale": "small",
+            "training_steps_per_sec": {},
+            "conv_block_ab": {
+                "vgg_small": {"0.95": {"ratio": 1.0}, "0.98": {"ratio": 1.4}}
+            },
+        }
+        gate_mod.check_engine(fresh, self._baseline(), gate, absolute=False)
+        assert gate.failures == 1
+
+    def test_vanished_sparsity_point_fails(self, gate_mod, gate):
+        fresh = {
+            "scale": "small",
+            "training_steps_per_sec": {},
+            "conv_block_ab": {"vgg_small": {"0.95": {"ratio": 1.5}}},
+        }
+        gate_mod.check_engine(fresh, self._baseline(), gate, absolute=False)
+        assert gate.failures == 1
+
+
+class TestMainWiring:
+    def test_main_enforces_floor_on_medium_fresh_json(self, gate_mod, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(_engine("medium", ratio=1.1)))
+        code = gate_mod.main(
+            [
+                "--engine", str(path),
+                "--serve", str(tmp_path / "missing_serve.json"),
+                "--rl", str(tmp_path / "missing_rl.json"),
+                "--baseline-dir", str(tmp_path),
+            ]
+        )
+        assert code == 1
+
+    def test_main_passes_when_floor_met(self, gate_mod, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(_engine("medium", ratio=1.45)))
+        code = gate_mod.main(
+            [
+                "--engine", str(path),
+                "--serve", str(tmp_path / "missing_serve.json"),
+                "--rl", str(tmp_path / "missing_rl.json"),
+                "--baseline-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
