@@ -17,6 +17,16 @@ numbers include the real deployment path, not an in-memory shortcut):
   in-process serving (honest numbers: on a single-core container the pool
   adds IPC overhead without adding cores; set ``REPRO_SERVE_POOL=0`` to
   skip).
+* **trace** — a heavy-tailed request trace against the resilient fleet
+  (:class:`~repro.serve.ModelRouter` + admission control + supervised
+  pool): seeded Poisson arrivals with hot-key skew, replayed at 1× and 2×
+  the measured saturation rate, with a mid-run hot-swap and one worker
+  SIGKILL injected.  Reports availability (served / (served + failed),
+  clean sheds excluded) and the served p50/p99 — the gate asserts
+  availability stays ≥ 99.9% under the fault schedule and that admission
+  control keeps served p99 at 2× saturation within 1.5× of p99 at
+  saturation (bounded queue ⇒ flat tail past the knee).  Set
+  ``REPRO_SERVE_TRACE=0`` to skip.
 
 Machine-readable JSON goes to ``BENCH_serve.json`` at the repo root; the
 committed smoke baseline lives in
@@ -33,16 +43,26 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import signal
 import tempfile
 import threading
 import time
+from concurrent.futures import wait as futures_wait
 
 import numpy as np
 
 from repro.experiments.configs import get_scale
 from repro.models import MLP
 from repro.parallel import fork_available
-from repro.serve import Server, ServingPool, export_model, load_model
+from repro.serve import (
+    AdmissionController,
+    AdmissionRejected,
+    ModelRouter,
+    Server,
+    ServingPool,
+    export_model,
+    load_model,
+)
 from repro.sparse import MaskedModel
 from repro.sparse.inference import compile_sparse_model, sparse_storage_bytes
 
@@ -64,6 +84,7 @@ _CONFIGS = {
         per_client=25,
         batch_sizes=(8, 32),
         direct_iters=6,
+        trace_requests=240,
     ),
     "medium": dict(
         in_features=784,
@@ -75,6 +96,7 @@ _CONFIGS = {
         per_client=50,
         batch_sizes=(8, 32),
         direct_iters=10,
+        trace_requests=400,
     ),
     "full": dict(
         in_features=784,
@@ -86,20 +108,33 @@ _CONFIGS = {
         per_client=50,
         batch_sizes=(8, 32, 64),
         direct_iters=10,
+        trace_requests=600,
     ),
 }
 
 MAX_BATCH = 32
 MAX_LATENCY_MS = 2.0
 
+# Trace-section knobs: one sparsity point, a tight admission bound (about
+# one coalesced batch of backlog), and a 90/10 hot/cold key split.
+TRACE_SPARSITY = 0.95
+TRACE_MAX_PENDING = 32
+TRACE_HOT_KEYS = 4
+TRACE_COLD_KEYS = 32
+TRACE_HOT_FRACTION = 0.9
 
-def build_artifact(config: dict, sparsity: float, directory: pathlib.Path) -> dict:
+
+def build_artifact(
+    config: dict, sparsity: float, directory: pathlib.Path, seed: int = 0
+) -> dict:
     """Compile + export one model; return artifact info and the path."""
-    model = MLP(config["in_features"], config["hidden"], config["num_classes"], seed=0)
-    masked = MaskedModel(model, sparsity, distribution="uniform", rng=np.random.default_rng(1))
+    model = MLP(config["in_features"], config["hidden"], config["num_classes"], seed=seed)
+    masked = MaskedModel(
+        model, sparsity, distribution="uniform", rng=np.random.default_rng(seed + 1)
+    )
     compiled = compile_sparse_model(masked)
     csr_bytes, dense_bytes = sparse_storage_bytes(compiled)
-    path = directory / f"model_{sparsity:g}.npz"
+    path = directory / f"model_{sparsity:g}_seed{seed}.npz"
     start = time.perf_counter()
     export_model(
         compiled,
@@ -110,11 +145,11 @@ def build_artifact(config: dict, sparsity: float, directory: pathlib.Path) -> di
                 "in_features": config["in_features"],
                 "hidden": list(config["hidden"]),
                 "num_classes": config["num_classes"],
-                "seed": 0,
+                "seed": seed,
             },
         },
         preprocessing={"input_shape": [config["in_features"]]},
-        metadata={"sparsity": sparsity, "bench": True},
+        metadata={"sparsity": sparsity, "bench": True, "seed": seed},
     )
     export_ms = (time.perf_counter() - start) * 1e3
     start = time.perf_counter()
@@ -267,6 +302,179 @@ def bench_pool(path, config: dict) -> dict | None:
     }
 
 
+def _trace_examples(config: dict, seed: int = 6) -> tuple[np.ndarray, np.ndarray]:
+    """(hot, cold) request payload pools for the skewed trace."""
+    rng = np.random.default_rng(seed)
+    hot = rng.standard_normal((TRACE_HOT_KEYS, config["in_features"])).astype(np.float32)
+    cold = rng.standard_normal((TRACE_COLD_KEYS, config["in_features"])).astype(np.float32)
+    return hot, cold
+
+
+def _measure_saturation(router: ModelRouter, example: np.ndarray, n: int = 160) -> float:
+    """Flood throughput of the serving path (requests/sec at capacity).
+
+    The flood runs in waves of half the admission bound so the probe
+    itself is never shed — it measures capacity, not the rejection path.
+    """
+    for _ in range(8):
+        router.predict_one(example, timeout=30)
+    wave = max(1, TRACE_MAX_PENDING // 2)
+    start = time.perf_counter()
+    done = 0
+    while done < n:
+        futures = [router.submit(example)[0] for _ in range(min(wave, n - done))]
+        for future in futures:
+            future.result(timeout=60)
+        done += len(futures)
+    return n / (time.perf_counter() - start)
+
+
+def _replay_trace(
+    router: ModelRouter,
+    config: dict,
+    *,
+    rate: float,
+    seed: int,
+    swap_to: pathlib.Path | None,
+    kill_worker: bool,
+) -> dict:
+    """Replay one seeded Poisson/hot-key trace at ``rate`` requests/sec.
+
+    A hot-swap is started 40% through the trace and one pool worker is
+    SIGKILLed 60% through (where forked workers exist) — the faults land
+    while the arrival process keeps running, exactly like production.
+    """
+    n = config["trace_requests"]
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=n)
+    hot, cold = _trace_examples(config)
+    hot_draw = rng.random(n)
+    hot_index = rng.integers(0, len(hot), size=n)
+    cold_index = rng.integers(0, len(cold), size=n)
+    swap_at = int(n * 0.4) if swap_to is not None else -1
+    kill_at = int(n * 0.6) if kill_worker else -1
+
+    lock = threading.Lock()
+    served_latencies: list[float] = []
+    failed = [0]
+    shed = 0
+    futures = []
+    swap_thread = None
+    killed = False
+
+    start = time.perf_counter()
+    target = start
+    for i in range(n):
+        target += gaps[i]
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        if i == swap_at:
+            swap_thread = threading.Thread(target=router.hot_swap, args=("trace", swap_to))
+            swap_thread.start()
+        if i == kill_at:
+            pool = router.resolve("trace").pool
+            pids = pool.worker_pids() if pool is not None else []
+            if pids:
+                os.kill(pids[0], signal.SIGKILL)
+                killed = True
+        if hot_draw[i] < TRACE_HOT_FRACTION:
+            example = hot[hot_index[i]]
+        else:
+            example = cold[cold_index[i]]
+        t_submit = time.perf_counter()
+        try:
+            future, _ = router.submit(example)
+        except AdmissionRejected:
+            shed += 1
+            continue
+
+        def _on_done(f, t0=t_submit):
+            t1 = time.perf_counter()
+            with lock:
+                if f.cancelled() or f.exception() is not None:
+                    failed[0] += 1
+                else:
+                    served_latencies.append((t1 - t0) * 1e3)
+
+        future.add_done_callback(_on_done)
+        futures.append(future)
+    futures_wait(futures, timeout=60)
+    elapsed = time.perf_counter() - start
+    if swap_thread is not None:
+        swap_thread.join(timeout=60)
+    with lock:
+        served = len(served_latencies)
+        n_failed = failed[0]
+        latencies = np.asarray(served_latencies, dtype=np.float64)
+    answered = served + n_failed
+    availability = served / answered if answered else 1.0
+    return {
+        "offered": n,
+        "served": served,
+        "shed": shed,
+        "failed": n_failed,
+        "availability": round(availability, 6),
+        "target_rps": round(rate, 1),
+        "achieved_rps": round(answered / elapsed, 1) if elapsed > 0 else 0.0,
+        "served_p50_ms": round(float(np.percentile(latencies, 50)), 3) if served else 0.0,
+        "served_p99_ms": round(float(np.percentile(latencies, 99)), 3) if served else 0.0,
+        "hot_swapped": swap_at >= 0,
+        "worker_killed": killed,
+    }
+
+
+def bench_trace(directory: pathlib.Path, config: dict) -> dict | None:
+    """Heavy-tailed trace vs the resilient fleet, at 1× and 2× saturation."""
+    if os.environ.get("REPRO_SERVE_TRACE", "1") == "0":
+        return None
+    v1 = build_artifact(config, TRACE_SPARSITY, directory, seed=0)
+    v2 = build_artifact(config, TRACE_SPARSITY, directory, seed=1)
+    pool_workers = 2 if fork_available() else 0
+    admission = AdmissionController(max_pending=TRACE_MAX_PENDING)
+    router = ModelRouter(
+        max_batch=MAX_BATCH,
+        max_latency_ms=MAX_LATENCY_MS,
+        pool_workers=pool_workers,
+        admission=admission,
+    )
+    try:
+        router.deploy("trace", v1["path"])
+        hot, _ = _trace_examples(config)
+        saturation = _measure_saturation(router, hot[0])
+        # 1× at the knee (swap v1→v2 mid-run), 2× past it (swap back).
+        run_1x = _replay_trace(
+            router,
+            config,
+            rate=saturation,
+            seed=8,
+            swap_to=v2["path"],
+            kill_worker=True,
+        )
+        run_2x = _replay_trace(
+            router,
+            config,
+            rate=2.0 * saturation,
+            seed=9,
+            swap_to=v1["path"],
+            kill_worker=True,
+        )
+    finally:
+        router.close()
+    p99_floor = max(run_1x["served_p99_ms"], 1e-3)
+    return {
+        "sparsity": f"{TRACE_SPARSITY:g}",
+        "pool_workers": pool_workers,
+        "max_pending": TRACE_MAX_PENDING,
+        "hot_fraction": TRACE_HOT_FRACTION,
+        "saturation_rps": round(saturation, 1),
+        "runs": {"1x": run_1x, "2x": run_2x},
+        "availability_min": min(run_1x["availability"], run_2x["availability"]),
+        "p99_ratio_2x_vs_1x": round(run_2x["served_p99_ms"] / p99_floor, 3),
+        "admission": admission.snapshot(),
+    }
+
+
 def run() -> dict:
     scale = get_scale()
     config = _CONFIGS[scale.name]
@@ -289,6 +497,7 @@ def run() -> dict:
         "direct_batch": {},
         "speedup_batched_vs_unbatched": {},
         "pool": {},
+        "trace": None,
     }
     with tempfile.TemporaryDirectory() as tmp:
         directory = pathlib.Path(tmp)
@@ -336,6 +545,23 @@ def run() -> dict:
                     f"({pool['n_workers']} workers, {pool['cores']} cores, "
                     f"arena {pool['arena_kib']:.0f} KiB)"
                 )
+
+        trace = bench_trace(directory, config)
+        if trace is not None:
+            result["trace"] = trace
+            for label, run_info in trace["runs"].items():
+                print(
+                    f"[trace {label}] avail {run_info['availability']:.4f} "
+                    f"({run_info['served']} served, {run_info['shed']} shed, "
+                    f"{run_info['failed']} failed) p99 "
+                    f"{run_info['served_p99_ms']:.2f} ms @ "
+                    f"{run_info['achieved_rps']:.0f} req/s"
+                )
+            print(
+                f"[trace    ] saturation {trace['saturation_rps']:.0f} req/s, "
+                f"availability_min {trace['availability_min']:.4f}, "
+                f"p99 2x/1x ratio {trace['p99_ratio_2x_vs_1x']:.2f}"
+            )
 
     OUTPUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(f"[written to {OUTPUT_PATH}]")

@@ -70,6 +70,14 @@ class Gate:
         if not ok:
             self.failures += 1
 
+    def check_max(self, name: str, fresh: float, ceiling: float, context: str) -> None:
+        self.checks += 1
+        ok = fresh <= ceiling
+        verdict = "ok  " if ok else "FAIL"
+        print(f"[{verdict}] {name}: {fresh:.3f} (ceiling {ceiling:.3f}, {context})")
+        if not ok:
+            self.failures += 1
+
     def relative(self, name: str, fresh: float, baseline: float) -> None:
         self.check(
             name,
@@ -235,6 +243,39 @@ def check_serve(
                     gate.relative(f"serve {section} req/s @s={sparsity}", fresh_rps, base_rps)
 
 
+def check_serve_trace_floor(
+    fresh: dict,
+    gate: Gate,
+    min_availability: float,
+    max_p99_ratio: float,
+) -> None:
+    """Hard floors on the resilient-fleet trace section.
+
+    Baseline-independent, like the batched/unbatched floor: availability
+    and the 2×-vs-1× p99 ratio are both measured inside one run so they
+    are machine-portable.  A missing trace section is a gate hole, not a
+    pass — the bench must either run it or be explicitly skipped via
+    ``REPRO_SERVE_TRACE=0`` *and* accept the failure here.
+    """
+    trace = fresh.get("trace")
+    if not trace:
+        print("[FAIL] serve: trace section missing from fresh run")
+        gate.failures += 1
+        return
+    gate.check(
+        "serve trace availability under faults",
+        trace.get("availability_min", 0.0),
+        min_availability,
+        "absolute floor, baseline-independent",
+    )
+    gate.check_max(
+        "serve trace served-p99 ratio 2x/1x saturation",
+        trace.get("p99_ratio_2x_vs_1x", float("inf")),
+        max_p99_ratio,
+        "absolute ceiling, baseline-independent",
+    )
+
+
 def check_rl(fresh: dict, baseline: dict, gate: Gate, absolute: bool) -> None:
     """Guard the RL workload's sparse-vs-dense throughput ratios.
 
@@ -316,6 +357,20 @@ def main(argv: list[str] | None = None) -> int:
         "95%% sparsity (vgg_small, medium/full scale only)",
     )
     parser.add_argument(
+        "--min-trace-availability",
+        type=float,
+        default=0.999,
+        help="hard floor for resilient-fleet availability in the serve trace "
+        "section (served / (served + failed), sheds excluded)",
+    )
+    parser.add_argument(
+        "--max-trace-p99-ratio",
+        type=float,
+        default=1.5,
+        help="hard ceiling for served p99 at 2x saturation relative to p99 at "
+        "saturation in the serve trace section",
+    )
+    parser.add_argument(
         "--absolute",
         action="store_true",
         help="also compare absolute steps/sec and req/s (same-machine baselines only)",
@@ -337,6 +392,10 @@ def main(argv: list[str] | None = None) -> int:
 
     serve_fresh = _load(pathlib.Path(args.serve), "serve fresh")
     serve_base = _load(baseline_dir / SERVE_BASELINE, "serve baseline")
+    if serve_fresh is not None:
+        check_serve_trace_floor(
+            serve_fresh, gate, args.min_trace_availability, args.max_trace_p99_ratio
+        )
     if serve_fresh is not None and serve_base is not None:
         if _scales_match(serve_fresh, serve_base, "serve"):
             check_serve(serve_fresh, serve_base, gate, args.absolute, args.min_batch_speedup)

@@ -321,6 +321,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable request coalescing (A/B baseline)",
     )
     serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="admission control: bound on admitted-but-unfinished "
+        "requests; excess traffic is shed with 429 + Retry-After "
+        "(0 disables admission control)",
+    )
+    serve.add_argument(
+        "--deadline-s",
+        type=float,
+        default=30.0,
+        help="default per-request deadline; requests may override via "
+        "deadline_ms in the body, expiry answers 504",
+    )
+    serve.add_argument(
         "--no-verify",
         action="store_true",
         help="skip artifact fingerprint verification at load",
@@ -756,7 +771,13 @@ def _command_export(args) -> int:
 
 
 def _command_serve(args) -> int:
-    from repro.serve import Server, ServingPool, load_model, serve_forever
+    from repro.serve import (
+        AdmissionController,
+        Server,
+        ServingPool,
+        load_model,
+        serve_forever,
+    )
 
     loaded = load_model(args.artifact, verify=not args.no_verify)
     pool = None
@@ -773,12 +794,16 @@ def _command_serve(args) -> int:
             if pool.arena is not None else ""
         )
         print(f"serving pool: {pool.n_workers} workers{arena_note}")
+    admission = (
+        AdmissionController(max_pending=args.max_pending) if args.max_pending > 0 else None
+    )
     server = Server(
         loaded,
         max_batch=args.max_batch,
         max_latency_ms=args.max_latency_ms,
         batching=not args.no_batching,
         forward_override=forward,
+        admission=admission,
     )
     metadata = loaded.metadata or {}
     print(f"artifact: {args.artifact}")
@@ -786,7 +811,7 @@ def _command_serve(args) -> int:
     if metadata:
         print(f"  metadata:    {metadata}")
     try:
-        serve_forever(server, args.host, args.port)
+        serve_forever(server, args.host, args.port, default_deadline_s=args.deadline_s)
     finally:
         if pool is not None:
             pool.close()

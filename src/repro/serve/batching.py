@@ -20,6 +20,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout  # builtin alias only on 3.11+
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,11 +30,19 @@ __all__ = ["BatchingQueue", "BatchingStats"]
 
 @dataclass
 class BatchingStats:
-    """Counters and latency percentiles of one queue (snapshot via ``stats``)."""
+    """Counters and latency percentiles of one queue (snapshot via ``stats``).
+
+    ``timeouts`` counts callers that gave up waiting (``predict`` /
+    ``predict_one`` timeouts cancel their future); ``shed`` counts entries
+    whose future was already cancelled when the flusher reached them — the
+    abandoned rows that were skipped instead of computed and copied.
+    """
 
     requests: int = 0
     batches: int = 0
     max_observed_batch: int = 0
+    timeouts: int = 0
+    shed: int = 0
     latencies_ms: list = field(default_factory=list, repr=False)
 
     @property
@@ -52,6 +61,8 @@ class BatchingStats:
             "batches": self.batches,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "max_observed_batch": self.max_observed_batch,
+            "timeouts": self.timeouts,
+            "shed": self.shed,
             "latency_ms_p50": round(self.percentile(50), 4),
             "latency_ms_p99": round(self.percentile(99), 4),
         }
@@ -125,8 +136,20 @@ class BatchingQueue:
         return future
 
     def predict(self, example, timeout: float | None = None):
-        """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(example).result(timeout=timeout)
+        """Blocking convenience wrapper around :meth:`submit`.
+
+        On timeout the future is cancelled before re-raising: the flusher
+        skips cancelled entries at dispatch, so an abandoned request's row
+        is never computed and copied for a caller that already left.
+        """
+        future = self.submit(example)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeout:
+            if future.cancel():
+                with self._lock:
+                    self._stats.timeouts += 1
+            raise
 
     def flush(self) -> None:
         """Dispatch whatever is pending without waiting for the batch window."""
@@ -183,7 +206,20 @@ class BatchingQueue:
             return taken
 
     def _dispatch(self, taken: list[_Pending]) -> None:
-        """Run one homogeneous batch and resolve (or fail) its futures."""
+        """Run one homogeneous batch and resolve (or fail) its futures.
+
+        Entries whose future was cancelled while queued (caller timed out
+        and left) are shed here, *before* stacking: their rows are neither
+        computed nor copied.  ``set_running_or_notify_cancel`` atomically
+        claims the survivors, closing the race against a late ``cancel``.
+        """
+        live = [entry for entry in taken if entry.future.set_running_or_notify_cancel()]
+        if len(live) != len(taken):
+            with self._lock:
+                self._stats.shed += len(taken) - len(live)
+        if not live:
+            return
+        taken = live
         try:
             batch = np.stack([np.asarray(entry.payload) for entry in taken])
             outputs = np.asarray(self._batch_fn(batch))

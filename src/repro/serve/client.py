@@ -1,0 +1,188 @@
+"""Retrying HTTP client for the JSON serving frontend.
+
+The server side can shed load (429/503 + ``Retry-After``), miss a deadline
+(504), or briefly refuse connections during a restart — all *retryable*
+conditions a production client should absorb instead of surfacing.
+:class:`RetryingClient` wraps ``urllib`` with the standard loop:
+
+* exponential backoff with full jitter (seeded, so tests and the chaos
+  smoke are reproducible),
+* ``Retry-After`` honored when the server provides it (clamped into the
+  backoff bounds — a confused server cannot park the client for minutes),
+* a hard per-call deadline that caps the whole retry loop: the client
+  never sleeps past the time budget, and raises :class:`DeadlineExceeded`
+  with the last underlying error attached,
+* no retries on non-retryable 4xx (a malformed request stays malformed).
+
+This is the client the smoke scripts and the trace benchmark use; it is
+deliberately stdlib-only like the rest of the serving stack.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+__all__ = ["DeadlineExceeded", "RetryingClient", "ServerError"]
+
+_RETRYABLE_STATUS = frozenset({429, 500, 502, 503, 504})
+
+
+class DeadlineExceeded(RuntimeError):
+    """The retry loop ran out of time budget; ``last_error`` has the cause."""
+
+    def __init__(self, detail: str, last_error: BaseException | None = None):
+        super().__init__(detail)
+        self.last_error = last_error
+
+
+class ServerError(RuntimeError):
+    """A non-retryable HTTP error response (e.g. 400/404).
+
+    ``status`` and the decoded JSON ``payload`` (when the body was JSON)
+    are attached for callers that branch on them.
+    """
+
+    def __init__(self, status: int, payload: dict | None, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.payload = payload
+
+
+class RetryingClient:
+    """HTTP client with bounded, jittered, deadline-capped retries.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a serving frontend.
+    max_attempts:
+        Total tries per call (first attempt + retries).
+    base_backoff_s / max_backoff_s:
+        Exponential backoff bounds; the actual sleep is uniformly jittered
+        in ``(backoff/2, backoff]`` and never exceeds the remaining
+        deadline.  A server ``Retry-After`` overrides the exponential term,
+        clamped to ``max_backoff_s``.
+    deadline_s:
+        Default per-call time budget (overridable per call).
+    rng:
+        Seeded generator for the jitter (reproducible chaos runs).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        max_attempts: int = 5,
+        base_backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        deadline_s: float = 30.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.base_url = base_url.rstrip("/")
+        self.max_attempts = int(max_attempts)
+        self.base_backoff_s = float(base_backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self.deadline_s = float(deadline_s)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.stats = {"requests": 0, "attempts": 0, "retries": 0, "rejected": 0}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def predict(self, inputs, *, model: str | None = None, deadline_s: float | None = None) -> dict:
+        """POST /predict; returns the decoded JSON payload on success."""
+        body: dict = {"inputs": np.asarray(inputs, dtype=np.float32).tolist()}
+        if model is not None:
+            body["model"] = model
+        return self.request("POST", "/predict", body=body, deadline_s=deadline_s)
+
+    def get(self, path: str, *, deadline_s: float | None = None) -> dict:
+        return self.request("GET", path, deadline_s=deadline_s)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """One logical call = up to ``max_attempts`` HTTP attempts."""
+        budget = self.deadline_s if deadline_s is None else float(deadline_s)
+        deadline = time.perf_counter() + budget
+        data = None if body is None else json.dumps(body).encode()
+        self.stats["requests"] += 1
+        last_error: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            self.stats["attempts"] += 1
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                headers={"Content-Type": "application/json"},
+                method=method,
+            )
+            retry_after = None
+            try:
+                with urllib.request.urlopen(request, timeout=max(0.05, remaining)) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                payload = self._json_body(error)
+                if error.code not in _RETRYABLE_STATUS:
+                    detail = (payload or {}).get("error", error.reason)
+                    raise ServerError(
+                        error.code, payload, f"HTTP {error.code}: {detail}"
+                    ) from None
+                if error.code in (429, 503):
+                    self.stats["rejected"] += 1
+                retry_after = self._retry_after_hint(error, payload)
+                last_error = error
+            except (urllib.error.URLError, ConnectionError, socket.timeout, TimeoutError) as error:
+                last_error = error
+            if attempt + 1 >= self.max_attempts:
+                break
+            self.stats["retries"] += 1
+            self._sleep(attempt, retry_after, deadline)
+        raise DeadlineExceeded(
+            f"{method} {path} failed after {self.stats['attempts']} attempt(s) "
+            f"within {budget:.2f} s (last error: {last_error!r})",
+            last_error,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _json_body(error: urllib.error.HTTPError) -> dict | None:
+        try:
+            return json.loads(error.read())
+        except (ValueError, OSError):
+            return None
+
+    def _retry_after_hint(self, error, payload: dict | None) -> float | None:
+        header = error.headers.get("Retry-After") if error.headers else None
+        candidate = header if header is not None else (payload or {}).get("retry_after")
+        try:
+            return float(candidate) if candidate is not None else None
+        except (TypeError, ValueError):
+            return None
+
+    def _sleep(self, attempt: int, retry_after: float | None, deadline: float) -> None:
+        backoff = min(self.max_backoff_s, self.base_backoff_s * (2.0**attempt))
+        if retry_after is not None:
+            backoff = min(self.max_backoff_s, max(retry_after, self.base_backoff_s))
+        # Full jitter in (backoff/2, backoff]: desynchronizes retry storms.
+        delay = backoff * (0.5 + 0.5 * float(self._rng.random()))
+        remaining = deadline - time.perf_counter()
+        if remaining > 0:
+            time.sleep(min(delay, remaining))

@@ -4,9 +4,12 @@
 a loaded model (see :mod:`repro.serve.artifact`), applies the artifact's
 preprocessing spec to every request, and — unless batching is disabled —
 routes single-example requests through a :class:`~repro.serve.batching.BatchingQueue`
-so concurrent callers share one CSR matmul.  The HTTP frontend
-(:mod:`repro.serve.http`) and the multi-process pool
-(:mod:`repro.serve.pool`) are thin layers over this class.
+so concurrent callers share one CSR matmul.  An optional
+:class:`~repro.serve.admission.AdmissionController` gates :meth:`submit`
+so overload is shed at the door instead of queued into unbounded latency.
+The HTTP frontend (:mod:`repro.serve.http`), the multi-process pool
+(:mod:`repro.serve.pool`) and the hot-swap router
+(:mod:`repro.serve.router`) are thin layers over this class.
 """
 
 from __future__ import annotations
@@ -42,6 +45,16 @@ class Server:
         Optional ``(preprocessed batch) -> outputs`` callable replacing the
         in-process model forward — e.g. ``ServingPool.predict`` to fan
         coalesced batches out across worker processes.
+    admission:
+        Optional :class:`~repro.serve.admission.AdmissionController`.
+        When set, :meth:`submit` calls ``acquire`` before enqueueing and
+        releases the slot when the request's future resolves, so the
+        bounded-queue and deadline-rejection rules apply to every caller
+        (HTTP and in-process alike).
+    fault_injector:
+        Optional :class:`~repro.serve.faults.FaultInjector`; the forward
+        path calls its ``slow_batch`` fault point on every batch, letting
+        the chaos harness stall batches deterministically.
     """
 
     def __init__(
@@ -52,6 +65,8 @@ class Server:
         max_latency_ms: float = 2.0,
         batching: bool = True,
         forward_override=None,
+        admission=None,
+        fault_injector=None,
     ):
         if isinstance(model, LoadedModel):
             self.loaded = model
@@ -66,6 +81,8 @@ class Server:
             self.fingerprint = None
             self.metadata = None
         self.model.eval()
+        self.admission = admission
+        self._fault_injector = fault_injector
         self._forward_override = forward_override
         self._queue = (
             BatchingQueue(self._forward, max_batch=max_batch, max_latency_ms=max_latency_ms)
@@ -83,6 +100,8 @@ class Server:
     # ------------------------------------------------------------------
     def _forward(self, batch: np.ndarray) -> np.ndarray:
         """Model forward on an already-preprocessed batch (no autograd)."""
+        if self._fault_injector is not None:
+            self._fault_injector.sleep_if("slow_batch")
         if self._forward_override is not None:
             return np.asarray(self._forward_override(batch))
         with no_grad():
@@ -93,22 +112,44 @@ class Server:
         """Synchronous whole-batch path: preprocess + one forward call.
 
         ``inputs`` is a batch (leading axis = examples).  Bypasses the
-        batching queue — use :meth:`submit` / :meth:`predict_one` for
-        request-per-example traffic.
+        batching queue and admission control — use :meth:`submit` /
+        :meth:`predict_one` for request-per-example traffic.
         """
         return self._forward(self.preprocessor(np.asarray(inputs)))
 
-    def submit(self, example) -> Future:
-        """Asynchronous single-example path through the batching queue."""
+    def submit(self, example, deadline_s: float | None = None) -> Future:
+        """Asynchronous single-example path through the batching queue.
+
+        With an admission controller attached this may raise
+        :class:`~repro.serve.admission.AdmissionRejected` instead of
+        queueing; ``deadline_s`` (remaining budget in seconds) feeds its
+        deadline-aware rejection rule.
+        """
         example = self.preprocessor(np.asarray(example)[None])[0]
-        if self._queue is None:
-            future: Future = Future()
-            try:
-                future.set_result(self._forward(example[None])[0])
-            except BaseException as exc:
-                future.set_exception(exc)
-            return future
-        return self._queue.submit(example)
+        admitted_at = None
+        if self.admission is not None:
+            admitted_at = self.admission.acquire(deadline_s)
+        try:
+            if self._queue is None:
+                future: Future = Future()
+                try:
+                    future.set_result(self._forward(example[None])[0])
+                except BaseException as exc:
+                    future.set_exception(exc)
+            else:
+                future = self._queue.submit(example)
+        except BaseException:
+            if admitted_at is not None:
+                self.admission.release(admitted_at)
+            raise
+        if admitted_at is not None:
+            release_at = admitted_at
+
+            def _release(_future, _self=self, _at=release_at):
+                _self.admission.release(_at)
+
+            future.add_done_callback(_release)
+        return future
 
     def predict_one(self, example, timeout: float | None = None) -> np.ndarray:
         """Blocking single-example prediction (through the queue)."""
@@ -126,7 +167,19 @@ class Server:
         }
         if self._queue is not None:
             info.update(self._queue.stats())
+        if self.admission is not None:
+            info["admission"] = self.admission.snapshot()
         return info
+
+    def drain(self) -> None:
+        """Stop accepting; serve every already-queued request, then stop.
+
+        This is what the router calls on the *old* deployment after a
+        hot-swap flip: pending futures resolve against the old weights,
+        new traffic has already moved on.  Alias of :meth:`close` — the
+        queue's close contract is exactly drain semantics.
+        """
+        self.close()
 
     def close(self) -> None:
         if self._queue is not None:

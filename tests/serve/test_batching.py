@@ -2,6 +2,7 @@
 
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeout
 
 import numpy as np
 import pytest
@@ -208,3 +209,76 @@ class TestLifecycleAndErrors:
         assert stats["requests"] == 4
         assert stats["batches"] >= 1
         assert stats["latency_ms_p99"] >= stats["latency_ms_p50"] >= 0.0
+
+
+class TestSheddingAndTimeouts:
+    def test_abandoned_future_is_skipped_at_dispatch(self):
+        """A cancelled entry's row is never computed: batch_fn sees only
+        the surviving requests, and the shed counter records the skip."""
+        seen_rows = []
+
+        def record(batch):
+            seen_rows.append(len(batch))
+            return batch
+
+        # The latency window is far longer than this test: the flusher
+        # dispatches only when the batch is FULL, i.e. after the third
+        # submit — so the cancel in between is guaranteed to precede it.
+        with BatchingQueue(record, max_batch=3, max_latency_ms=2000.0) as queue:
+            keep_a = queue.submit(np.ones(1, np.float32))
+            gone = queue.submit(np.full(1, 2.0, np.float32))
+            assert gone.cancel()
+            keep_b = queue.submit(np.full(1, 3.0, np.float32))
+            assert np.array_equal(keep_a.result(timeout=5), [1.0])
+            assert np.array_equal(keep_b.result(timeout=5), [3.0])
+            stats = queue.stats()
+        assert seen_rows == [2]  # the cancelled row was dropped pre-stack
+        assert stats["shed"] == 1
+        assert stats["requests"] == 2
+
+    def test_predict_timeout_counts_and_cancels(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def stuck(batch):
+            entered.set()
+            release.wait(timeout=5)
+            return batch
+
+        queue = BatchingQueue(stuck, max_batch=8, max_latency_ms=0.0)
+        try:
+            # One request occupies the flusher; a second queues behind it,
+            # is abandoned by its caller, and must be shed at dispatch.
+            first = queue.submit(np.zeros(1, np.float32))
+            assert entered.wait(timeout=5)  # flusher holds a 1-row batch
+            with pytest.raises(FutureTimeout):
+                queue.predict(np.zeros(1, np.float32), timeout=0.05)
+            assert queue.stats()["timeouts"] == 1
+            release.set()
+            first.result(timeout=5)
+        finally:
+            release.set()
+            queue.close()
+        stats = queue.stats()
+        assert stats["timeouts"] == 1
+        assert stats["shed"] == 1
+        assert stats["requests"] == 1
+
+    def test_fully_cancelled_batch_runs_nothing(self):
+        calls = []
+        release = threading.Event()
+
+        def gated(batch):
+            release.wait(timeout=5)
+            calls.append(len(batch))
+            return batch
+
+        with BatchingQueue(gated, max_batch=1, max_latency_ms=0.0) as queue:
+            blocker = queue.submit(np.zeros(1, np.float32))
+            doomed = queue.submit(np.zeros(1, np.float32))
+            assert doomed.cancel()
+            release.set()
+            blocker.result(timeout=5)
+            stats = queue.stats()
+        assert calls == [1]  # only the blocker's batch ever ran
+        assert stats["shed"] == 1

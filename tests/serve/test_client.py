@@ -1,0 +1,128 @@
+"""RetryingClient: backoff, Retry-After, deadline cap, non-retryable errors."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+import pytest
+
+from repro.serve import DeadlineExceeded, RetryingClient, ServerError
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Replays a scripted list of (status, payload, headers) responses."""
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _next(self):
+        with self.server.script_lock:
+            self.server.hits += 1
+            if self.server.script:
+                return self.server.script.pop(0)
+        return (200, {"ok": True}, {})
+
+    def _serve(self):
+        status, payload, headers = self._next()
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        if status >= 400:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        self._serve()
+
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length", "0"))
+        self.rfile.read(length)
+        self._serve()
+
+
+@pytest.fixture
+def scripted_server():
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    httpd.script = []
+    httpd.script_lock = threading.Lock()
+    httpd.hits = 0
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+def _client(httpd, **kwargs):
+    kwargs.setdefault("base_backoff_s", 0.01)
+    kwargs.setdefault("rng", np.random.default_rng(0))
+    return RetryingClient(f"http://127.0.0.1:{httpd.server_address[1]}", **kwargs)
+
+
+class TestRetryLoop:
+    def test_retries_through_503_to_success(self, scripted_server):
+        scripted_server.script = [
+            (503, {"error": "shed", "retry_after": 0.01}, {"Retry-After": "0.01"}),
+            (429, {"error": "shed", "retry_after": 0.01}, {"Retry-After": "0.01"}),
+        ]
+        client = _client(scripted_server, max_attempts=5)
+        payload = client.get("/stats")
+        assert payload == {"ok": True}
+        assert client.stats["attempts"] == 3
+        assert client.stats["retries"] == 2
+        assert client.stats["rejected"] == 2
+
+    def test_non_retryable_400_raises_immediately(self, scripted_server):
+        scripted_server.script = [(400, {"error": "bad inputs"}, {})]
+        client = _client(scripted_server, max_attempts=5)
+        with pytest.raises(ServerError) as info:
+            client.predict([[1.0, 2.0]])
+        assert info.value.status == 400
+        assert "bad inputs" in str(info.value)
+        assert scripted_server.hits == 1  # no retry burned on a caller bug
+
+    def test_exhausted_attempts_raise_deadline_exceeded(self, scripted_server):
+        scripted_server.script = [(503, {"error": "shed"}, {})] * 10
+        client = _client(scripted_server, max_attempts=3)
+        with pytest.raises(DeadlineExceeded) as info:
+            client.get("/stats")
+        assert scripted_server.hits == 3
+        assert info.value.last_error is not None
+
+    def test_deadline_caps_the_whole_loop(self, scripted_server):
+        import time
+
+        scripted_server.script = [(503, {"error": "shed"}, {"Retry-After": "30"})] * 10
+        client = _client(
+            scripted_server, max_attempts=50, base_backoff_s=0.05, max_backoff_s=0.1
+        )
+        start = time.perf_counter()
+        with pytest.raises(DeadlineExceeded):
+            client.get("/stats", deadline_s=0.3)
+        # Bounded by the deadline, not by 50 attempts x Retry-After.
+        assert time.perf_counter() - start < 2.0
+
+    def test_jitter_is_seeded(self, scripted_server):
+        a = _client(scripted_server, rng=np.random.default_rng(9))
+        b = _client(scripted_server, rng=np.random.default_rng(9))
+        assert a._rng.random() == b._rng.random()
+
+    def test_connection_refused_is_retried_then_raised(self):
+        # Nothing listens on this port; every attempt fails at connect.
+        client = RetryingClient(
+            "http://127.0.0.1:1",
+            max_attempts=2,
+            base_backoff_s=0.01,
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(DeadlineExceeded):
+            client.get("/healthz", deadline_s=1.0)
+        assert client.stats["attempts"] == 2

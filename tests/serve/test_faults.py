@@ -1,0 +1,121 @@
+"""Fault-injection harness: deterministic schedules, injector semantics."""
+
+import numpy as np
+import pytest
+
+from repro.models import MLP
+from repro.serve import (
+    ArtifactError,
+    FaultInjector,
+    FaultSchedule,
+    corrupt_artifact,
+    export_model,
+    load_model,
+    malformed_payloads,
+)
+from repro.sparse import MaskedModel
+from repro.sparse.inference import compile_sparse_model
+
+
+class TestSchedule:
+    def test_generate_is_deterministic_across_calls(self):
+        rates = {"worker_kill": 0.1, "slow_batch": 0.3}
+        a = FaultSchedule.generate(42, 200, rates=rates)
+        b = FaultSchedule.generate(42, 200, rates=rates)
+        assert a.plan == b.plan
+        assert FaultSchedule.generate(43, 200, rates=rates).plan != a.plan
+
+    def test_adding_a_point_does_not_reshuffle_others(self):
+        base = FaultSchedule.generate(7, 500, rates={"slow_batch": 0.2})
+        extended = FaultSchedule.generate(
+            7, 500, rates={"slow_batch": 0.2, "worker_kill": 0.05}
+        )
+        assert extended.indices("slow_batch") == base.indices("slow_batch")
+
+    def test_json_round_trip(self):
+        schedule = FaultSchedule({"slow_batch": [3, 1]}, {"slow_batch_ms": 20.0})
+        restored = FaultSchedule.from_json(schedule.to_json())
+        assert restored.plan == {"slow_batch": [1, 3]}  # sorted on construction
+        assert restored.params == {"slow_batch_ms": 20.0}
+
+
+class TestInjector:
+    def test_fires_exactly_at_scheduled_indices(self):
+        injector = FaultInjector(FaultSchedule({"kill": [0, 2, 5]}))
+        fired = [injector.fire("kill") for _ in range(8)]
+        assert fired == [True, False, True, False, False, True, False, False]
+        counts = injector.counts()
+        assert counts["kill"] == {"calls": 8, "fired": 3}
+
+    def test_empty_injector_never_fires(self):
+        injector = FaultInjector()
+        assert not any(injector.fire("anything") for _ in range(100))
+
+    def test_sleep_if_uses_param_duration(self, monkeypatch):
+        slept = []
+        import repro.serve.faults as faults_mod
+
+        monkeypatch.setattr(faults_mod.time, "sleep", slept.append)
+        injector = FaultInjector(
+            FaultSchedule({"slow_batch": [0]}, {"slow_batch_ms": 75.0})
+        )
+        assert injector.sleep_if("slow_batch") is True
+        assert injector.sleep_if("slow_batch") is False
+        assert slept == [0.075]
+
+
+class TestArtifactCorruption:
+    @pytest.fixture
+    def artifact(self, tmp_path):
+        model = MLP(12, (16,), 3, seed=0)
+        masked = MaskedModel(model, 0.9, distribution="uniform",
+                             rng=np.random.default_rng(1))
+        compiled = compile_sparse_model(masked)
+        path = tmp_path / "model.npz"
+        export_model(
+            compiled, path,
+            model_config={
+                "builder": "mlp",
+                "kwargs": {"in_features": 12, "hidden": [16],
+                           "num_classes": 3, "seed": 0},
+            },
+            preprocessing={"input_shape": [12]},
+        )
+        return path
+
+    def test_corrupt_copy_fails_only_the_fingerprint_check(self, artifact, tmp_path):
+        bad = corrupt_artifact(artifact, tmp_path / "bad.npz", seed=3)
+        load_model(artifact, verify=True)  # original still loads
+        # The container is intact: the corruption is invisible without
+        # verification, and caught *by the fingerprint* with it.
+        load_model(bad, verify=False)
+        with pytest.raises(ArtifactError, match="fingerprint"):
+            load_model(bad, verify=True)
+
+    def test_corruption_is_deterministic(self, artifact, tmp_path):
+        a = corrupt_artifact(artifact, tmp_path / "a.npz", seed=5).read_bytes()
+        b = corrupt_artifact(artifact, tmp_path / "b.npz", seed=5).read_bytes()
+        assert a == b
+
+
+class TestMalformedPayloads:
+    def test_deterministic_and_sized(self):
+        assert malformed_payloads(seed=1, n=10) == malformed_payloads(seed=1, n=10)
+        assert len(malformed_payloads(n=12)) == 12
+
+    def test_every_payload_is_actually_malformed(self):
+        import json
+
+        for blob in malformed_payloads(n=10):
+            try:
+                payload = json.loads(blob)
+            except (ValueError, UnicodeDecodeError):
+                continue  # not JSON at all: malformed, good
+            if not isinstance(payload, dict):
+                continue
+            inputs = payload.get("inputs")
+            if not isinstance(inputs, list) or not inputs:
+                continue
+            # Remaining cases must fail array conversion (ragged/non-numeric).
+            with pytest.raises((ValueError, TypeError)):
+                np.asarray(inputs, dtype=np.float32)

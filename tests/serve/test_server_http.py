@@ -1,7 +1,9 @@
 """Server predict paths + the stdlib HTTP JSON frontend."""
 
 import json
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -9,7 +11,15 @@ import numpy as np
 import pytest
 
 from repro.models import MLP
-from repro.serve import Server, export_model, load_model, make_http_server
+from repro.serve import (
+    AdmissionController,
+    ModelRouter,
+    Server,
+    export_model,
+    load_model,
+    make_http_server,
+    malformed_payloads,
+)
 from repro.sparse import MaskedModel
 from repro.sparse.inference import compile_sparse_model
 
@@ -90,6 +100,11 @@ class _Client:
             return error.code, json.loads(error.read())
 
     def post(self, path: str, payload, raw: bytes | None = None):
+        status, body, _ = self.post_full(path, payload, raw=raw)
+        return status, body
+
+    def post_full(self, path: str, payload, raw: bytes | None = None):
+        """Like post, but also returns the response headers."""
         body = raw if raw is not None else json.dumps(payload).encode()
         request = urllib.request.Request(
             self.base + path, data=body,
@@ -97,9 +112,39 @@ class _Client:
         )
         try:
             with urllib.request.urlopen(request, timeout=10) as response:
-                return response.status, json.loads(response.read())
+                return response.status, json.loads(response.read()), response.headers
         except urllib.error.HTTPError as error:
-            return error.code, json.loads(error.read())
+            return error.code, json.loads(error.read()), error.headers
+
+    def raw_request(self, request_bytes: bytes, shutdown_write: bool = False):
+        """Send a hand-crafted HTTP request over a bare socket.
+
+        Needed for malformed framing (lying Content-Length) that urllib
+        refuses to produce.  Returns (status code, decoded JSON body).
+        """
+        host, port = self.base.removeprefix("http://").split(":")
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock.sendall(request_bytes)
+            if shutdown_write:
+                sock.shutdown(socket.SHUT_WR)
+            sock.settimeout(10)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        response = b"".join(chunks)
+        head, _, body = response.partition(b"\r\n\r\n")
+        status = int(head.split(b" ", 2)[1])
+        header_text = head.decode("latin-1")
+        length = None
+        for line in header_text.split("\r\n")[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        payload = json.loads(body[:length] if length is not None else body)
+        return status, payload
 
 
 @pytest.fixture
@@ -190,3 +235,167 @@ class TestHttp:
         assert len(outputs) == 12
         for out in outputs:
             assert np.allclose(out, expected, atol=1e-6)
+
+
+@pytest.fixture
+def slow_http_serving(artifact_path):
+    """Frontend over a server whose forward stalls 300 ms (admission bound 1)."""
+    loaded = load_model(artifact_path)
+
+    def slow_forward(batch):
+        time.sleep(0.3)
+        return loaded.predict(batch)
+
+    server = Server(
+        loaded,
+        max_batch=8,
+        max_latency_ms=0.5,
+        forward_override=slow_forward,
+        admission=AdmissionController(max_pending=1, min_retry_after=0.05),
+    )
+    httpd = make_http_server(server, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield _Client(httpd.server_address[1])
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        server.close()
+
+
+class TestHttpResilience:
+    def test_oversized_content_length_is_413(self, http_serving):
+        client, _ = http_serving
+        request = (
+            b"POST /predict HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Type: application/json\r\n"
+            b"Content-Length: 99999999999\r\n\r\n"
+        )
+        status, payload = client.raw_request(request, shutdown_write=True)
+        assert status == 413
+        assert "exceeds" in payload["error"]
+
+    def test_truncated_body_is_400(self, http_serving):
+        client, _ = http_serving
+        request = (
+            b"POST /predict HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Type: application/json\r\n"
+            b"Content-Length: 1000\r\n\r\n"
+            b'{"inputs": [['
+        )
+        status, payload = client.raw_request(request, shutdown_write=True)
+        assert status == 400
+        assert "truncated" in payload["error"]
+
+    def test_malformed_payload_zoo_all_rejected_without_poisoning(self, http_serving):
+        client, loaded = http_serving
+        for blob in malformed_payloads(seed=0, n=10):
+            status, payload = client.post("/predict", None, raw=blob)
+            assert status == 400, blob
+            assert "error" in payload
+        # The frontend is unharmed: a healthy request still succeeds.
+        x = RNG.standard_normal((1, 3, 3, 3)).astype(np.float32)
+        status, payload = client.post("/predict", {"inputs": x.tolist()})
+        assert status == 200
+        assert np.allclose(payload["outputs"], loaded.predict(x), atol=1e-6)
+
+    def test_burst_past_admission_bound_is_429_with_retry_after(self, slow_http_serving):
+        client = slow_http_serving
+        x = np.zeros((1, 27), np.float32).tolist()
+        background = threading.Thread(
+            target=client.post, args=("/predict", {"inputs": x})
+        )
+        background.start()
+        try:
+            time.sleep(0.1)  # first request now owns the only admission slot
+            status, payload, headers = client.post_full("/predict", {"inputs": x})
+            assert status == 429
+            assert payload["reason"] == "queue_full"
+            assert float(headers["Retry-After"]) > 0
+            assert payload["retry_after"] > 0
+        finally:
+            background.join()
+
+    def test_expired_deadline_is_504(self, slow_http_serving):
+        client = slow_http_serving
+        x = np.zeros((1, 27), np.float32).tolist()
+        status, payload, _ = client.post_full(
+            "/predict", {"inputs": x, "deadline_ms": 50}
+        )
+        assert status == 504
+        assert payload["deadline_ms"] == 50
+        assert "expired" in payload["error"]
+
+    def test_invalid_deadline_is_400(self, http_serving):
+        client, _ = http_serving
+        status, _ = client.post(
+            "/predict", {"inputs": [[0.0] * 27], "deadline_ms": -5}
+        )
+        assert status == 400
+
+
+@pytest.fixture
+def http_router(artifact_path):
+    loaded = load_model(artifact_path)
+    router = ModelRouter(max_latency_ms=0.5)
+    router.deploy("clf", loaded)
+    httpd = make_http_server(router, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield _Client(httpd.server_address[1]), loaded
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        router.close()
+
+
+class TestHttpRouter:
+    def test_models_endpoint_lists_deployments(self, http_router):
+        client, loaded = http_router
+        status, payload = client.get("/models")
+        assert status == 200
+        (row,) = payload["models"]
+        assert row["name"] == "clf"
+        assert row["default"] is True
+        assert row["fingerprint"] == loaded.fingerprint
+
+    def test_models_endpoint_404_on_single_model_server(self, http_serving):
+        client, _ = http_serving
+        status, payload = client.get("/models")
+        assert status == 404
+        assert "single-model" in payload["error"]
+
+    def test_named_predict_reports_serving_fingerprint(self, http_router):
+        client, loaded = http_router
+        x = RNG.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        status, payload = client.post(
+            "/predict", {"inputs": x.tolist(), "model": "clf"}
+        )
+        assert status == 200
+        assert payload["fingerprint"] == loaded.fingerprint
+        assert np.allclose(payload["outputs"], loaded.predict(x), atol=1e-6)
+
+    def test_unknown_model_is_404(self, http_router):
+        client, _ = http_router
+        status, payload = client.post(
+            "/predict", {"inputs": [[0.0] * 27], "model": "nope"}
+        )
+        assert status == 404
+        assert "nope" in payload["error"]
+
+    def test_healthz_reports_default_fingerprint_and_names(self, http_router):
+        client, loaded = http_router
+        status, payload = client.get("/healthz")
+        assert status == 200
+        assert payload["fingerprint"] == loaded.fingerprint
+        assert payload["models"] == ["clf"]
+
+    def test_model_key_on_single_server_is_400(self, http_serving):
+        client, _ = http_serving
+        status, payload = client.post(
+            "/predict", {"inputs": [[0.0] * 27], "model": "clf"}
+        )
+        assert status == 400
+        assert "single model" in payload["error"]

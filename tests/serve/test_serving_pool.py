@@ -117,21 +117,111 @@ class TestPool:
         layer = next(m for m in loaded.model.modules() if isinstance(m, SparseLinear))
         assert layer.weight_csr.data.flags.writeable  # private again, not a view
 
+class TestSupervision:
+    """Worker deaths are survived, not propagated: restart, re-dispatch, degrade."""
+
     @needs_fork
-    def test_worker_death_breaks_pool_instead_of_hanging(self, artifact_path):
+    def test_sigkill_restores_full_capacity(self, artifact_path):
         import os
         import signal
         import time
 
-        pool = ServingPool(artifact_path, n_workers=2)
-        try:
+        with ServingPool(artifact_path, n_workers=2) as pool:
             pool.predict(np.zeros((1, 30), np.float32), timeout=30)  # warm
-            os.kill(pool._workers[0].pid, signal.SIGKILL)
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
             deadline = time.monotonic() + 10
-            while time.monotonic() < deadline and not pool._broken:
-                time.sleep(0.05)
-            assert pool._broken
-            with pytest.raises(RuntimeError, match="broken"):
-                pool.submit(np.zeros((1, 30), np.float32))
-        finally:
-            pool.close()
+            snap = pool.snapshot()
+            while time.monotonic() < deadline and not (
+                snap["restarts"] == 1 and snap["live_workers"] == 2
+            ):
+                time.sleep(0.02)
+                snap = pool.snapshot()
+            assert snap["live_workers"] == 2, snap
+            assert snap["deaths"] == 1 and snap["restarts"] == 1, snap
+            # The restarted worker serves from the same read-only arena.
+            out = pool.predict(np.zeros((1, 30), np.float32), timeout=30)
+            assert out.shape == (1, 6)
+
+    @needs_fork
+    def test_sigkill_mid_request_results_bitwise_equal(self, artifact_path):
+        """Requests held by a SIGKILLed worker are re-dispatched and must
+        produce exactly the bytes a fault-free run produces."""
+        import os
+        import signal
+
+        loaded = load_model(artifact_path)
+        rng = np.random.default_rng(7)
+        batches = [rng.standard_normal((3, 30)).astype(np.float32) for _ in range(24)]
+        expected = [loaded.predict(batch) for batch in batches]
+        with ServingPool(artifact_path, n_workers=2) as pool:
+            victim = pool.worker_pids()[0]
+            futures = [pool.submit(batch) for batch in batches]
+            os.kill(victim, signal.SIGKILL)  # dies holding in-flight requests
+            results = [future.result(timeout=30) for future in futures]
+        for got, want in zip(results, expected):
+            assert np.array_equal(got, want)
+
+    @needs_fork
+    def test_exhausted_restart_budget_degrades_to_in_process(self, artifact_path):
+        import os
+        import signal
+        import time
+
+        loaded = load_model(artifact_path)
+        x = np.zeros((2, 30), np.float32)
+        with ServingPool(artifact_path, n_workers=1, max_restarts=0) as pool:
+            pool.predict(x, timeout=30)  # warm
+            with pytest.warns(RuntimeWarning, match="degrading to in-process"):
+                os.kill(pool.worker_pids()[0], signal.SIGKILL)
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline and not pool.degraded:
+                    time.sleep(0.02)
+            assert pool.degraded
+            # Traffic keeps flowing on the caller's thread, same answers.
+            assert np.array_equal(pool.predict(x, timeout=30), loaded.predict(x))
+            assert pool.snapshot()["restarts"] == 0
+
+    @needs_fork
+    def test_garbage_on_response_pipe_is_a_worker_death(self, artifact_path):
+        """A SIGKILL can land mid-``send``, so the parent's recv sees a
+        complete frame holding truncated pickle bytes — UnpicklingError,
+        not EOFError.  The supervisor must declare that worker dead (the
+        stream's framing is unrecoverable) instead of crashing its
+        receive loop and stranding every later response."""
+        import multiprocessing
+        import time
+
+        from repro.serve.pool import _WorkerHandle
+
+        class _StubProcess:
+            pid = -1
+
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return False
+
+            def kill(self):
+                pass
+
+        loaded = load_model(artifact_path)
+        x = RNG.standard_normal((3, 30)).astype(np.float32)
+        with ServingPool(artifact_path, n_workers=1) as pool:
+            pool.predict(x, timeout=30)  # warm: supervisor loop is live
+            recv_r, recv_w = multiprocessing.Pipe(duplex=False)
+            send_r, send_w = multiprocessing.Pipe(duplex=False)
+            fake = _WorkerHandle(99, _StubProcess(), send_w, recv_r)
+            with pool._lock:
+                pool._workers.append(fake)
+            recv_w.send_bytes(b"\x00\x00 not a pickle")  # framed garbage
+            pool._wake_w.send_bytes(b"x")  # re-poll with the fake included
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and fake.alive:
+                time.sleep(0.02)
+            assert not fake.alive, "garbage message must count as a death"
+            assert pool.snapshot()["deaths"] >= 1
+            # The receive loop survived: the real worker still answers.
+            assert np.array_equal(pool.predict(x, timeout=30), loaded.predict(x))
+            for conn in (recv_w, send_r):
+                conn.close()

@@ -3,9 +3,11 @@
 ``scripts/`` is not a package, so the gate module is loaded by file path.
 These tests pin the gate's contract: the hard conv block-sparse/dense floor
 fires at medium/full scale and stays silent on the small CI smoke, missing
-guarded rows are failures (gate holes) rather than silent passes, and the
+guarded rows are failures (gate holes) rather than silent passes, the
 relative conv A/B checks compare fresh ratios against the committed
-baseline with the configured tolerance.
+baseline with the configured tolerance, and the serve trace floors
+(availability under faults, p99 flatness past saturation) are enforced
+baseline-independently whenever a fresh serve JSON is present.
 """
 
 import importlib.util
@@ -113,6 +115,66 @@ class TestConvBlockRelativeChecks:
         }
         gate_mod.check_engine(fresh, self._baseline(), gate, absolute=False)
         assert gate.failures == 1
+
+
+def _serve_trace(availability=1.0, p99_ratio=1.1):
+    return {
+        "scale": "small",
+        "speedup_batched_vs_unbatched": {},
+        "trace": {
+            "availability_min": availability,
+            "p99_ratio_2x_vs_1x": p99_ratio,
+        },
+    }
+
+
+class TestServeTraceFloor:
+    def test_passes_when_available_and_flat(self, gate_mod, gate):
+        gate_mod.check_serve_trace_floor(_serve_trace(), gate, 0.999, 1.5)
+        assert (gate.checks, gate.failures) == (2, 0)
+
+    def test_low_availability_fails(self, gate_mod, gate):
+        gate_mod.check_serve_trace_floor(_serve_trace(availability=0.97), gate, 0.999, 1.5)
+        assert gate.failures == 1
+
+    def test_exploding_p99_past_saturation_fails(self, gate_mod, gate):
+        """Admission control's whole point: the tail must stay flat at 2x."""
+        gate_mod.check_serve_trace_floor(_serve_trace(p99_ratio=4.0), gate, 0.999, 1.5)
+        assert gate.failures == 1
+
+    def test_missing_trace_section_is_a_failure_not_a_pass(self, gate_mod, gate):
+        gate_mod.check_serve_trace_floor({"scale": "small"}, gate, 0.999, 1.5)
+        assert gate.failures == 1
+
+    def test_main_enforces_trace_floor(self, gate_mod, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps(_serve_trace(availability=0.5)))
+        code = gate_mod.main(
+            [
+                "--engine", str(tmp_path / "missing_engine.json"),
+                "--serve", str(path),
+                "--rl", str(tmp_path / "missing_rl.json"),
+                "--baseline-dir", str(tmp_path),
+            ]
+        )
+        assert code == 1
+
+    def test_main_passes_healthy_trace(self, gate_mod, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps(_serve_trace()))
+        code = gate_mod.main(
+            [
+                "--engine", str(tmp_path / "missing_engine.json"),
+                "--serve", str(path),
+                "--rl", str(tmp_path / "missing_rl.json"),
+                "--baseline-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
 
 
 class TestMainWiring:
