@@ -1,0 +1,294 @@
+#!/usr/bin/env python
+"""Stdlib approximation of ruff's B (bugbear) and RET (flake8-return) rules.
+
+CI runs real ruff; this container cannot install it, so this script is the
+local pre-flight for the same rule families.  It implements the checks that
+actually bite in this codebase — exactly enough to keep the CI lint job
+green without network access:
+
+* B006/B008 — mutable or call expressions as argument defaults
+* B007 — loop control variable never used in the loop body
+* B011 — ``assert False`` (optimized away under ``-O``)
+* B012 — break/continue/return inside ``finally``
+* B017 — ``pytest.raises(Exception)``
+* B023 — closure defined in a loop capturing the loop variable
+* B028 — ``warnings.warn`` without explicit ``stacklevel``
+* B904 — ``raise X(...)`` inside ``except`` without ``from``
+* RET501/502/503 — inconsistent explicit/implicit return values
+* RET505/506/507/508 — unnecessary ``else`` after return/raise/continue/break
+
+It is deliberately *slightly* stricter than nothing and *slightly* looser
+than ruff (no type inference); findings print in ``path:line: CODE msg``
+form and the exit code is 1 if any fired.
+
+Usage: ``python scripts/bugbear_audit.py [paths...]`` (default: src tests
+scripts tools benchmarks, minus the reprolint fixtures).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_PATHS = ["src", "tests", "scripts", "tools", "benchmarks"]
+EXCLUDE_PARTS = {"fixtures", "__pycache__", ".git"}
+
+MUTABLE_DEFAULTS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+# Calls allowed as defaults: immutable value factories.
+IMMUTABLE_CALLS = {"tuple", "frozenset", "int", "float", "str", "bool", "bytes", "Path"}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Auditor(ast.NodeVisitor):
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: list[tuple[str, int, str, str]] = []
+        self._loop_depth = 0
+        self._loop_targets: list[set[str]] = []
+
+    def flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append((self.path, node.lineno, code, message))
+
+    # -- defaults ------------------------------------------------------
+    def _check_defaults(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = fn.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
+            if isinstance(default, MUTABLE_DEFAULTS):
+                self.flag(default, "B006", "mutable default argument; use None + fill in body")
+            elif isinstance(default, ast.Call):
+                name = _dotted(default.func)
+                tail = (name or "").split(".")[-1]
+                if tail not in IMMUTABLE_CALLS:
+                    self.flag(
+                        default,
+                        "B008",
+                        f"function call {name or '<expr>'}(...) in default argument "
+                        "is evaluated once at def time",
+                    )
+
+    def visit_FunctionDef(self, node):  # noqa: N802
+        self._check_defaults(node)
+        self._check_returns(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node):  # noqa: N802
+        self._check_defaults(node)
+        self._check_returns(node)
+        self.generic_visit(node)
+
+    # -- loops ---------------------------------------------------------
+    @staticmethod
+    def _target_names(target: ast.AST) -> set[str]:
+        return {
+            n.id for n in ast.walk(target) if isinstance(n, ast.Name) and not n.id.startswith("_")
+        }
+
+    def visit_For(self, node):  # noqa: N802
+        names = self._target_names(node.target)
+        used: set[str] = set()
+        for child in node.body:
+            for sub in ast.walk(child):
+                if isinstance(sub, ast.Name):
+                    used.add(sub.id)
+                elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    free = names & {
+                        n.id for n in ast.walk(sub) if isinstance(n, ast.Name)
+                    }
+                    if free and not self._is_bound_immediately(sub):
+                        self.flag(
+                            sub,
+                            "B023",
+                            f"closure defined in loop captures loop variable(s) "
+                            f"{', '.join(sorted(free))} by reference",
+                        )
+        unused = names - used
+        if unused:
+            self.flag(
+                node,
+                "B007",
+                f"loop control variable(s) {', '.join(sorted(unused))} not used in body "
+                "(rename to _name to mark intent)",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_bound_immediately(fn: ast.AST) -> bool:
+        """Default-arg binding (def f(x=x)) immunizes a loop closure."""
+        args = getattr(fn, "args", None)
+        return bool(args and (args.defaults or args.kw_defaults))
+
+    # -- misc bugbear --------------------------------------------------
+    def visit_Assert(self, node):  # noqa: N802
+        if isinstance(node.test, ast.Constant) and node.test.value is False:
+            self.flag(node, "B011", "assert False is stripped under -O; raise AssertionError")
+        self.generic_visit(node)
+
+    def visit_Try(self, node):  # noqa: N802
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.Return, ast.Break, ast.Continue)):
+                    self.flag(sub, "B012", "control flow inside finally swallows exceptions")
+        for handler in node.handlers:
+            for sub in ast.walk(handler):
+                if isinstance(sub, ast.Raise) and sub.exc is not None and sub.cause is None:
+                    if not (isinstance(sub.exc, ast.Name) and handler.name == sub.exc.id):
+                        self.flag(
+                            sub,
+                            "B904",
+                            "raise inside except without 'from err' (or 'from None') "
+                            "hides the causing exception",
+                        )
+        self.generic_visit(node)
+
+    def visit_Call(self, node):  # noqa: N802
+        name = _dotted(node.func) or ""
+        tail = name.split(".")[-1]
+        if tail == "warn" and name.endswith("warnings.warn") or name == "warnings.warn":
+            if not any(kw.arg == "stacklevel" for kw in node.keywords):
+                self.flag(node, "B028", "warnings.warn without explicit stacklevel")
+        if name.endswith("pytest.raises") or name == "raises":
+            if node.args and isinstance(node.args[0], ast.Name) and node.args[0].id == "Exception":
+                if not any(kw.arg == "match" for kw in node.keywords):
+                    self.flag(node, "B017", "pytest.raises(Exception) asserts nothing specific")
+        self.generic_visit(node)
+
+    # -- flake8-return -------------------------------------------------
+    def _check_returns(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        returns = [
+            n
+            for n in ast.walk(fn)
+            if isinstance(n, ast.Return) and self._owner(fn, n) is fn
+        ]
+        with_value = [r for r in returns if r.value is not None and not self._is_none(r.value)]
+        bare = [r for r in returns if r.value is None]
+        none_literal = [r for r in returns if r.value is not None and self._is_none(r.value)]
+        if with_value:
+            for r in bare:
+                self.flag(r, "RET502", "bare return in a function that also returns values")
+            if not self._always_leaves(fn.body):
+                self.flag(fn, "RET503", "missing explicit return at end of value-returning function")
+        elif none_literal and not with_value:
+            for r in none_literal:
+                self.flag(r, "RET501", "explicit `return None` in a function that never returns a value")
+        self._check_superfluous_else(fn)
+
+    def _owner(self, fn: ast.AST, target: ast.Return) -> ast.AST:
+        """Innermost function containing ``target``."""
+        owner = fn
+        stack = [(fn, iter(ast.iter_child_nodes(fn)))]
+        # Cheap variant: walk nested functions and see if target is within.
+        for nested in ast.walk(fn):
+            if nested is fn or not isinstance(
+                nested, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if any(sub is target for sub in ast.walk(nested)):
+                owner = nested
+                break
+        return owner
+
+    @staticmethod
+    def _is_none(expr: ast.AST) -> bool:
+        return isinstance(expr, ast.Constant) and expr.value is None
+
+    @classmethod
+    def _always_leaves(cls, body: list[ast.stmt]) -> bool:
+        """Every path through ``body`` ends in return/raise (loose CFG)."""
+        if not body:
+            return False
+        last = body[-1]
+        if isinstance(last, (ast.Return, ast.Raise)):
+            return True
+        if isinstance(last, ast.If):
+            return bool(last.orelse) and cls._always_leaves(last.body) and cls._always_leaves(
+                last.orelse
+            )
+        if isinstance(last, ast.Try):
+            handlers_leave = all(cls._always_leaves(h.body) for h in last.handlers)
+            if last.finalbody and cls._always_leaves(last.finalbody):
+                return True
+            core = cls._always_leaves(last.orelse if last.orelse else last.body)
+            return core and handlers_leave
+        if isinstance(last, (ast.With, ast.AsyncWith)):
+            return cls._always_leaves(last.body)
+        if isinstance(last, ast.Match):
+            cases = last.cases
+            exhaustive = any(
+                isinstance(c.pattern, ast.MatchAs) and c.pattern.pattern is None for c in cases
+            )
+            return exhaustive and all(cls._always_leaves(c.body) for c in cases)
+        if isinstance(last, (ast.While,)) and isinstance(
+            last.test, ast.Constant
+        ) and last.test.value:
+            return not any(isinstance(n, ast.Break) for n in ast.walk(last))
+        return False
+
+    def _check_superfluous_else(self, fn: ast.AST) -> None:
+        codes = {ast.Return: "RET505", ast.Raise: "RET506", ast.Continue: "RET507", ast.Break: "RET508"}
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+                continue
+            if not isinstance(node, ast.If) or not node.orelse:
+                continue
+            # `elif` chains surface as If in orelse; ruff flags those too.
+            if not node.body:
+                continue
+            last = node.body[-1]
+            for node_type, code in codes.items():
+                if isinstance(last, node_type):
+                    kind = {"RET505": "return", "RET506": "raise", "RET507": "continue", "RET508": "break"}[code]
+                    self.flag(
+                        node.orelse[0],
+                        code,
+                        f"unnecessary else/elif after {kind}; dedent the else branch",
+                    )
+                    break
+
+
+def iter_files(paths: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            out.append(path)
+        elif path.is_dir():
+            out.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if not (set(p.parts) & EXCLUDE_PARTS)
+            )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = (argv or sys.argv[1:]) or DEFAULT_PATHS
+    findings: list[tuple[str, int, str, str]] = []
+    for path in iter_files(list(paths)):
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as exc:
+            findings.append((str(path), exc.lineno or 0, "E999", f"syntax error: {exc.msg}"))
+            continue
+        auditor = Auditor(str(path))
+        auditor.visit(tree)
+        findings.extend(auditor.findings)
+    findings.sort()
+    for path, line, code, message in findings:
+        print(f"{path}:{line}: {code} {message}")
+    print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Prove every reprolint rule fires exactly where its fixture says it must.
+
+Each file in ``tools/reprolint/fixtures/`` is a known-bad example for one
+rule.  Expected findings are declared in the fixture itself:
+
+* ``# expect: RPL001`` (comma-separated codes allowed) on the offending
+  line;
+* ``# expect-line: N RPL006`` anywhere, for findings anchored to a line
+  that cannot carry a comment (e.g. inside a module docstring).
+
+The check fails if any expected finding is missing, any unexpected
+finding appears, or a rule has no fixture coverage at all — so a rule
+that silently stops firing (or starts over-firing) breaks CI even while
+the real tree is clean.
+
+Usage: ``python scripts/reprolint_selfcheck.py [--verbose]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint.core import run_paths  # noqa: E402
+from tools.reprolint.rules import all_rules  # noqa: E402
+
+FIXTURE_DIR = REPO_ROOT / "tools" / "reprolint" / "fixtures"
+
+_EXPECT = re.compile(r"#\s*expect:\s*(?P<codes>RPL\d{3}(?:\s*,\s*RPL\d{3})*)")
+_EXPECT_LINE = re.compile(r"#\s*expect-line:\s*(?P<line>\d+)\s+(?P<code>RPL\d{3})")
+
+
+def expected_findings(path: Path) -> Counter:
+    """(line, code) multiset declared by the fixture's markers."""
+    expected: Counter = Counter()
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT.search(text)
+        if match:
+            for code in re.split(r"\s*,\s*", match.group("codes")):
+                expected[(lineno, code)] += 1
+        for match in _EXPECT_LINE.finditer(text):
+            expected[(int(match.group("line")), match.group("code"))] += 1
+    return expected
+
+
+def check_fixture(path: Path, verbose: bool) -> list[str]:
+    expected = expected_findings(path)
+    result = run_paths([str(path)], all_rules())
+    actual = Counter((finding.line, finding.code) for finding in result.all_findings)
+
+    errors = []
+    for key in sorted(expected - actual):
+        errors.append(f"{path.name}:{key[0]}: expected {key[1]} did not fire")
+    for key in sorted(actual - expected):
+        errors.append(f"{path.name}:{key[0]}: unexpected {key[1]} fired")
+    if verbose and not errors:
+        print(f"  {path.name}: {sum(actual.values())} finding(s) as expected")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    fixtures = sorted(FIXTURE_DIR.glob("*.py"))
+    if not fixtures:
+        print(f"error: no fixtures found in {FIXTURE_DIR}", file=sys.stderr)
+        return 2
+
+    errors: list[str] = []
+    covered: set[str] = set()
+    for path in fixtures:
+        covered.update(code for _, code in expected_findings(path))
+        errors.extend(check_fixture(path, args.verbose))
+
+    all_codes = {rule.code for rule in all_rules()}
+    for code in sorted(all_codes - covered):
+        errors.append(f"rule {code} has no fixture asserting it fires")
+
+    if errors:
+        print(f"reprolint self-check FAILED ({len(errors)} problem(s)):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(
+        f"reprolint self-check passed: {len(fixtures)} fixtures, "
+        f"{len(all_codes)} rules all proven to fire"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

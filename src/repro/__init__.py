@@ -36,6 +36,8 @@ Quickstart::
 """
 
 from repro import autograd, nn, optim
+from repro.hotpath import hot_path
+from repro.rng import DEFAULT_SEED, resolve_rng
 
 __version__ = "1.0.0"
 
@@ -43,5 +45,8 @@ __all__ = [
     "autograd",
     "nn",
     "optim",
+    "hot_path",
+    "resolve_rng",
+    "DEFAULT_SEED",
     "__version__",
 ]

@@ -446,6 +446,9 @@ def _max_pool2d_tiled(x, kh: int, kw: int) -> Tensor:
                 np.maximum(out_data, x.data[:, :, i:hu:kh, j:wu:kw], out=out_data)
 
     def backward(grad: np.ndarray) -> None:
+        # Fresh buffer by design: _accumulate may adopt grad_x as x.grad, so
+        # reusing a cached array would alias gradients across steps.
+        # reprolint: disable-next=RPL005
         grad_x = np.zeros(x.shape, dtype=grad.dtype)
         unassigned = None
         for i in range(kh):
@@ -479,6 +482,10 @@ def max_pool2d(x, kernel_size, stride=None) -> Tensor:
     out_data = out_data.transpose(0, 3, 1, 2)  # (N, C, out_h, out_w)
 
     def backward(grad: np.ndarray) -> None:
+        # Cold path: strided pooling only (the common stride==kernel case is
+        # handled by _max_pool2d_tiled above), and put_along_axis needs a
+        # zeroed scatter target each call.
+        # reprolint: disable-next=RPL005
         grad_cols = np.zeros((n, out_h, out_w, c, kh * kw), dtype=grad.dtype)
         np.put_along_axis(
             grad_cols, arg[..., None], grad.transpose(0, 2, 3, 1)[..., None], axis=-1
@@ -505,6 +512,9 @@ def avg_pool2d(x, kernel_size, stride=None) -> Tensor:
             (grad * scale).transpose(0, 2, 3, 1)[..., None, None],
             (n, out_h, out_w, c, kh, kw),
         )
+        # _col2im's add.at needs a real (writable, contiguous) array, not the
+        # zero-stride broadcast view; this materialization is that copy.
+        # reprolint: disable-next=RPL005
         grad_x = _col2im(np.ascontiguousarray(spread), padded_shape, kh, kw, stride_hw, (0, 0), x.shape)
         x._accumulate(grad_x)
 

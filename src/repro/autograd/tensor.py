@@ -26,6 +26,7 @@ import threading
 from typing import Callable, Sequence
 
 import numpy as np
+from repro.rng import resolve_rng
 
 DEFAULT_DTYPE = np.float32
 
@@ -419,7 +420,7 @@ def randn(
     """Tensor of standard-normal samples with the given shape."""
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = resolve_rng(rng)
     return Tensor(generator.standard_normal(shape).astype(dtype), requires_grad=requires_grad)
 
 

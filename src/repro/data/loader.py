@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.data.dataset import ArrayDataset
+from repro.rng import resolve_rng
 
 __all__ = ["DataLoader"]
 
@@ -133,7 +134,7 @@ class DataLoader:
         self.batch_size = int(batch_size)
         self.shuffle = bool(shuffle)
         self.transform = transform
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.drop_last = bool(drop_last)
         self.prefetch = int(prefetch)
         self._active_prefetch: _PrefetchIterator | None = None

@@ -1,0 +1,28 @@
+"""Hot-path marker for allocation-discipline checking.
+
+``@hot_path`` is a zero-cost annotation (it returns the function
+unchanged) that declares "this function runs once per training step and
+must not allocate".  The reprolint RPL005 rule treats marked functions —
+and any closure nested inside them — as hot and flags numpy allocation
+calls (``np.zeros``, ``np.empty``, ``np.ascontiguousarray``, ...) so the
+allocation-free claims the kernels' docstrings make are machine-checked
+instead of aspirational.
+
+Deliberate allocations inside a marked function (aliasing hazards, cold
+shape-change branches) carry an inline ``# reprolint: disable=RPL005``
+with the reason.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["hot_path"]
+
+F = TypeVar("F", bound=Callable)
+
+
+def hot_path(fn: F) -> F:
+    """Mark ``fn`` as a per-step hot path (no-op at runtime)."""
+    fn.__repro_hot_path__ = True
+    return fn

@@ -8,6 +8,7 @@ from repro.autograd import conv as conv_ops
 from repro.autograd.tensor import Tensor
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+from repro.rng import resolve_rng
 
 __all__ = ["Conv2d"]
 
@@ -43,7 +44,7 @@ class Conv2d(Module):
         self.kernel_size = (int(kh), int(kw))
         self.stride = stride
         self.padding = padding
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = resolve_rng(rng)
         self.weight = Parameter(
             np.empty((out_channels, in_channels, kh, kw), dtype=np.float32), name="weight"
         )

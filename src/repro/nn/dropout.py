@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.autograd import ops
 from repro.nn.module import Module
+from repro.rng import resolve_rng
 
 __all__ = ["Dropout"]
 
@@ -22,7 +23,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = float(p)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
     def forward(self, x):
         if not self.training or self.p == 0.0:

@@ -12,6 +12,7 @@ import numpy as np
 from repro.autograd import conv as _conv
 from repro.autograd import ops as _ops
 from repro.autograd.tensor import Tensor, ensure_tensor
+from repro.rng import resolve_rng
 
 __all__ = [
     "linear",
@@ -61,7 +62,7 @@ def dropout(
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = resolve_rng(rng)
     keep = 1.0 - p
     mask = (generator.random(x.shape) < keep).astype(x.dtype) / keep
     return _ops.mul(x, mask)

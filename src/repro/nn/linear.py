@@ -8,6 +8,7 @@ from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+from repro.rng import resolve_rng
 
 __all__ = ["Linear"]
 
@@ -35,7 +36,7 @@ class Linear(Module):
         super().__init__()
         self.in_features = int(in_features)
         self.out_features = int(out_features)
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = resolve_rng(rng)
         self.weight = Parameter(
             np.empty((out_features, in_features), dtype=np.float32), name="weight"
         )

@@ -28,6 +28,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.hotpath import hot_path
 
 __all__ = ["Optimizer", "SGD"]
 
@@ -190,6 +191,7 @@ class SGD(Optimizer):
             state["momentum"] = velocity
         return velocity
 
+    @hot_path
     def _dense_step(self, param: Tensor, grad: np.ndarray) -> None:
         scratch = self.scratch_for(param)
         if self.weight_decay:

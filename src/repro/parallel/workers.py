@@ -254,7 +254,7 @@ class GradientWorkerPool:
                 process.join()
         for conn in self._conns:
             conn.close()
-        for index, param in enumerate(self.layout.params):
+        for param in self.layout.params:
             param.data = np.array(param.data, copy=True)
             if param.grad is not None and param.grad.base is self._avg:
                 param.grad = np.array(param.grad, copy=True)
@@ -294,6 +294,11 @@ class GradientWorkerPool:
         module attribute (e.g. :class:`~repro.nn.Dropout`) are re-derived
         deterministically from ``(worker_id, position)``.
         """
+        # Deliberate legacy-stream use: forked replicas inherit the parent's
+        # *global* stream too, so it must be re-derived per worker exactly like
+        # the Generator attributes below.  The reseed is itself deterministic
+        # (parent state + worker_id).
+        # reprolint: disable-next=RPL001
         np.random.seed((int(np.random.get_state()[1][0]) + worker_id + 1) % (2**32))
         position = 0
         for module in self.model.modules():

@@ -21,6 +21,7 @@ from repro.autograd import ops
 from repro.autograd.tensor import Tensor, no_grad
 from repro.nn.losses import huber_loss
 from repro.nn.module import Module
+from repro.rng import resolve_rng
 
 __all__ = ["DQNAgent", "EpsilonSchedule"]
 
@@ -77,7 +78,7 @@ class DQNAgent:
         self.n_actions = int(n_actions)
         self.gamma = float(gamma)
         self.huber_delta = float(huber_delta)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.sync_target()
         self.target.eval()
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 import copy
 
 import numpy as np
+from repro.rng import resolve_rng
 
 __all__ = [
     "SOLVE_WINDOW",
@@ -58,7 +59,7 @@ class Env:
     solve_threshold: float
 
     def __init__(self, rng: np.random.Generator | None = None):
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.state = np.zeros(0, dtype=np.float64)
         self.steps = 0
         self.needs_reset = True

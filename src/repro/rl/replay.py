@@ -14,6 +14,7 @@ from __future__ import annotations
 import copy
 
 import numpy as np
+from repro.rng import resolve_rng
 
 __all__ = ["ReplayBuffer"]
 
@@ -41,7 +42,7 @@ class ReplayBuffer:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self.observation_size = int(observation_size)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.observations = np.zeros((capacity, observation_size), dtype=np.float32)
         self.next_observations = np.zeros((capacity, observation_size), dtype=np.float32)
         self.actions = np.zeros(capacity, dtype=np.int64)

@@ -118,6 +118,11 @@ class RLTrainer:
         (non-dense) binds the optimizer for sparse coordinate updates.
     """
 
+    # epsilon_schedule is a pure function of global_step (construction-time
+    # config, no evolving state), so resume correctness does not depend on
+    # checkpointing it.
+    CHECKPOINT_EXEMPT = {"epsilon_schedule"}
+
     def __init__(
         self,
         agent: DQNAgent,

@@ -35,6 +35,7 @@ from repro.sparse.growers import (
 )
 from repro.sparse.masked import MaskedModel, SparseParam
 from repro.sparse.schedule import UpdateSchedule, make_drop_schedule
+from repro.rng import resolve_rng
 
 __all__ = ["SparsityController", "FixedMaskController", "DynamicSparseEngine"]
 
@@ -186,6 +187,12 @@ class DynamicSparseEngine(SparsityController):
         Randomness for random growth and tie-breaking.
     """
 
+    # Pure strategy/schedule objects: their outputs depend only on
+    # construction-time config and the step they are called with, so resume
+    # correctness does not depend on checkpointing them.  (Mask state and
+    # ``history`` ARE checkpointed, in state_dict().)
+    CHECKPOINT_EXEMPT = {"drop_rule", "update_schedule", "drop_schedule"}
+
     def __init__(
         self,
         masked: MaskedModel,
@@ -215,7 +222,7 @@ class DynamicSparseEngine(SparsityController):
         self.global_drop = bool(global_drop)
         self.grow_allocation = grow_allocation
         self.grad_ema_beta = float(grad_ema_beta)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
         self.coverage = CoverageTracker(masked)
         self.history: list[MaskUpdateRecord] = []

@@ -121,6 +121,26 @@ class GaPController(SparsityController):
             target.apply()
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["dense_partition"] = self._dense_partition
+        state["history"] = [tuple(item) for item in self.history]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        # The constructor already ran _rotate(0); restoring masks (base) plus
+        # the dense-partition pointer and rotation history makes the resumed
+        # controller bitwise-match the one that was saved.
+        super().load_state_dict(state)
+        if "dense_partition" in state:
+            raw = state["dense_partition"]
+            self._dense_partition = None if raw is None else int(raw)
+        if "history" in state:
+            self.history = [(int(step), int(part)) for step, part in state["history"]]
+
+    # ------------------------------------------------------------------
     def dense_fraction(self) -> float:
         """Fraction of sparsifiable weights currently in the dense partition."""
         if self._dense_partition is None:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.sparse.engine import SparsityController
 from repro.sparse.masked import MaskedModel
+from repro.rng import resolve_rng
 
 __all__ = ["cubic_sparsity", "GMPController"]
 
@@ -75,7 +76,7 @@ class GMPController(SparsityController):
         self.t_end = int(t_end_fraction * total_steps)
         self.delta_t = int(delta_t)
         self.regrow_fraction = float(regrow_fraction)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.history: list[tuple[int, float]] = []
 
     def current_target(self, step: int) -> float:
@@ -101,12 +102,18 @@ class GMPController(SparsityController):
         state = super().state_dict()
         state["history"] = [[int(step), float(s)] for step, s in self.history]
         state["rng"] = self.rng.bit_generator.state
+        # Captured from the *live* masks at construction: a resumed run
+        # constructs against already-pruned masks, so without this the cubic
+        # schedule would restart from the wrong starting sparsity.
+        state["initial_sparsity"] = self.initial_sparsity
         return state
 
     def load_state_dict(self, state: dict) -> None:
         super().load_state_dict(state)
         self.history = [(int(step), float(s)) for step, s in state["history"]]
         self.rng.bit_generator.state = state["rng"]
+        if "initial_sparsity" in state:
+            self.initial_sparsity = float(state["initial_sparsity"])
 
     # ------------------------------------------------------------------
     def _prune_to(self, sparsity: float, allow_regrow: bool = True) -> None:
@@ -172,7 +179,7 @@ class GMPController(SparsityController):
                 entries.append((float(scores[t]), index, int(inactive_idx[t])))
         entries.sort(key=lambda e: -e[0])
         grown = 0
-        for score, layer_index, pos in entries[:count]:
+        for _score, layer_index, pos in entries[:count]:
             target = self.masked.targets[layer_index]
             target.mask.reshape(-1)[pos] = True
             target.mark_mask_dirty()

@@ -62,6 +62,7 @@ from repro.autograd.conv import (
     _stage_grad_mat,
 )
 from repro.autograd.tensor import Tensor, ensure_tensor
+from repro.hotpath import hot_path
 from repro.sparse.blocks import expand_block_csr
 from repro.sparse.masked import MaskedModel, SparseParam
 
@@ -205,6 +206,7 @@ class CsrMatmul:
         matmul._version = 0
         return matmul
 
+    @hot_path
     def sync(self, flat_values: np.ndarray, active_idx: np.ndarray, version: int) -> None:
         if version != self._version:
             self._rebuild(active_idx)
@@ -244,10 +246,12 @@ class CsrMatmul:
 
     # Both products keep the sparse operand on the left internally (scipy's
     # fast path) by routing through the pre-transposed structure.
+    @hot_path
     def matmul_xwt(self, x2d: np.ndarray) -> np.ndarray:
         """``x @ W.T`` for row-major ``x`` of shape (N, cols) -> (N, rows)."""
         return np.asarray(x2d @ self.csr_t)
 
+    @hot_path
     def matmul_gw(self, g2d: np.ndarray) -> np.ndarray:
         """``g @ W`` for row-major ``g`` of shape (N, rows) -> (N, cols)."""
         return np.asarray(g2d @ self.csr)
@@ -314,6 +318,7 @@ class BsrMatmul:
             self._buffers[name] = buf
         return buf
 
+    @hot_path
     def sync(self, flat_values: np.ndarray, target: SparseParam) -> None:
         """Refresh values (and structure, iff the mask moved) from ``target``."""
         if target.mask_version != self._version:
@@ -370,6 +375,7 @@ class BsrMatmul:
     # ------------------------------------------------------------------
     # products (sparse operand on the left; operands C-contiguous)
     # ------------------------------------------------------------------
+    @hot_path
     def _matvecs(self, n_row, n_col, indptr, indices, data, x2d, out) -> None:
         if _spt is not None:
             _spt.csr_matvecs(
@@ -382,6 +388,7 @@ class BsrMatmul:
             csr.has_canonical_format = True
             out += csr @ x2d
 
+    @hot_path
     def matmul_wx(self, x_t: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
         """``W @ x_t`` (+ broadcast bias) for C-contiguous ``x_t`` of shape
         ``(cols, N)``; returns a cached C-contiguous ``(rows, N)`` buffer."""
@@ -394,6 +401,7 @@ class BsrMatmul:
         self._matvecs(rows, cols, self._indptr, self._indices, self._data, x_t, out)
         return out
 
+    @hot_path
     def matmul_wtg(self, g_t: np.ndarray, reuse: bool = True) -> np.ndarray:
         """``W.T @ g_t`` for C-contiguous ``g_t`` of shape ``(rows, N)``;
         returns ``(cols, N)``.  ``reuse=False`` allocates a fresh output
@@ -404,6 +412,9 @@ class BsrMatmul:
             out = self.buffer("wtg", (cols, g_t.shape[1]))
             out.fill(0.0)
         else:
+            # Fresh by contract: the caller hands this array to gradient
+            # accumulation, so the cached buffer would alias across steps.
+            # reprolint: disable-next=RPL005
             out = np.zeros((cols, g_t.shape[1]), dtype=np.float32)
         self._matvecs(cols, rows, self._indptr_t, self._indices_t, self._data_t, g_t, out)
         return out
@@ -644,7 +655,18 @@ class Conv2dKernel(_KernelBase):
                 # Dense by design: growth rules score inactive weights too.
                 _accumulate_grad_w(weight, grad_mat, cols_mat, workspace)
             if x.requires_grad:
-                grad_cols = np.ascontiguousarray(matmul.matmul_gw(grad_mat))
+                # matmul_gw returns scipy's F-ordered product; _col2im needs a
+                # C-contiguous 6-D view, so stage the transpose copy into the
+                # workspace instead of allocating it fresh every step.
+                grad_cols_mat = matmul.matmul_gw(grad_mat)
+                if workspace is not None:
+                    grad_cols = workspace.get(
+                        "csr_grad_cols", grad_cols_mat.shape, np.float32
+                    )
+                    np.copyto(grad_cols, grad_cols_mat)
+                else:
+                    # reprolint: disable-next=RPL005
+                    grad_cols = np.ascontiguousarray(grad_cols_mat)
                 grad_cols = grad_cols.reshape(n, out_h, out_w, c_in, kh, kw)
                 x._accumulate(
                     _col2im(

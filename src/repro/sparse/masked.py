@@ -35,6 +35,7 @@ from repro import nn
 from repro.nn.module import Module, Parameter
 from repro.sparse.blocks import BlockMask, MatrixBlockIndexer
 from repro.sparse.distribution import block_budget, layer_densities
+from repro.rng import resolve_rng
 
 __all__ = [
     "BLOCK_SIZE_ENV",
@@ -343,7 +344,7 @@ class MaskedModel:
         self.distribution = distribution
         self.block_size = resolve_block_size(block_size)
         self.block_fallbacks: list[str] = []
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng)
         self._bound_optimizer = None
 
         pairs = collect_sparsifiable(model, include_modules)

@@ -115,6 +115,27 @@ class STRController(SparsityController):
             sparse_param.param.data = thresholded.astype(weights.dtype)
             sparse_param.mask = thresholded != 0.0
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["thresholds"] = list(self._thresholds)
+        state["history"] = [tuple(item) for item in self.history]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        # Thresholds are only recomputed every delta_t steps, so a resumed run
+        # must start from the saved ones or _shrink() would apply stale zeros
+        # until the next update boundary.
+        super().load_state_dict(state)
+        if "thresholds" in state:
+            self._thresholds = [float(value) for value in state["thresholds"]]
+        if "history" in state:
+            self.history = [
+                (int(step), float(sparsity)) for step, sparsity in state["history"]
+            ]
+
     def finalize(self) -> None:
         """Freeze the final pattern into the masks (call after training)."""
         for sparse_param in self.masked.targets:

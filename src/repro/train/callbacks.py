@@ -35,7 +35,6 @@ class Callback:
 
     def state_dict(self) -> dict | None:
         """Serializable snapshot of the callback's state (None = stateless)."""
-        return None
 
     def load_state_dict(self, state: dict) -> None:
         """Restore :meth:`state_dict` output."""

@@ -30,7 +30,7 @@ class TestPrefetch:
                            rng=np.random.default_rng(3))
         ahead = DataLoader(_dataset(), batch_size=8, shuffle=shuffle,
                            rng=np.random.default_rng(3), prefetch=2)
-        for epoch in range(2):  # multi-epoch: rng state must advance equally
+        for _epoch in range(2):  # multi-epoch: rng state must advance equally
             for (px, py), (ax, ay) in zip(_collect(plain), _collect(ahead)):
                 np.testing.assert_array_equal(px, ax)
                 np.testing.assert_array_equal(py, ay)

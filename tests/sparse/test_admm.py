@@ -58,14 +58,14 @@ class TestProjectTopK:
 class TestADMMPruner:
     def test_z_initialized_sparse(self):
         pruner = ADMMPruner(make_model(), sparsity=0.8)
-        for name, param in pruner.targets:
+        for name, _param in pruner.targets:
             density = (pruner.Z[name] != 0).mean()
             assert density == pytest.approx(0.2, abs=0.05)
 
     def test_penalty_gradients_added(self):
         model = make_model()
         pruner = ADMMPruner(model, sparsity=0.8, rho=0.1)
-        for name, param in pruner.targets:
+        for _name, param in pruner.targets:
             param.grad = np.zeros(param.shape, dtype=np.float32)
         pruner.add_penalty_gradients()
         for name, param in pruner.targets:
@@ -76,7 +76,7 @@ class TestADMMPruner:
         model = make_model()
         pruner = ADMMPruner(model, sparsity=0.5, rho=0.2)
         pruner.add_penalty_gradients()
-        for name, param in pruner.targets:
+        for _name, param in pruner.targets:
             assert param.grad is not None
 
     def test_dual_update_reduces_residual_under_gd(self):
@@ -99,7 +99,7 @@ class TestADMMPruner:
     def test_hard_prune_density(self):
         pruner = ADMMPruner(make_model(), sparsity=0.75)
         masks = pruner.hard_prune_masks()
-        for name, param in pruner.targets:
+        for name, _param in pruner.targets:
             assert masks[name].mean() == pytest.approx(0.25, abs=0.05)
 
     def test_hard_prune_keeps_largest(self):

@@ -23,7 +23,7 @@ class TestCollect:
     def test_excludes_biases_and_norms(self):
         model = mlp()
         pairs = collect_sparsifiable(model)
-        for name, param in pairs:
+        for _name, param in pairs:
             assert param.ndim >= 2  # biases are 1-D
 
     def test_include_modules_restriction(self):
@@ -128,7 +128,7 @@ class TestSetMasks:
         model = mlp()
         pairs = collect_sparsifiable(model)
         masks = {name: np.zeros(p.shape, dtype=bool) for name, p in pairs}
-        for name, p in pairs:
+        for name, _p in pairs:
             masks[name].reshape(-1)[:10] = True
         masked = MaskedModel(model, 0.5, masks=masks)
         assert masked.total_active == 10 * len(pairs)

@@ -1,0 +1,34 @@
+"""reprolint — AST-based invariant checker for this repository.
+
+Generic linters see style; this tool sees the invariants the repo's value
+rests on: RNG discipline for bitwise reproducibility (RPL001), checkpoint
+completeness for kill-and-resume (RPL002), fork-safety of modules loaded by
+forked workers (RPL003), lock-ordering in the serving/parallel layers
+(RPL004), allocation discipline on per-step hot paths (RPL005), and the
+HTTP error contract of the serving frontend (RPL006).
+
+Stdlib-``ast`` only, no third-party dependencies.  Run it with::
+
+    python -m tools.reprolint src/repro
+
+See docs/static-analysis.md for the rule catalogue, the suppression
+syntax (``# reprolint: disable=CODE``) and the baseline workflow.
+"""
+
+from tools.reprolint.core import (
+    Finding,
+    LintResult,
+    ModuleInfo,
+    Rule,
+    run_paths,
+)
+from tools.reprolint.rules import all_rules
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "run_paths",
+]

@@ -1,0 +1,82 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "call_name",
+    "dotted_name",
+    "decorator_names",
+    "iter_functions",
+    "literal_int_statuses",
+    "walk_scope",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else ``None``.
+
+    Call nodes resolve through their function (``a.b()`` -> ``a.b``) so a
+    chain like ``np.random.default_rng().integers`` still yields a usable
+    dotted form.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func)
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of the called object, or ``None`` for computed callees."""
+    return dotted_name(node.func)
+
+
+def decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    names = []
+    for decorator in node.decorator_list:
+        name = dotted_name(decorator)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested function scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def literal_int_statuses(node: ast.AST) -> set[int]:
+    """Integer constants reachable from a status expression.
+
+    Handles the plain literal, a conditional expression of literals
+    (``429 if full else 503``) and boolean-op fallbacks; anything dynamic
+    contributes nothing.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return {node.value}
+    if isinstance(node, ast.IfExp):
+        return literal_int_statuses(node.body) | literal_int_statuses(node.orelse)
+    if isinstance(node, ast.BoolOp):
+        out: set[int] = set()
+        for value in node.values:
+            out |= literal_int_statuses(value)
+        return out
+    return set()

@@ -1,0 +1,110 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+The baseline maps finding *fingerprints* (``code::path::message`` — no line
+numbers, so unrelated edits that shift lines never churn the file) to the
+number of occurrences grandfathered at capture time.  Semantics:
+
+* A finding whose fingerprint has remaining budget is **baselined** (not
+  reported, does not fail the run).  Budget is per-occurrence: two
+  identical findings against a baseline entry with ``count: 1`` report the
+  second one.
+* Baseline entries that match nothing in the current run are **stale** —
+  the debt was paid down.  Stale entries are reported so the baseline
+  shrinks monotonically; ``--write-baseline`` expires them.
+* ``--no-baseline`` ignores the file entirely (the nightly debt report).
+
+The committed baseline lives next to this module (``baseline.json``) and
+is the default for ``python -m tools.reprolint``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from tools.reprolint.core import Finding
+
+__all__ = ["Baseline", "BaselineError", "DEFAULT_BASELINE_PATH", "apply_baseline"]
+
+DEFAULT_BASELINE_PATH = Path(__file__).parent / "baseline.json"
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but is not a valid baseline document."""
+
+
+@dataclass
+class BaselineSplit:
+    """Outcome of matching one run against the baseline."""
+
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[str]  # fingerprints with unused budget
+
+
+class Baseline:
+    def __init__(self, counts: Counter[str] | None = None):
+        self.counts: Counter[str] = Counter(counts or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(f"baseline {path} has no 'entries' table")
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise BaselineError(
+                f"baseline {path} has format version {version!r}, expected {_FORMAT_VERSION}"
+            )
+        entries = payload["entries"]
+        if not isinstance(entries, dict):
+            raise BaselineError(f"baseline {path} 'entries' must be an object")
+        counts: Counter[str] = Counter()
+        for fingerprint, count in entries.items():
+            if not isinstance(count, int) or count < 1:
+                raise BaselineError(
+                    f"baseline {path} entry {fingerprint!r} has invalid count {count!r}"
+                )
+            counts[fingerprint] = count
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(Counter(finding.fingerprint() for finding in findings))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": {key: self.counts[key] for key in sorted(self.counts)},
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+
+    def split(self, findings: Sequence[Finding]) -> BaselineSplit:
+        """Partition ``findings`` into new vs baselined; report stale budget."""
+        remaining = Counter(self.counts)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if remaining.get(fingerprint, 0) > 0:
+                remaining[fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(key for key, count in remaining.items() if count > 0)
+        return BaselineSplit(new=new, baselined=baselined, stale=stale)
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Baseline | None) -> BaselineSplit:
+    if baseline is None:
+        return BaselineSplit(new=list(findings), baselined=[], stale=[])
+    return baseline.split(findings)

@@ -1,0 +1,143 @@
+"""Command-line driver: ``python -m tools.reprolint [paths...]``.
+
+Exit codes: 0 — clean (no non-baselined findings); 1 — new findings (or
+stale baseline entries, so paid-down debt is actually retired); 2 — usage
+or configuration error (bad path, malformed baseline, unknown rule code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from tools.reprolint.baseline import DEFAULT_BASELINE_PATH, Baseline, BaselineError
+from tools.reprolint.core import run_paths
+from tools.reprolint.rules import all_rules, rules_by_code
+
+__all__ = ["main"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST-based invariant checker for this repository.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"], help="files or directories")
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE_PATH,
+        help="baseline file of grandfathered findings (default: the committed one)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding (nightly debt report)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings (adds new, expires stale)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    return parser
+
+
+def _selected_rules(select: str | None):
+    rules = all_rules()
+    if select is None:
+        return rules
+    catalogue = rules_by_code()
+    codes = [code.strip().upper() for code in select.split(",") if code.strip()]
+    unknown = sorted(set(codes) - set(catalogue))
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {', '.join(unknown)}")
+    return [catalogue[code]() for code in codes]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}\n    {rule.description}")
+        return 0
+
+    try:
+        rules = _selected_rules(args.select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        baseline = None if args.no_baseline else Baseline.load(args.baseline)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    findings = result.all_findings
+    if baseline is None:
+        new, baselined, stale = findings, [], []
+    else:
+        split = baseline.split(findings)
+        new, baselined, stale = split.new, split.baselined, split.stale
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+
+    if args.format == "json":
+        payload = {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "files": result.files,
+            "findings": [finding.to_json() for finding in new],
+            "baselined": [finding.to_json() for finding in baselined],
+            "stale_baseline": stale,
+            "suppressed": result.suppressed,
+            "counts": _counts(new),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        for fingerprint in stale:
+            print(f"stale baseline entry (finding no longer occurs): {fingerprint}")
+        summary = (
+            f"{result.files} files checked: {len(new)} finding(s), "
+            f"{len(baselined)} baselined, {len(stale)} stale baseline "
+            f"entr{'y' if len(stale) == 1 else 'ies'}, {result.suppressed} suppressed"
+        )
+        print(summary)
+
+    if args.write_baseline:
+        return 0
+    return 1 if new or stale else 0
+
+
+def _counts(findings) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return dict(sorted(counts.items()))

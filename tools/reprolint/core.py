@@ -1,0 +1,288 @@
+"""Framework core: findings, rules, suppressions, and the lint driver.
+
+The driver is deliberately small: it parses every target file once,
+hands the parsed :class:`ModuleInfo` to each rule's :meth:`Rule.visit_module`,
+then gives cross-file rules one :meth:`Rule.finalize` pass.  Everything a
+rule reports comes back as :class:`Finding` rows; the driver owns
+suppression filtering, de-duplication and ordering so rules never have to.
+
+Suppression directives (comments, matched per physical line):
+
+``# reprolint: disable=RPL001``
+    Suppress the listed codes on this line (comma-separated).
+``# reprolint: disable-next=RPL001``
+    Suppress the listed codes on the *following* line.
+``# reprolint: disable-file=RPL001``
+    Suppress the listed codes for the whole file.
+``# reprolint: treat-as=repro/sparse/kernels.py``
+    Override the module's logical path (used by the self-check fixtures to
+    exercise path-scoped rules outside ``src/repro``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "Suppressions",
+    "collect_files",
+    "parse_module",
+    "run_paths",
+]
+
+PARSE_ERROR_CODE = "RPL000"
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-next|-file)?|treat-as)\s*=\s*(?P<value>[\w./,-]+)"
+)
+_CODE = re.compile(r"^RPL\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a file/line position."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code, self.message)
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline (survives drift)."""
+        return f"{self.code}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+class Suppressions:
+    """Per-file suppression table parsed from comment directives."""
+
+    def __init__(self, source: str):
+        self.line_codes: dict[int, set[str]] = {}
+        self.file_codes: set[str] = set()
+        self.treat_as: str | None = None
+        self.invalid: list[tuple[int, str]] = []
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "reprolint" not in text:
+                continue
+            for match in _DIRECTIVE.finditer(text):
+                kind = match.group("kind")
+                value = match.group("value")
+                if kind == "treat-as":
+                    self.treat_as = value
+                    continue
+                codes = {code.strip() for code in value.split(",") if code.strip()}
+                bad = sorted(code for code in codes if not _CODE.match(code))
+                if bad:
+                    self.invalid.append((lineno, ", ".join(bad)))
+                codes = {code for code in codes if _CODE.match(code)}
+                if kind == "disable":
+                    self.line_codes.setdefault(lineno, set()).update(codes)
+                elif kind == "disable-next":
+                    self.line_codes.setdefault(lineno + 1, set()).update(codes)
+                else:  # disable-file
+                    self.file_codes.update(codes)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if code in self.file_codes:
+            return True
+        return code in self.line_codes.get(line, set())
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed target file, as handed to every rule."""
+
+    path: str  # display path (as given on the command line)
+    logical: str  # repo-logical path, e.g. "repro/sparse/engine.py"
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``code``/``name``/``description`` and implement
+    :meth:`visit_module`; rules that need a whole-run view (class
+    hierarchies, lock graphs) accumulate state there and emit from
+    :meth:`finalize` instead.
+    """
+
+    code: str = "RPL999"
+    name: str = "unnamed"
+    description: str = ""
+
+    def visit_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+    # Helper so rules produce consistently-shaped findings.
+    def finding(self, module: ModuleInfo, node: ast.AST | None, message: str) -> Finding:
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(self.code, module.path, line, col + 1, message)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre-baseline."""
+
+    findings: list[Finding]
+    suppressed: int
+    files: int
+    invalid_directives: list[Finding]
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        return sorted(self.findings + self.invalid_directives, key=Finding.sort_key)
+
+
+def logical_path(path: Path) -> str:
+    """Repo-logical path: the part after ``src/`` when present.
+
+    ``src/repro/sparse/engine.py`` -> ``repro/sparse/engine.py`` so rule
+    scoping is stable no matter where the tool is invoked from.
+    """
+    parts = path.as_posix().split("/")
+    if "src" in parts:
+        index = len(parts) - 1 - parts[::-1].index("src")
+        tail = parts[index + 1 :]
+        if tail:
+            return "/".join(tail)
+    return path.as_posix().lstrip("./")
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+
+    def add(candidate: Path) -> None:
+        resolved = candidate.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            ordered.append(candidate)
+
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            for file in sorted(root.rglob("*.py")):
+                if any(part.startswith(".") for part in file.parts):
+                    continue
+                add(file)
+        elif root.suffix == ".py":
+            add(root)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {root}")
+    return ordered
+
+
+def parse_module(path: Path) -> ModuleInfo | SyntaxError:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return exc
+    suppressions = Suppressions(source)
+    logical = suppressions.treat_as or logical_path(path)
+    return ModuleInfo(
+        path=path.as_posix(),
+        logical=logical,
+        source=source,
+        tree=tree,
+        suppressions=suppressions,
+    )
+
+
+def _dedup(findings: Iterable[Finding]) -> Iterator[Finding]:
+    seen: set[Finding] = set()
+    for finding in findings:
+        if finding not in seen:
+            seen.add(finding)
+            yield finding
+
+
+def run_paths(paths: Sequence[str | Path], rules: Sequence[Rule]) -> LintResult:
+    """Run ``rules`` over every ``.py`` file under ``paths``."""
+    files = collect_files(paths)
+    modules: list[ModuleInfo] = []
+    findings: list[Finding] = []
+    invalid: list[Finding] = []
+    for file in files:
+        parsed = parse_module(file)
+        if isinstance(parsed, SyntaxError):
+            findings.append(
+                Finding(
+                    PARSE_ERROR_CODE,
+                    file.as_posix(),
+                    parsed.lineno or 1,
+                    (parsed.offset or 0) + 1,
+                    f"syntax error: {parsed.msg}",
+                )
+            )
+            continue
+        modules.append(parsed)
+        for lineno, codes in parsed.suppressions.invalid:
+            invalid.append(
+                Finding(
+                    PARSE_ERROR_CODE,
+                    parsed.path,
+                    lineno,
+                    1,
+                    f"malformed suppression directive (unknown code(s) {codes})",
+                )
+            )
+
+    by_module: dict[str, Suppressions] = {m.path: m.suppressions for m in modules}
+    raw: list[Finding] = list(findings)
+    for rule in rules:
+        for module in modules:
+            raw.extend(rule.visit_module(module))
+        raw.extend(rule.finalize())
+
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in _dedup(raw):
+        table = by_module.get(finding.path)
+        if table is not None and table.is_suppressed(finding.code, finding.line):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=kept,
+        suppressed=suppressed,
+        files=len(files),
+        invalid_directives=invalid,
+    )

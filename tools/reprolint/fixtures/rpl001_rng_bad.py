@@ -1,0 +1,24 @@
+# reprolint: treat-as=repro/sparse/fixture_rng.py
+"""Known-bad RPL001 fixture: every entropy leak the rule bans.
+
+``# expect: CODE`` marks the lines where the self-check requires a
+finding; a line with no marker must stay clean.
+"""
+
+import random  # expect: RPL001
+import time
+
+import numpy as np
+
+
+def sample():
+    np.random.seed(0)  # expect: RPL001
+    values = np.random.rand(3)  # expect: RPL001
+    jitter = random.random()  # usage is not flagged; the import was
+    rng = np.random.default_rng()  # expect: RPL001
+    seeded = np.random.default_rng(7)  # seeded: allowed
+    clock_seed = int(time.time())  # expect: RPL001
+    elapsed = time.perf_counter()  # timing measurement: allowed
+    # Inline suppressions must silence the rule:
+    state = np.random.get_state()  # reprolint: disable=RPL001
+    return values, jitter, rng, seeded, clock_seed, elapsed, state

@@ -1,0 +1,59 @@
+# reprolint: treat-as=repro/sparse/fixture_ckpt.py
+"""Known-bad RPL002 fixture: pairing and coverage failures.
+
+``Optimizer``/``Callback``/``Trainer`` are stateful roots, so classes
+deriving from them (by bare name) are checked.
+"""
+
+
+class Optimizer:
+    """Stand-in root; defines neither half of the pair."""
+
+
+class BadOptimizer(Optimizer):
+    """Pairs state_dict/load_state_dict but forgets an attribute."""
+
+    def __init__(self):
+        self.momentum = {}  # expect: RPL002
+        self.lr = 0.1
+
+    def state_dict(self):
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state):
+        self.lr = state["lr"]
+
+
+class HalfPaired(Optimizer):  # expect: RPL002
+    """Writes checkpoints nothing can restore: no load_state_dict."""
+
+    def __init__(self):
+        self.steps = []
+
+    def state_dict(self):
+        return {"steps": list(self.steps)}
+
+
+class NoCkpt(Callback):  # expect: RPL002  # noqa: F821
+    """Mutable state, no state_dict anywhere in the hierarchy."""
+
+    def __init__(self):
+        self.seen = []
+
+
+class ExemptEngine(Trainer):  # noqa: F821
+    """CHECKPOINT_EXEMPT silences declared-derived attributes only."""
+
+    # Fixture stand-in for a pure strategy object.
+    CHECKPOINT_EXEMPT = {"schedule"}
+
+    def __init__(self):
+        self.schedule = make_schedule()  # exempt: no finding  # noqa: F821
+        self.history = []  # expect: RPL002
+        self._scratch = {}  # underscore attrs are never checked
+
+    def state_dict(self):
+        return {}
+
+    def load_state_dict(self, state):
+        pass

@@ -1,0 +1,39 @@
+# reprolint: treat-as=repro/parallel/fixture_fork.py
+"""Known-bad RPL003 fixture: import-time resources + unpicklable entry points."""
+
+import multiprocessing as mp
+import threading
+
+_SEND_LOCK = threading.Lock()  # expect: RPL003
+LOG_HANDLE = open("/tmp/fixture.log", "w")  # expect: RPL003
+
+# threading.local holds no OS handle; allowed at import time.
+_TLS = threading.local()
+
+
+class Coordinator:
+    ready = threading.Event()  # expect: RPL003
+
+    def lazy_lock(self):
+        # Inside a function body: created post-fork, allowed.
+        return threading.Lock()
+
+
+def spawn_bad():
+    worker = mp.Process(target=lambda: None)  # expect: RPL003
+    return worker
+
+
+def pool_bad(pool):
+    def work(item):
+        return item * 2
+
+    return pool.map(work, [1, 2, 3])  # expect: RPL003
+
+
+def module_level_target(item):
+    return item
+
+
+def pool_ok(pool):
+    return pool.map(module_level_target, [1, 2, 3])

@@ -1,0 +1,25 @@
+# reprolint: treat-as=repro/serve/fixture_locks.py
+"""Known-bad RPL004 fixture: an ordering cycle and a self-acquisition."""
+
+
+class Fleet:
+    def route_then_batch(self):
+        with self._route_lock:
+            with self._batch_lock:  # expect: RPL004
+                pass
+
+    def batch_then_route(self):
+        with self._batch_lock:
+            with self._route_lock:  # expect: RPL004
+                pass
+
+    def reacquire(self):
+        with self._state_lock:
+            with self._state_lock:  # expect: RPL004
+                pass
+
+    def consistent(self):
+        # admission -> pool appears only in this order: no finding.
+        with self._admission_lock:
+            with self._pool_lock:
+                pass

@@ -1,0 +1,26 @@
+# reprolint: treat-as=repro/sparse/fixture_hot.py
+"""Known-bad RPL005 fixture: allocations inside marked hot paths."""
+
+import numpy as np
+
+from repro.hotpath import hot_path
+
+
+@hot_path
+def fused_step(x, out):
+    scratch = np.zeros_like(x)  # expect: RPL005
+    np.multiply(x, 2.0, out=out)  # in-place: allowed
+
+    def backward(grad):
+        # Closures nested in a hot path inherit the marker.
+        return np.ascontiguousarray(grad)  # expect: RPL005
+
+    # Deliberate allocation on a cold branch, suppressed inline:
+    if out.shape != x.shape:
+        out = np.empty(x.shape, dtype=np.float32)  # reprolint: disable=RPL005
+    return scratch, backward, out
+
+
+def cold_path(x):
+    # Unmarked function: allocations are fine here.
+    return np.zeros_like(x)

@@ -1,0 +1,33 @@
+"""Known-bad RPL006 fixture frontend.  # expect-line: 1 RPL006
+
+Error contract
+==============
+===  ==========================================
+400  malformed request body
+429  queue full; sheds with Retry-After header
+550  legacy row no handler emits anymore
+===  ==========================================
+
+The 550 row is dead (finding anchored at this docstring, line 1), 418 is
+emitted but undocumented, and one 429 site forgets its Retry-After.
+"""
+
+# reprolint: treat-as=repro/serve/http.py
+
+
+class Handler:
+    def handle(self, body):
+        if body is None:
+            self._reply(400, {"error": "empty body"})
+            return
+        self._reply(418, {"error": "teapot"})  # expect: RPL006
+        status = 429
+        self._reply(status, {"error": "shed"})  # expect: RPL006
+        self._reply(
+            429,
+            {"error": "shed politely"},
+            headers={"Retry-After": "0.5"},
+        )
+
+    def _reply(self, status, payload, headers=None):
+        raise NotImplementedError

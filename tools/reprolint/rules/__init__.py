@@ -1,0 +1,34 @@
+"""Rule registry: one module per rule, instantiated fresh per run.
+
+Rules carry per-run state (class tables, lock graphs), so ``all_rules``
+returns new instances every call — never share rule objects across runs.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.core import Rule
+from tools.reprolint.rules.rpl001_rng import RngDiscipline
+from tools.reprolint.rules.rpl002_checkpoint import CheckpointCompleteness
+from tools.reprolint.rules.rpl003_forksafety import ForkSafety
+from tools.reprolint.rules.rpl004_locks import LockOrdering
+from tools.reprolint.rules.rpl005_hotpath import HotPathAllocation
+from tools.reprolint.rules.rpl006_contract import ServeErrorContract
+
+__all__ = ["all_rules", "rules_by_code"]
+
+_RULE_CLASSES: tuple[type[Rule], ...] = (
+    RngDiscipline,
+    CheckpointCompleteness,
+    ForkSafety,
+    LockOrdering,
+    HotPathAllocation,
+    ServeErrorContract,
+)
+
+
+def all_rules() -> list[Rule]:
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rules_by_code() -> dict[str, type[Rule]]:
+    return {cls.code: cls for cls in _RULE_CLASSES}

@@ -1,0 +1,132 @@
+"""RPL001 — RNG discipline in deterministic paths.
+
+Every result in the deterministic packages must be bitwise reproducible
+from an explicit seed (kill-and-resume equality, serial/parallel
+trajectory equality, sweep-cell caching all depend on it).  Four entropy
+leaks defeat that and are banned outside the exempt layers:
+
+* the legacy NumPy global RNG (``np.random.seed`` / ``np.random.rand`` /
+  ``np.random.get_state`` ...) — hidden process-wide state that forked
+  workers silently share;
+* the stdlib ``random`` module — same problem, different singleton;
+* wall-clock entropy (``time.time`` / ``datetime.now``) feeding values
+  (timing *measurement* belongs in ``time.perf_counter``, which is
+  allowed);
+* **unseeded** ``np.random.default_rng()`` — draws OS entropy, so a
+  default-constructed component is unreproducible by construction.
+  Thread a seeded generator instead (``repro.rng.resolve_rng``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.reprolint.astutils import dotted_name
+from tools.reprolint.config import is_deterministic_path
+from tools.reprolint.core import Finding, ModuleInfo, Rule
+
+__all__ = ["RngDiscipline"]
+
+# np.random attributes that construct *seedable* generator objects (the
+# new-style API) rather than touching the legacy global stream.
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "Generator",
+        "default_rng",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+        "bit_generator",
+    }
+)
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+class RngDiscipline(Rule):
+    code = "RPL001"
+    name = "rng-discipline"
+    description = (
+        "Deterministic paths thread seeded np.random.Generator objects only: "
+        "no legacy global RNG, no stdlib random, no wall-clock entropy, no "
+        "unseeded default_rng()."
+    )
+
+    def visit_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not is_deterministic_path(module.logical):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            module,
+                            node,
+                            "stdlib 'random' imported in a deterministic path; "
+                            "thread a seeded np.random.Generator instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        module,
+                        node,
+                        "stdlib 'random' imported in a deterministic path; "
+                        "thread a seeded np.random.Generator instead",
+                    )
+            elif isinstance(node, ast.Attribute):
+                yield from self._check_np_random(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+
+    def _check_np_random(self, module: ModuleInfo, node: ast.Attribute) -> Iterable[Finding]:
+        name = dotted_name(node)
+        if name is None:
+            return
+        parts = name.split(".")
+        if len(parts) != 3 or parts[0] not in ("np", "numpy") or parts[1] != "random":
+            return
+        attr = parts[2]
+        if attr in _ALLOWED_NP_RANDOM:
+            return
+        yield self.finding(
+            module,
+            node,
+            f"legacy global RNG '{name}' in a deterministic path; the global "
+            "stream is process-wide hidden state — thread a seeded "
+            "np.random.Generator instead",
+        )
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call) -> Iterable[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if name.endswith("default_rng") and not node.args and not node.keywords:
+            yield self.finding(
+                module,
+                node,
+                "unseeded default_rng() draws OS entropy, making this component "
+                "unreproducible by default; pass a seed or use "
+                "repro.rng.resolve_rng(rng)",
+            )
+        elif name in _WALL_CLOCK:
+            yield self.finding(
+                module,
+                node,
+                f"wall-clock call '{name}()' in a deterministic path; use "
+                "time.perf_counter() for timing, and never clock-derived seeds",
+            )

@@ -1,0 +1,166 @@
+"""RPL006 — the serving frontend's documented HTTP error contract.
+
+``repro/serve/http.py`` documents its error contract as a table in the
+module docstring (status code, meaning, whether ``Retry-After`` is set).
+Clients (``RetryingClient``) and the chaos harness are written against
+that table, so an undocumented status — or a shed response missing its
+``Retry-After`` header — is an interface break even though no unit test
+names it.  This rule parses the docstring table and checks it against the
+statuses the module actually emits:
+
+* every literal error status (>= 400) handed to ``_reply``/``send_error``
+  must appear in the contract table (conditional expressions and local
+  ``status = 429 if ... else 503`` assignments are resolved);
+* every documented status must have at least one emit site (no dead
+  contract rows);
+* every emit site of a status whose table row mentions ``Retry-After``
+  must pass a ``Retry-After`` header in that call.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from tools.reprolint.astutils import dotted_name, literal_int_statuses, walk_scope
+from tools.reprolint.config import HTTP_CONTRACT_FILES
+from tools.reprolint.core import Finding, ModuleInfo, Rule
+
+__all__ = ["ServeErrorContract"]
+
+_ROW = re.compile(r"^\s*(\d{3})\s+(\S.*)$")
+_EMITTERS = frozenset({"_reply", "send_error"})
+
+
+def parse_contract(docstring: str) -> dict[int, str] | None:
+    """Status -> description rows from the ``Error contract`` table."""
+    lines = docstring.splitlines()
+    start = None
+    for i, line in enumerate(lines):
+        if "error contract" in line.lower():
+            start = i + 1
+            break
+    if start is None:
+        return None
+    rows: dict[int, str] = {}
+    last: int | None = None
+    for line in lines[start:]:
+        match = _ROW.match(line)
+        if match:
+            status = int(match.group(1))
+            rows[status] = match.group(2).strip()
+            last = status
+            continue
+        if line.strip().startswith("=") or not line.strip():
+            continue
+        if last is not None and line.startswith((" ", "\t")):
+            rows[last] += " " + line.strip()
+        elif rows:
+            break
+    return rows or None
+
+
+def _has_retry_after_header(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "headers" and isinstance(keyword.value, ast.Dict):
+            for key in keyword.value.keys:
+                if isinstance(key, ast.Constant) and key.value == "Retry-After":
+                    return True
+    if len(call.args) >= 3 and isinstance(call.args[2], ast.Dict):
+        for key in call.args[2].keys:
+            if isinstance(key, ast.Constant) and key.value == "Retry-After":
+                return True
+    return False
+
+
+class ServeErrorContract(Rule):
+    code = "RPL006"
+    name = "serve-error-contract"
+    description = (
+        "Every HTTP status the serving frontend emits must appear in its "
+        "documented contract table, with Retry-After set where the table "
+        "requires it."
+    )
+
+    def visit_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if module.logical not in HTTP_CONTRACT_FILES:
+            return
+        docstring = ast.get_docstring(module.tree, clean=False) or ""
+        contract = parse_contract(docstring)
+        if contract is None:
+            yield self.finding(
+                module,
+                module.tree.body[0] if module.tree.body else None,
+                "no 'Error contract' table found in the module docstring; the "
+                "serving frontend must document every status it emits",
+            )
+            return
+        retry_required = {
+            status for status, text in contract.items() if "retry-after" in text.lower()
+        }
+
+        emitted: dict[int, list[tuple[ast.Call, bool]]] = {}
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            assigns = self._status_assignments(fn)
+            for node in walk_scope(fn):
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                name = dotted_name(node.func)
+                if name is None or name.split(".")[-1] not in _EMITTERS:
+                    continue
+                statuses = literal_int_statuses(node.args[0])
+                if not statuses and isinstance(node.args[0], ast.Name):
+                    statuses = assigns.get(node.args[0].id, set())
+                has_header = _has_retry_after_header(node)
+                for status in statuses:
+                    emitted.setdefault(status, []).append((node, has_header))
+
+        for status in sorted(emitted):
+            if status < 400:
+                continue
+            sites = emitted[status]
+            if status not in contract:
+                for call, _ in sites:
+                    yield self.finding(
+                        module,
+                        call,
+                        f"status {status} is emitted but missing from the "
+                        "documented error-contract table; document it (and its "
+                        "retry semantics) or use a documented status",
+                    )
+                continue
+            if status in retry_required:
+                for call, has_header in sites:
+                    if not has_header:
+                        yield self.finding(
+                            module,
+                            call,
+                            f"status {status} requires a Retry-After header per "
+                            "the error contract, but this emit site sets none",
+                        )
+
+        for status in sorted(contract):
+            if status >= 400 and status not in emitted:
+                yield self.finding(
+                    module,
+                    module.tree.body[0] if module.tree.body else None,
+                    f"error contract documents status {status} but no emit site "
+                    "was found; remove the dead row or wire the path back up",
+                )
+
+    @staticmethod
+    def _status_assignments(fn: ast.AST) -> dict[str, set[int]]:
+        """Local ``name = <status literal(s)>`` assignments in this function."""
+        assigns: dict[str, set[int]] = {}
+        for node in walk_scope(fn):
+            if isinstance(node, ast.Assign):
+                statuses = literal_int_statuses(node.value)
+                if not statuses:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assigns.setdefault(target.id, set()).update(statuses)
+        return assigns
