@@ -45,7 +45,13 @@ from repro.autograd.tensor import Tensor
 from repro.experiments.configs import get_scale
 from repro.models import MLP, resnet50_mini, vgg11
 from repro.optim import SGD
-from repro.sparse import DSTEEGrowth, DynamicSparseEngine, MaskedModel
+from repro.sparse import (
+    DensityBalanceController,
+    DSTEEGrowth,
+    DynamicSparseEngine,
+    MaskedModel,
+    TrainingSchedule,
+)
 
 try:  # present from PR 1 on; absent on the pre-PR baseline tree
     from repro.sparse import kernels as sparse_kernels
@@ -202,6 +208,9 @@ def _build_conv(config: dict, sparsity: float, seed: int = 0, block_size: int = 
         distribution="uniform",
         rng=np.random.default_rng(seed + 1),
         block_size=block_size,
+        # resnet_tiny's 8x8 1x1-convs round to zero blocks at bench
+        # sparsities; they train unstructured instead of aborting the A/B.
+        block_underflow="unstructured",
     )
     optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
     engine = DynamicSparseEngine(
@@ -422,6 +431,131 @@ def time_multi_seed_sweep() -> dict:
     return section
 
 
+def _build_balanced(config: dict, sparsity: float, seed: int = 0):
+    """Same setup as :func:`_build`, but under a rebalancing controller."""
+    model = MLP(
+        in_features=config["in_features"],
+        hidden=config["hidden"],
+        num_classes=config["num_classes"],
+        seed=seed,
+    )
+    masked = MaskedModel(
+        model,
+        sparsity,
+        distribution="uniform",
+        rng=np.random.default_rng(seed + 1),
+    )
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    scale = get_scale()
+    controller = DensityBalanceController(
+        masked,
+        schedule=TrainingSchedule(
+            total_steps=100_000,
+            delta_t=scale.delta_t,
+            drop_fraction=scale.drop_fraction,
+        ),
+        growth_rule=DSTEEGrowth(c=1e-3),
+        optimizer=optimizer,
+        rng=np.random.default_rng(seed + 2),
+    )
+    return model, masked, optimizer, controller
+
+
+# Rebalancing-vs-plain axis: the sparsities the gate watches, and the
+# methods of the accuracy A/B (label -> (registry method, distribution)).
+_REBALANCE_SPARSITIES = (0.9, 0.95)
+_REBALANCE_VARIANTS = {
+    "uniform": ("dst_ee", "uniform"),
+    "er": ("dst_ee", "er"),
+    "balanced": ("balanced", "uniform"),
+}
+
+
+def rebalance_section() -> dict:
+    """ΔT latency of cross-layer rebalancing vs the plain engine, plus accuracy.
+
+    The balanced controller does everything the plain engine does at a ΔT
+    boundary and additionally re-divides the global budget across layers
+    from the gradient-mass EMA before realizing it (asymmetric drop/grow
+    counts — see docs/controllers.md).  Both sides are timed interleaved
+    in one process (best-of-N per side, same idiom as ``conv_block_ab``)
+    so shared-box load drift cancels out of ``overhead`` — the ratio the
+    regression gate caps at 1.15x.  The accuracy block trains the same
+    model/data under a static uniform split, a static ER split, and the
+    rebalancing controller, so the overhead buys something visible.
+    """
+    from repro.data.synthetic import cifar10_like
+    from repro.experiments.runner import run_image_classification
+
+    scale = get_scale()
+    rounds = 3 if scale.name == "small" else 10
+    delta_t = scale.delta_t
+    delta_t_ms: dict[str, dict[str, dict[str, float]]] = {}
+    for name, config in _CONFIGS[scale.name].items():
+        delta_t_ms[name] = {}
+        for sparsity in _REBALANCE_SPARSITIES:
+            sides = {}
+            for key in ("plain", "balanced"):
+                builder = _build if key == "plain" else _build_balanced
+                _, masked, _, controller = builder(config, sparsity)
+                sides[key] = {
+                    "masked": masked, "controller": controller,
+                    "rng": np.random.default_rng(11), "best": float("inf"),
+                }
+
+            def fresh_grads(side: dict) -> None:
+                rng = side["rng"]
+                for target in side["masked"].targets:
+                    target.param.grad = rng.standard_normal(
+                        target.param.shape
+                    ).astype(np.float32)
+
+            for side in sides.values():  # warmup round
+                fresh_grads(side)
+                side["controller"].mask_update(delta_t)
+            for i in range(rounds):
+                for side in sides.values():
+                    fresh_grads(side)
+                    start = time.perf_counter()
+                    side["controller"].mask_update((i + 2) * delta_t)
+                    side["best"] = min(side["best"], time.perf_counter() - start)
+
+            plain_ms = sides["plain"]["best"] * 1e3
+            balanced_ms = sides["balanced"]["best"] * 1e3
+            delta_t_ms[name][f"{sparsity:g}"] = {
+                "plain": round(plain_ms, 4),
+                "balanced": round(balanced_ms, 4),
+                "overhead": round(balanced_ms / plain_ms, 3),
+            }
+            print(
+                f"[rebal] {name} s={sparsity:g}: plain={plain_ms:.3f}ms "
+                f"balanced={balanced_ms:.3f}ms ({balanced_ms / plain_ms:.2f}x)"
+            )
+
+    settings = _SWEEP_SETTINGS[scale.name]
+    data = cifar10_like(
+        n_train=settings["n_train"], n_test=settings["n_test"],
+        image_size=12, seed=7,
+    )
+    factory = lambda seed: MLP(3 * 12 * 12, (256, 256), 10, seed=seed)
+    accuracy: dict[str, float] = {}
+    for label, (method, distribution) in _REBALANCE_VARIANTS.items():
+        result = run_image_classification(
+            method, factory, data,
+            sparsity=0.9, epochs=settings["epochs"],
+            batch_size=settings["batch_size"], lr=0.05, delta_t=6,
+            distribution=distribution, seed=0,
+        )
+        accuracy[label] = round(result.final_accuracy, 4)
+        print(f"[rebal] accuracy {label}: {accuracy[label]:.4f}")
+
+    return {
+        "sparsities": [f"{s:g}" for s in _REBALANCE_SPARSITIES],
+        "delta_t_ms": delta_t_ms,
+        "accuracy": accuracy,
+    }
+
+
 def time_mask_update(config: dict, sparsity: float, block_size: int = 1) -> float:
     """Mean latency (ms) of one full drop-and-grow round."""
     _, masked, _, engine = _build(config, sparsity, block_size=block_size)
@@ -494,6 +628,7 @@ def run() -> dict:
     block_ab = conv_block_ab()
     workspace_ab = conv_workspace_ab()
     sweep = time_multi_seed_sweep()
+    rebalance = rebalance_section()
 
     baseline = None
     if BASELINE_PATH.exists():
@@ -519,6 +654,7 @@ def run() -> dict:
         "mask_update_ms": mask_update,
         "mask_update_block_ms": mask_update_block,
         "multi_seed_sweep": sweep,
+        "rebalance": rebalance,
         "baseline": baseline,
         "speedup_vs_baseline": {},
         "conv_speedup_vs_baseline": {},

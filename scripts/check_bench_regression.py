@@ -140,6 +140,39 @@ def check_engine_block_floor(fresh: dict, gate: Gate, min_ratio: float) -> None:
     )
 
 
+def check_rebalance_overhead(fresh: dict, gate: Gate, max_ratio: float) -> None:
+    """Hard ceiling on the rebalancing-vs-plain ΔT latency ratio.
+
+    The `rebalance` bench section times the cross-layer rebalancing
+    controller against the plain engine interleaved in one process, so the
+    `overhead` ratio is machine-portable (baseline-independent).  Only
+    enforced at medium/full scale — the small CI smoke's 3-round best-of
+    on a sub-millisecond round is dominated by timer noise.
+    """
+    if fresh.get("scale") not in ("medium", "full"):
+        return
+    delta_t_ms = fresh.get("rebalance", {}).get("delta_t_ms", {})
+    if not delta_t_ms:
+        # A guarded section vanished from the fresh run: that is a gate
+        # hole, not a pass.
+        print("[FAIL] engine: no rebalance delta_t_ms section in fresh run")
+        gate.failures += 1
+        return
+    for config, rows in sorted(delta_t_ms.items()):
+        for sparsity in ("0.9", "0.95"):
+            row = rows.get(sparsity)
+            if row is None or not row.get("overhead"):
+                print(f"[FAIL] engine: no rebalance overhead for {config} s={sparsity}")
+                gate.failures += 1
+                continue
+            gate.check_max(
+                f"engine rebalance ΔT-overhead ceiling {config} @s={sparsity}",
+                row["overhead"],
+                max_ratio,
+                "absolute ceiling, baseline-independent",
+            )
+
+
 def check_engine(fresh: dict, baseline: dict, gate: Gate, absolute: bool) -> None:
     fresh_training = fresh.get("training_steps_per_sec", {})
     base_training = baseline.get("training_steps_per_sec", {})
@@ -357,6 +390,13 @@ def main(argv: list[str] | None = None) -> int:
         "95%% sparsity (vgg_small, medium/full scale only)",
     )
     parser.add_argument(
+        "--max-rebalance-overhead",
+        type=float,
+        default=1.15,
+        help="hard ceiling for the rebalancing/plain ΔT latency ratio at "
+        "90/95%% sparsity (medium/full scale only)",
+    )
+    parser.add_argument(
         "--min-trace-availability",
         type=float,
         default=0.999,
@@ -384,6 +424,7 @@ def main(argv: list[str] | None = None) -> int:
     engine_base = _load(baseline_dir / ENGINE_BASELINE, "engine baseline")
     if engine_fresh is not None:
         check_engine_block_floor(engine_fresh, gate, args.min_conv_block_speedup)
+        check_rebalance_overhead(engine_fresh, gate, args.max_rebalance_overhead)
     if engine_fresh is not None and engine_base is not None:
         if _scales_match(engine_fresh, engine_base, "engine"):
             check_engine(engine_fresh, engine_base, gate, args.absolute)

@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.experiments.cli sweep --methods set rigl dst_ee \
         --sparsities 0.9 0.95 --seeds 0 1 --nproc 4
     python -m repro.experiments.cli gnn --dataset wiki_talk --sparsity 0.9
+    python -m repro.experiments.cli run-gan --method dst_ee --mixture ring8 \
+        --sparsity 0.9 --total-steps 2000
     python -m repro.experiments.cli methods
     python -m repro.experiments.cli export --method dst_ee --sparsity 0.95 \
         --model mlp --epochs 2 --out model.npz
@@ -38,7 +40,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.registry import ALL_METHODS, RL_METHODS, method_family
+from repro.experiments.registry import ALL_METHODS, GAN_METHODS, RL_METHODS, method_family
 
 __all__ = ["build_parser", "main"]
 
@@ -268,6 +270,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         help="export the trained policy net as a serving artifact",
+    )
+
+    run_gan = sub.add_parser(
+        "run-gan",
+        help="one sparse-GAN run on a synthetic 2-D Gaussian mixture",
+    )
+    run_gan.add_argument("--mixture", default="ring8", choices=["ring4", "ring8", "grid9"])
+    run_gan.add_argument("--method", default="dst_ee", choices=GAN_METHODS)
+    run_gan.add_argument("--sparsity", type=float, default=0.9)
+    run_gan.add_argument("--total-steps", type=int, default=2000)
+    run_gan.add_argument(
+        "--hidden",
+        type=int,
+        nargs="+",
+        default=[64, 64],
+        help="generator/discriminator MLP widths",
+    )
+    run_gan.add_argument("--latent-dim", type=int, default=8)
+    run_gan.add_argument("--batch-size", type=int, default=64)
+    run_gan.add_argument("--lr", type=float, default=1e-3)
+    run_gan.add_argument(
+        "--delta-t",
+        type=int,
+        default=100,
+        help="mask-update period in generator/discriminator steps",
+    )
+    run_gan.add_argument("--drop-fraction", type=float, default=0.3)
+    run_gan.add_argument(
+        "--c",
+        type=float,
+        default=1e-3,
+        help="exploration-exploitation coefficient (Eq. 1)",
+    )
+    run_gan.add_argument("--ee-epsilon", type=float, default=1.0)
+    run_gan.add_argument("--distribution", default="erk", choices=["erk", "er", "uniform"])
+    run_gan.add_argument(
+        "--balance-max-shift",
+        type=float,
+        default=0.05,
+        help="max fraction of the donor budget moved per G<->D rebalance",
+    )
+    run_gan.add_argument(
+        "--balance-delta-t",
+        type=int,
+        default=None,
+        help="G<->D rebalance cadence (default: --delta-t)",
+    )
+    run_gan.add_argument("--n-eval-samples", type=int, default=2000)
+    run_gan.add_argument("--seed", type=int, default=0)
+    run_gan.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="multi-seed protocol over these seeds",
+    )
+    run_gan.add_argument(
+        "--nproc",
+        type=int,
+        default=None,
+        help="worker processes for seed sharding",
+    )
+    run_gan.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write resume-exact GAN training checkpoints here",
+    )
+    run_gan.add_argument("--checkpoint-every-steps", type=int, default=200)
+    run_gan.add_argument("--keep-last", type=int, default=None)
+    run_gan.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
     )
 
     export = sub.add_parser(
@@ -852,6 +927,83 @@ def _command_gnn(args) -> int:
     return 0
 
 
+def _command_run_gan(args) -> int:
+    from repro.experiments.gan import run_gan, run_gan_multi_seed
+
+    gan_kwargs = dict(
+        sparsity=args.sparsity,
+        total_steps=args.total_steps,
+        hidden=tuple(args.hidden),
+        latent_dim=args.latent_dim,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        delta_t=args.delta_t,
+        drop_fraction=args.drop_fraction,
+        c=args.c,
+        ee_epsilon=args.ee_epsilon,
+        distribution=args.distribution,
+        balance_delta_t=args.balance_delta_t,
+        balance_max_shift=args.balance_max_shift,
+        n_eval_samples=args.n_eval_samples,
+    )
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    if args.seeds is not None:
+        if args.checkpoint_dir:
+            raise SystemExit(
+                "--checkpoint-dir with --seeds is not supported by `run-gan` "
+                "(every seed would share one directory); use run_gan_sweep "
+                "for resumable multi-seed grids"
+            )
+        mean, std, results = run_gan_multi_seed(
+            args.method,
+            args.mixture,
+            seeds=tuple(args.seeds),
+            n_proc=args.nproc,
+            **gan_kwargs,
+        )
+        print(f"method:               {args.method}")
+        print(f"mixture:              {args.mixture}")
+        print(f"seeds:                {list(args.seeds)}")
+        for seed, result in zip(args.seeds, results):
+            print(
+                f"  seed {seed}: {result.modes_covered}/{result.n_modes} modes "
+                f"(high-quality {result.high_quality_fraction:.3f})"
+            )
+        print(f"mode coverage:        {mean:.3f} ± {std:.3f}")
+        return 0
+
+    checkpoint_kwargs = {}
+    if args.checkpoint_dir:
+        checkpoint_kwargs = {
+            "checkpoint_dir": args.checkpoint_dir,
+            "checkpoint_every_steps": args.checkpoint_every_steps,
+            "checkpoint_keep_last": args.keep_last,
+            "resume_from": args.checkpoint_dir if args.resume else None,
+        }
+    result = run_gan(
+        args.method,
+        args.mixture,
+        seed=args.seed,
+        **gan_kwargs,
+        **checkpoint_kwargs,
+    )
+    print(f"method:               {result.method}")
+    print(f"mixture:              {result.mixture}")
+    print(f"steps:                {result.total_steps}")
+    print(f"modes covered:        {result.modes_covered}/{result.n_modes}")
+    print(f"high-quality frac:    {result.high_quality_fraction:.3f}")
+    if result.final_loss_d is not None:
+        print(f"final loss D/G:       {result.final_loss_d:.4f} / {result.final_loss_g:.4f}")
+    if result.g_density is not None:
+        print(f"final G density:      {result.g_density:.4f}")
+        print(f"final D density:      {result.d_density:.4f}")
+        print(f"combined budget:      {result.combined_budget}")
+        print(f"G<->D transfers:      {len(result.transfers)}")
+    print(f"wall time:            {result.seconds:.1f}s")
+    return 0
+
+
 def _command_methods() -> int:
     for name in ALL_METHODS:
         print(f"{name:16s} {method_family(name)}")
@@ -866,6 +1018,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_sweep(args)
     if args.command == "run-rl":
         return _command_run_rl(args)
+    if args.command == "run-gan":
+        return _command_run_gan(args)
     if args.command == "export":
         return _command_export(args)
     if args.command == "serve":

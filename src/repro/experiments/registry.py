@@ -24,6 +24,8 @@ from repro.nn.module import Module
 from repro.optim.sgd import Optimizer
 from repro.sparse import (
     DSTEEGrowth,
+    DensityBalanceController,
+    DensityBudget,
     DynamicSparseEngine,
     FixedMaskController,
     GMPController,
@@ -36,6 +38,7 @@ from repro.sparse import (
     STRController,
     SignFlipDrop,
     SparsityController,
+    TrainingSchedule,
     grasp_masks,
     snip_masks,
     synflow_masks,
@@ -47,16 +50,28 @@ __all__ = [
     "build_method",
     "enumerate_cells",
     "enumerate_rl_cells",
+    "enumerate_gan_cells",
     "DYNAMIC_METHODS",
     "STATIC_METHODS",
     "DENSE_TO_SPARSE_METHODS",
     "ALL_METHODS",
     "RL_METHODS",
+    "GAN_METHODS",
     "method_family",
 ]
 
 
-DYNAMIC_METHODS = ("set", "rigl", "rigl_itop", "deepr", "snfs", "dsr", "mest", "dst_ee")
+DYNAMIC_METHODS = (
+    "set",
+    "rigl",
+    "rigl_itop",
+    "deepr",
+    "snfs",
+    "dsr",
+    "mest",
+    "dst_ee",
+    "balanced",
+)
 STATIC_METHODS = ("snip", "grasp", "synflow", "static_random")
 DENSE_TO_SPARSE_METHODS = ("str", "gmp", "granet", "gap")
 ALL_METHODS = ("dense",) + STATIC_METHODS + DENSE_TO_SPARSE_METHODS + DYNAMIC_METHODS
@@ -66,6 +81,11 @@ ALL_METHODS = ("dense",) + STATIC_METHODS + DENSE_TO_SPARSE_METHODS + DYNAMIC_ME
 # dense-to-sparse schedules are epoch-keyed — neither maps onto the
 # step-driven DQN loop without a separate design.
 RL_METHODS = ("dense",) + DYNAMIC_METHODS
+
+# Methods the sparse-GAN stressor supports: both networks run a
+# drop-and-grow controller (or none), and the G↔D balancer moves density
+# between their budgets — so only budget-driven dynamic methods qualify.
+GAN_METHODS = ("dense",) + DYNAMIC_METHODS
 
 
 def method_family(name: str) -> str:
@@ -191,6 +211,47 @@ def enumerate_rl_cells(
     return [SweepCell(*entry) for entry in grid]
 
 
+def enumerate_gan_cells(
+    methods: Sequence[str],
+    mixtures: Sequence[str],
+    sparsities: Sequence[float],
+    seeds: Sequence[int] = (0, 1, 2),
+    root_seed: int | None = None,
+) -> list[SweepCell]:
+    """Deterministic cell list for a GAN (method × mixture × sparsity × seed) grid.
+
+    GAN cells reuse :class:`SweepCell` with ``model="gan"`` and the mixture
+    name in the ``dataset`` slot, mirroring :func:`enumerate_rl_cells`, so
+    the sweep runner, checkpoint records, and report aggregation work
+    unchanged (see :func:`repro.experiments.gan.run_gan_sweep`).
+    """
+    from repro.experiments.gan import MIXTURES
+
+    for name in methods:
+        if name not in GAN_METHODS:
+            raise ValueError(f"method {name!r} is not GAN-capable; known: {GAN_METHODS}")
+    for mixture in mixtures:
+        if mixture not in MIXTURES:
+            known = ", ".join(sorted(MIXTURES))
+            raise ValueError(f"unknown mixture {mixture!r}; registered: {known}")
+    grid = [
+        (method, "gan", mixture, sparsity, seed)
+        for method in methods
+        for mixture in mixtures
+        for sparsity in sparsities
+        for seed in seeds
+    ]
+    if root_seed is not None:
+        from repro.parallel import derive_seeds
+
+        derived = derive_seeds(root_seed, len(grid))
+        grid = [
+            (method, model, mixture, sparsity, derived[index])
+            for index, (method, model, mixture, sparsity, _) in enumerate(grid)
+        ]
+    return [SweepCell(*entry) for entry in grid]
+
+
 def build_method(
     name: str,
     model: Module,
@@ -277,7 +338,8 @@ def build_method(
 
     if family == "dense_to_sparse":
         if name == "gap":
-            # GaP cycles partitions dense; masks start at the target level.
+            # GaP cycles partitions dense; masks start at the target level
+            # and the construction-time budget is the sparse-phase target.
             from repro.sparse.gap import GaPController
 
             masked = MaskedModel(
@@ -287,7 +349,11 @@ def build_method(
                 rng=rng,
                 include_modules=include_modules,
             )
-            controller = GaPController(masked, total_steps=total_steps)
+            controller = GaPController(
+                masked,
+                schedule=TrainingSchedule(total_steps=total_steps, delta_t=delta_t),
+                budget=masked.budget,
+            )
             return MethodSetup(name=name, family=family, controller=controller, masked=masked)
         masked = MaskedModel(
             model,
@@ -296,8 +362,20 @@ def build_method(
             rng=rng,
             include_modules=include_modules,
         )
+        # Dense-to-sparse controllers take the *final* budget: training
+        # starts dense (masked.budget is all-capacity) and prunes down to it.
+        final_budget = DensityBudget.from_global(masked.targets, 1.0 - sparsity)
         if name == "str":
-            controller = STRController(masked, sparsity, total_steps, delta_t=delta_t)
+            controller = STRController(
+                masked,
+                schedule=TrainingSchedule(
+                    total_steps=total_steps,
+                    delta_t=delta_t,
+                    t_start_fraction=0.05,
+                    t_end_fraction=0.75,
+                ),
+                budget=final_budget,
+            )
             return MethodSetup(
                 name=name,
                 family=family,
@@ -308,9 +386,8 @@ def build_method(
         regrow = 0.5 if name == "granet" else 0.0
         controller = GMPController(
             masked,
-            sparsity,
-            total_steps,
-            delta_t=delta_t,
+            schedule=TrainingSchedule(total_steps=total_steps, delta_t=delta_t),
+            budget=final_budget,
             regrow_fraction=regrow,
             rng=rng,
         )
@@ -326,17 +403,32 @@ def build_method(
         block_size=resolved_block,
     )
     growth, drop, extra = _dynamic_rules(name, c, epsilon, mest_lambda)
+    schedule = TrainingSchedule(
+        total_steps=total_steps,
+        delta_t=delta_t,
+        drop_fraction=drop_fraction,
+        drop_schedule=extra.get("drop_schedule", "cosine"),
+        stop_fraction=extra.get("stop_fraction", stop_fraction),
+    )
+    if name == "balanced":
+        engine = DensityBalanceController(
+            masked,
+            schedule=schedule,
+            budget=masked.budget,
+            growth_rule=growth,
+            drop_rule=drop,
+            optimizer=optimizer,
+            rng=rng,
+        )
+        return MethodSetup(name=name, family=family, controller=engine, masked=masked)
     engine = DynamicSparseEngine(
         masked,
         growth,
-        total_steps=total_steps,
         drop_rule=drop,
-        delta_t=delta_t,
-        drop_fraction=drop_fraction,
         optimizer=optimizer,
         rng=rng,
-        stop_fraction=extra.get("stop_fraction", stop_fraction),
-        drop_schedule=extra.get("drop_schedule", "cosine"),
+        schedule=schedule,
+        budget=masked.budget,
         global_drop=extra.get("global_drop", False),
         grow_allocation=extra.get("grow_allocation", "per_layer"),
     )
@@ -369,6 +461,10 @@ def _dynamic_rules(name: str, c: float, epsilon: float, mest_lambda: float):
         }
     if name == "mest":
         return RandomGrowth(), MagnitudeGradientDrop(mest_lambda), {"drop_schedule": "linear"}
+    if name == "balanced":
+        # Parger-style cross-layer rebalancing on RigL's rules; the
+        # rebalancer itself is attached by build_method.
+        return GradientGrowth(), MagnitudeDrop(), {}
     raise ValueError(f"unknown dynamic method {name!r}")
 
 

@@ -74,6 +74,10 @@ class RunResult:
     training_flops_multiplier: float
     history: object = field(repr=False, default=None)
     masks: dict = field(repr=False, default_factory=dict)
+    # Final per-layer densities from the DensityBudget (the controller's
+    # source of truth) — under cross-layer rebalancing these drift from the
+    # construction-time ER/ERK split, and this is where the drift surfaces.
+    final_layer_densities: dict = field(repr=False, default_factory=dict)
     # Populated only with ``keep_model=True`` (serial runs): the trained
     # model and its MaskedModel wrapper, for compile-and-export pipelines
     # (see repro.serve).  Sweep workers never ship these over pipes.
@@ -211,8 +215,9 @@ def run_image_classification(
         block_size=block_size,
     )
 
-    # Track density snapshots per epoch for training-FLOPs accounting of
-    # dense-to-sparse methods (dynamic methods keep a constant budget).
+    # Track density snapshots per epoch for training-FLOPs accounting.
+    # Dense-to-sparse methods shrink the budget over time; rebalancing
+    # controllers keep the global budget constant but move it across layers.
     snapshot_callback = _DensitySnapshotCallback(setup.masked)
     all_callbacks: list[Callback] = [snapshot_callback, *callbacks]
     if checkpoint_dir is not None:
@@ -262,11 +267,16 @@ def run_image_classification(
             density_snapshots if density_snapshots else masks,
         )
         actual_sparsity = setup.masked.global_sparsity()
+        budget = getattr(setup.masked, "budget", None)
+        final_layer_densities = (
+            {name: budget.density(name) for name in budget.names} if budget is not None else {}
+        )
     else:
         masks = {}
         infer_mult = 1.0
         train_mult = 1.0
         actual_sparsity = None
+        final_layer_densities = {}
 
     coverage = getattr(setup.controller, "coverage", None)
     return RunResult(
@@ -284,6 +294,7 @@ def run_image_classification(
         training_flops_multiplier=train_mult,
         history=history,
         masks=masks,
+        final_layer_densities=final_layer_densities,
         model=model if keep_model else None,
         masked=setup.masked if keep_model else None,
     )

@@ -16,12 +16,14 @@ and pass ``engine`` to :class:`repro.train.Trainer`.
 """
 
 from repro.sparse.blocks import BlockMask, MatrixBlockIndexer, expand_block_csr
+from repro.sparse.budget import DensityBudget, assign_target_density
 from repro.sparse.masked import MaskedModel, SparseParam, collect_sparsifiable
 from repro.sparse.distribution import (
     erdos_renyi,
     erdos_renyi_kernel,
     layer_densities,
     uniform_density,
+    validate_block_quantization,
 )
 from repro.sparse.counter import CoverageTracker
 from repro.sparse.scoring import acquisition_score, exploitation_score, exploration_score
@@ -29,9 +31,11 @@ from repro.sparse.schedule import (
     ConstantSchedule,
     CosineDecaySchedule,
     LinearDecaySchedule,
+    TrainingSchedule,
     UpdateSchedule,
     make_drop_schedule,
 )
+from repro.sparse.balance import DensityBalanceController, GradientMassRebalancer
 from repro.sparse.growers import (
     DSTEEGrowth,
     GradientGrowth,
@@ -76,10 +80,13 @@ __all__ = [
     "MaskedModel",
     "SparseParam",
     "collect_sparsifiable",
+    "DensityBudget",
+    "assign_target_density",
     "uniform_density",
     "erdos_renyi",
     "erdos_renyi_kernel",
     "layer_densities",
+    "validate_block_quantization",
     "CoverageTracker",
     "acquisition_score",
     "exploitation_score",
@@ -87,8 +94,11 @@ __all__ = [
     "ConstantSchedule",
     "CosineDecaySchedule",
     "LinearDecaySchedule",
+    "TrainingSchedule",
     "UpdateSchedule",
     "make_drop_schedule",
+    "DensityBalanceController",
+    "GradientMassRebalancer",
     "LayerContext",
     "RandomGrowth",
     "GradientGrowth",

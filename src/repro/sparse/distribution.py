@@ -20,6 +20,7 @@ __all__ = [
     "erdos_renyi_kernel",
     "layer_densities",
     "block_budget",
+    "validate_block_quantization",
 ]
 
 
@@ -107,14 +108,58 @@ _DISTRIBUTIONS = {
 }
 
 
+def validate_block_quantization(
+    densities: Sequence[float], block_counts: Sequence[int | None]
+) -> None:
+    """Reject layer densities that block rounding would silently inflate.
+
+    ``block_budget`` guarantees a positive density at least one block — a
+    safety floor that keeps a layer trainable, but on a tiny layer it can
+    multiply the requested density (e.g. 0.01 on a 4-block layer becomes
+    0.25, a 25x inflation) without any signal to the caller.  This check
+    makes that loud: a ``ValueError`` is raised for any layer whose
+    requested budget rounds to zero blocks, i.e. where the floor — not
+    ordinary half-block rounding — would decide the allocation.
+
+    ``block_counts[i]`` is layer ``i``'s tile count, or ``None``/``1`` for
+    unstructured layers (exempt).
+    """
+    if len(densities) != len(block_counts):
+        raise ValueError(
+            f"{len(densities)} densities vs {len(block_counts)} block counts"
+        )
+    for index, (density, n_blocks) in enumerate(zip(densities, block_counts)):
+        if n_blocks is None or n_blocks <= 1 or density <= 0.0:
+            continue
+        if int(round(density * n_blocks)) == 0:
+            raise ValueError(
+                f"layer {index}: density {density:.6g} over {n_blocks} blocks "
+                f"rounds to zero blocks; the min-one-block floor would inflate "
+                f"it to {1.0 / n_blocks:.6g} — use a smaller block size or a "
+                f"higher density for this layer"
+            )
+
+
 def layer_densities(
-    shapes: Sequence[tuple[int, ...]], density: float, method: str = "erk"
+    shapes: Sequence[tuple[int, ...]],
+    density: float,
+    method: str = "erk",
+    block_counts: Sequence[int | None] | None = None,
 ) -> list[float]:
-    """Dispatch to a named distribution (``"uniform"``, ``"er"``, ``"erk"``)."""
+    """Dispatch to a named distribution (``"uniform"``, ``"er"``, ``"erk"``).
+
+    With ``block_counts`` (per-layer tile counts for block-structured
+    layers, ``None``/``1`` for unstructured ones), the resulting densities
+    are additionally validated to be achievable after block quantization —
+    see :func:`validate_block_quantization`.
+    """
     try:
         fn = _DISTRIBUTIONS[method.lower()]
     except KeyError:
         raise ValueError(
             f"unknown sparsity distribution {method!r}; choose from {sorted(_DISTRIBUTIONS)}"
         ) from None
-    return fn(shapes, density)
+    densities = fn(shapes, density)
+    if block_counts is not None:
+        validate_block_quantization(densities, block_counts)
+    return densities

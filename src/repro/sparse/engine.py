@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.optim.sgd import Optimizer
+from repro.sparse.budget import DensityBudget, assign_target_density
 from repro.sparse.counter import CoverageTracker
 from repro.sparse.growers import (
     DropRule,
@@ -34,7 +35,7 @@ from repro.sparse.growers import (
     MagnitudeDrop,
 )
 from repro.sparse.masked import MaskedModel, SparseParam
-from repro.sparse.schedule import UpdateSchedule, make_drop_schedule
+from repro.sparse.schedule import TrainingSchedule
 from repro.rng import resolve_rng
 
 __all__ = ["SparsityController", "FixedMaskController", "DynamicSparseEngine"]
@@ -49,9 +50,16 @@ class SparsityController:
 
     ``state_dict`` / ``load_state_dict`` support resume-exact checkpointing
     (:mod:`repro.train.checkpoint`).  The base implementation captures the
-    masks (restored *without* clobbering each layer's ``target_density``,
-    which reconstruction re-derives from the sparsity distribution);
-    controllers with more evolving state extend it.
+    masks, the masked model's :class:`~repro.sparse.budget.DensityBudget`
+    and the per-layer target densities, so a resumed run reproduces any
+    rebalancing the saved run had applied; controllers with more evolving
+    state extend it.
+
+    Unified construction (see docs/controllers.md): every controller
+    accepts ``(masked, schedule, budget, ...)`` where ``schedule`` is a
+    :class:`~repro.sparse.schedule.TrainingSchedule` and ``budget`` a
+    :class:`~repro.sparse.budget.DensityBudget` (defaulting to
+    ``masked.budget``); method-specific knobs stay keyword arguments.
     """
 
     masked: MaskedModel
@@ -78,11 +86,17 @@ class SparsityController:
     # checkpointing
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
-        """Serializable snapshot (base: controller type + current masks)."""
+        """Serializable snapshot (base: type, masks, budget, densities)."""
         masked = getattr(self, "masked", None)
         state: dict = {"type": type(self).__name__}
         if masked is not None:
             state["masks"] = masked.masks_snapshot()
+            budget = getattr(masked, "budget", None)
+            if budget is not None:
+                state["budget"] = budget.state_dict()
+                state["target_densities"] = {
+                    t.name: float(t.target_density) for t in masked.targets
+                }
         return state
 
     def load_state_dict(self, state: dict) -> None:
@@ -107,18 +121,35 @@ class SparsityController:
                     f"{mask.shape} vs {target.mask.shape}"
                 )
             # Direct assignment (not MaskedModel.set_masks): target_density
-            # must keep the distribution-derived value a fresh construction
-            # computes, or a resumed run could diverge from the
-            # uninterrupted one wherever target_density is consulted.
+            # is restored below from the checkpoint itself — for a run that
+            # never rebalanced this equals the distribution-derived value a
+            # fresh construction computes, and for a rebalanced run it is
+            # the value the saved run was actually training at.
             target.mask = mask.astype(bool)
+        if "budget" in state:
+            masked.budget.load_state_dict(state["budget"])
+        for name, density in state.get("target_densities", {}).items():
+            if name not in by_name:
+                raise KeyError(f"checkpoint density for unknown layer {name!r}")
+            assign_target_density(by_name[name], density)
         masked.apply_masks()
 
 
 class FixedMaskController(SparsityController):
     """Static-mask sparse training (SNIP/GraSP/SynFlow after pruning)."""
 
-    def __init__(self, masked: MaskedModel):
+    def __init__(
+        self,
+        masked: MaskedModel,
+        schedule: TrainingSchedule | None = None,
+        budget: DensityBudget | None = None,
+    ):
+        # Unified signature: a fixed mask has no timing and its budget is
+        # frozen at construction, so both are accepted (for build_method
+        # uniformity) and only recorded.
         self.masked = masked
+        self.schedule = schedule
+        self.budget = budget if budget is not None else masked.budget
 
     def on_backward(self, step: int) -> bool:
         self.masked.mask_gradients()
@@ -134,8 +165,10 @@ class MaskUpdateRecord:
     """Bookkeeping for one drop-and-grow round (feeds Fig. 3 and tests).
 
     ``duration_ms`` is the wall-clock cost of the round (the ΔT overhead the
-    perf bench reports); it defaults to 0 so checkpoints written before the
-    field existed still load.
+    perf bench reports); ``rebalanced`` is the number of elements the
+    round's rebalancing phase moved *into* layers (inter-layer transfer
+    volume, 0 when no rebalancer is attached).  Both default so checkpoints
+    written before the fields existed still load.
     """
 
     step: int
@@ -146,6 +179,7 @@ class MaskUpdateRecord:
     exploration_rate: float
     global_density: float
     duration_ms: float = 0.0
+    rebalanced: int = 0
 
 
 class DynamicSparseEngine(SparsityController):
@@ -185,38 +219,85 @@ class DynamicSparseEngine(SparsityController):
         growth rule requires it, e.g. SNFS).
     rng:
         Randomness for random growth and tie-breaking.
+    schedule:
+        A :class:`~repro.sparse.schedule.TrainingSchedule` — the unified
+        alternative to the ``total_steps``/``delta_t``/``drop_fraction``/
+        ``drop_schedule``/``stop_fraction`` kwargs (mutually exclusive with
+        them).
+    budget:
+        The :class:`~repro.sparse.budget.DensityBudget` the engine keeps
+        the masks converged to (default: ``masked.budget``).  Mutating it —
+        via ``rebalancer`` or externally (e.g. the GAN balancer) — makes
+        the next mask update drop/grow asymmetrically per layer until the
+        masks match the allocations again, conserving the global budget.
+    rebalancer:
+        Optional object with ``rebalance(masked, budget, step) -> dict``
+        (and ``state_dict``/``load_state_dict``), called at the start of
+        every mask update to move allocation between layers (see
+        :class:`repro.sparse.balance.GradientMassRebalancer`).
     """
 
     # Pure strategy/schedule objects: their outputs depend only on
     # construction-time config and the step they are called with, so resume
-    # correctness does not depend on checkpointing them.  (Mask state and
-    # ``history`` ARE checkpointed, in state_dict().)
-    CHECKPOINT_EXEMPT = {"drop_rule", "update_schedule", "drop_schedule"}
+    # correctness does not depend on checkpointing them.  (Mask state,
+    # ``history``, the budget and the rebalancer ARE checkpointed, in
+    # state_dict().)
+    CHECKPOINT_EXEMPT = {"drop_rule", "update_schedule", "drop_schedule", "schedule"}
 
     def __init__(
         self,
         masked: MaskedModel,
         growth_rule: GrowthRule,
-        total_steps: int,
+        total_steps: int | None = None,
         drop_rule: DropRule | None = None,
-        delta_t: int = 100,
-        drop_fraction: float = 0.3,
-        drop_schedule: str = "cosine",
-        stop_fraction: float = 0.75,
+        delta_t: int | None = None,
+        drop_fraction: float | None = None,
+        drop_schedule: str | None = None,
+        stop_fraction: float | None = None,
         optimizer: Optimizer | None = None,
         allow_regrow: bool = False,
         global_drop: bool = False,
         grow_allocation: str = "per_layer",
         grad_ema_beta: float = 0.9,
         rng: np.random.Generator | None = None,
+        *,
+        schedule: TrainingSchedule | None = None,
+        budget: DensityBudget | None = None,
+        rebalancer=None,
     ):
         if grow_allocation not in ("per_layer", "proportional"):
             raise ValueError(f"unknown grow_allocation {grow_allocation!r}")
+        legacy_timing = {
+            "total_steps": total_steps,
+            "delta_t": delta_t,
+            "drop_fraction": drop_fraction,
+            "drop_schedule": drop_schedule,
+            "stop_fraction": stop_fraction,
+        }
+        if schedule is None:
+            if total_steps is None:
+                raise TypeError(
+                    "pass schedule=TrainingSchedule(...) or the legacy "
+                    "total_steps/delta_t/... kwargs"
+                )
+            schedule = TrainingSchedule(
+                total_steps=int(total_steps),
+                delta_t=100 if delta_t is None else int(delta_t),
+                drop_fraction=0.3 if drop_fraction is None else float(drop_fraction),
+                drop_schedule="cosine" if drop_schedule is None else drop_schedule,
+                stop_fraction=0.75 if stop_fraction is None else float(stop_fraction),
+            )
+        elif any(value is not None for value in legacy_timing.values()):
+            passed = sorted(k for k, v in legacy_timing.items() if v is not None)
+            raise TypeError(f"pass either schedule= or {passed}, not both")
         self.masked = masked
         self.growth_rule = growth_rule
         self.drop_rule = drop_rule if drop_rule is not None else MagnitudeDrop()
-        self.update_schedule = UpdateSchedule(delta_t, total_steps, stop_fraction)
-        self.drop_schedule = make_drop_schedule(drop_schedule, drop_fraction, total_steps)
+        self.schedule = schedule
+        self.update_schedule = schedule.update_schedule()
+        self.drop_schedule = schedule.drop_fraction_schedule()
+        self.budget = budget if budget is not None else masked.budget
+        self.rebalancer = rebalancer
         self.optimizer = optimizer
         self.allow_regrow = bool(allow_regrow)
         self.global_drop = bool(global_drop)
@@ -450,14 +531,48 @@ class DynamicSparseEngine(SparsityController):
         Block layers drop and grow whole ``B×B`` tiles (unit counts from the
         allocators, tile-pooled scores for the rankings); unstructured
         layers keep the original element-granular path.
+
+        Rebalancing phase: the round starts by letting the attached
+        ``rebalancer`` (if any) move allocation between layers in
+        ``self.budget``, then realizes whatever difference exists between
+        the budget and the live masks — shrinking layers drop extra units,
+        growing layers grow extra units — so per-layer grow counts may
+        differ from drop counts while the *global* non-zero count lands
+        exactly on ``budget.total``.  With an untouched budget and no
+        rebalancer the round is identical to the classic symmetric
+        drop-and-grow.
         """
         start = time.perf_counter()
+        rebalanced = 0
+        if self.rebalancer is not None:
+            moves = self.rebalancer.rebalance(self.masked, self.budget, step) or {}
+            rebalanced = int(sum(max(delta, 0) for delta in moves.values()))
+        active_before = self.masked.total_active
+        deltas = self.budget.deltas(self.masked)
+        if any(deltas.values()):
+            # target_density tracks the (re)allocations it is derived from.
+            self.budget.bind(self.masked)
         fraction = self.drop_schedule(step)
         if self.global_drop:
             drop_counts = self._global_drop_counts(fraction, step)
         else:
             drop_counts = self._drop_counts(fraction)
         grow_counts = self._allocate_growth(drop_counts)
+
+        # Fold the budget deltas into the per-layer unit counts: a layer
+        # below its allocation grows extra units, a layer above it drops
+        # extra units (never severing — at least one unit stays active).
+        for index, target in enumerate(self.masked.targets):
+            delta_units = deltas.get(target.name, 0) // self._unit_size(target)
+            if delta_units > 0:
+                grow_counts[index] += delta_units
+            elif delta_units < 0:
+                active_units = self._unit_counts(target)[0]
+                headroom = max(active_units - 1 - drop_counts[index], 0)
+                drop_counts[index] += min(-delta_units, headroom)
+        for index, target in enumerate(self.masked.targets):
+            inactive_units = self._unit_counts(target)[1]
+            grow_counts[index] = min(grow_counts[index], inactive_units + drop_counts[index])
 
         total_dropped = 0
         total_grown = 0
@@ -501,10 +616,13 @@ class DynamicSparseEngine(SparsityController):
             else:
                 total_grown += self._grow_layer(target, k_grow, drop_idx, step)
 
-        # Keep the global non-zero count exact: if allocation clamping or a
-        # shortage of inactive slots left a deficit, re-activate the best
-        # just-dropped weights anywhere.
-        deficit = total_dropped - total_grown
+        # Keep the global non-zero count exact: the round must land on
+        # ``budget.total`` (== the pre-round active count plus any net
+        # budget change), so if allocation clamping or a shortage of
+        # inactive slots left a deficit, re-activate the best just-dropped
+        # weights anywhere.
+        net = self.budget.total - active_before
+        deficit = total_dropped + net - total_grown
         if deficit > 0:
             total_grown += self._fill_deficit(deficit, dropped_indices, dropped_blocks)
 
@@ -520,6 +638,7 @@ class DynamicSparseEngine(SparsityController):
             exploration_rate=self.coverage.exploration_rate(),
             global_density=self.masked.global_density(),
             duration_ms=(time.perf_counter() - start) * 1e3,
+            rebalanced=rebalanced,
         )
         self.history.append(record)
         return record
@@ -705,6 +824,8 @@ class DynamicSparseEngine(SparsityController):
             state["grad_ema"] = {name: arr.copy() for name, arr in self._grad_ema.items()}
         if self._needs_signs:
             state["sign_refs"] = {name: arr.copy() for name, arr in self._sign_refs.items()}
+        if self.rebalancer is not None:
+            state["rebalancer"] = self.rebalancer.state_dict()
         return state
 
     def load_state_dict(self, state: dict) -> None:
@@ -724,6 +845,8 @@ class DynamicSparseEngine(SparsityController):
             if name not in self._sign_refs:
                 raise KeyError(f"sign reference for unknown layer {name!r}")
             np.copyto(self._sign_refs[name], saved.reshape(self._sign_refs[name].shape))
+        if "rebalancer" in state and self.rebalancer is not None:
+            self.rebalancer.load_state_dict(state["rebalancer"])
 
     # ------------------------------------------------------------------
     # reporting

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sparse.budget import DensityBudget
 from repro.sparse.engine import SparsityController
 from repro.sparse.masked import MaskedModel
+from repro.sparse.schedule import TrainingSchedule
 
 __all__ = ["GaPController"]
 
@@ -33,42 +35,76 @@ __all__ = ["GaPController"]
 class GaPController(SparsityController):
     """Cyclic grow-and-prune over layer partitions.
 
+    Unified form (see docs/controllers.md)::
+
+        GaPController(masked, schedule, budget, n_partitions=..., period=...)
+
+    ``budget`` holds the *sparse-phase* per-layer allocations each partition
+    is pruned back to after its dense excursion; it defaults to
+    ``masked.budget`` (the construction-time split).  The legacy form
+    ``GaPController(masked, total_steps, ...)`` — second positional argument
+    an ``int`` — still works and is mapped onto a default schedule.
+
     Parameters
     ----------
     masked:
-        A :class:`MaskedModel` built at the *target* sparsity; its per-layer
+        A :class:`MaskedModel` built at the *target* sparsity; the budget's
         densities define what each partition is pruned back to.
-    total_steps:
-        Training length (used to default ``period``).
     n_partitions:
         Number of round-robin layer groups (the paper's GaP uses a handful).
     period:
         Steps between partition rotations (default: an equal share of the
-        first 75% of training, leaving the tail fully sparse).
+        first ``stop_fraction`` of training, leaving the tail fully sparse).
     """
+
+    # The rotation geometry and the sparse-phase targets are fixed at
+    # construction; only masks/partition pointer/history evolve.
+    CHECKPOINT_EXEMPT = {"budget", "schedule"}
 
     def __init__(
         self,
         masked: MaskedModel,
-        total_steps: int,
+        schedule: TrainingSchedule | int | None = None,
+        budget: DensityBudget | None = None,
         n_partitions: int = 4,
         period: int | None = None,
+        *,
+        total_steps: int | None = None,
     ):
+        if isinstance(schedule, int) or total_steps is not None:
+            # Legacy form: (masked, total_steps, ...).  No deprecation churn:
+            # the int maps 1:1 onto a schedule with GaP's stop fraction.
+            if total_steps is None:
+                total_steps = int(schedule)
+            schedule = TrainingSchedule(
+                total_steps=int(total_steps),
+                delta_t=max(1, period if period is not None else 1),
+                stop_fraction=0.75,
+            )
+        elif schedule is None:
+            raise TypeError("pass schedule=TrainingSchedule(...) or the legacy total_steps int")
         if n_partitions < 1:
             raise ValueError(f"need >= 1 partition, got {n_partitions}")
         self.masked = masked
+        self.schedule = schedule
+        self.budget = budget if budget is not None else masked.budget
         self.n_partitions = min(int(n_partitions), len(masked.targets))
-        self.total_steps = int(total_steps)
+        self.total_steps = schedule.total_steps
         rotations = 2 * self.n_partitions  # two full cycles by default
-        default_period = max(1, int(0.75 * total_steps) // max(rotations, 1))
+        self.stop_step = int(schedule.stop_fraction * self.total_steps)
+        default_period = max(1, self.stop_step // max(rotations, 1))
         self.period = int(period) if period is not None else default_period
-        self.stop_step = int(0.75 * total_steps)
         self._partitions: list[list[int]] = [
             list(range(start, len(masked.targets), self.n_partitions))
             for start in range(self.n_partitions)
         ]
         self._dense_partition: int | None = None
-        self._target_densities = [t.target_density for t in masked.targets]
+        # Sparse-phase targets come from the budget, not the live masks: a
+        # partition mid-excursion is dense, but it returns to its allocation.
+        self._target_densities = [
+            self.budget.density(t.name) if t.name in self.budget else t.target_density
+            for t in masked.targets
+        ]
         self.history: list[tuple[int, int]] = []
         # Grow the first partition immediately so training starts mid-cycle.
         self._rotate(step=0)

@@ -15,10 +15,14 @@ fraction of pruned weights by gradient magnitude — GraNet's
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
+from repro.sparse.budget import DensityBudget
 from repro.sparse.engine import SparsityController
 from repro.sparse.masked import MaskedModel
+from repro.sparse.schedule import TrainingSchedule
 from repro.rng import resolve_rng
 
 __all__ = ["cubic_sparsity", "GMPController"]
@@ -37,44 +41,96 @@ def cubic_sparsity(step: int, t_start: int, t_end: int, initial: float, final: f
 class GMPController(SparsityController):
     """Dense-to-sparse gradual magnitude pruning.
 
+    Unified form (see docs/controllers.md)::
+
+        GMPController(masked, schedule, budget, regrow_fraction=..., rng=...)
+
+    where ``schedule`` is a :class:`~repro.sparse.schedule.TrainingSchedule`
+    (its ``t_start_fraction``/``t_end_fraction``/``delta_t`` drive the
+    pruning window) and ``budget`` is the *final*
+    :class:`~repro.sparse.budget.DensityBudget` — the global allocation the
+    cubic schedule prunes down to (per-layer split nominal: GMP prunes by
+    global magnitude).
+
+    The pre-budget form ``GMPController(masked, final_sparsity,
+    total_steps, ...)`` still works for one release and emits a
+    :class:`DeprecationWarning`.
+
     Parameters
     ----------
     masked:
         A :class:`MaskedModel` built with ``sparsity=initial_sparsity``
         (usually 0 ⇒ all-ones masks).
-    final_sparsity:
-        Target global sparsity at ``t_end``.
-    total_steps:
-        Total training iterations.
-    t_start_fraction, t_end_fraction:
-        Pruning window as fractions of training.
-    delta_t:
-        Steps between pruning events.
     regrow_fraction:
         If > 0, after each prune event, re-activate this fraction of the
         *pruned-this-step* count by dense-gradient magnitude (GraNet).
     """
 
+    # ``budget`` and ``schedule`` are construction-time config (the final
+    # target and the pruning window); they never mutate during training, so
+    # resume correctness does not depend on checkpointing them.
+    CHECKPOINT_EXEMPT = {"budget", "schedule"}
+
     def __init__(
         self,
         masked: MaskedModel,
-        final_sparsity: float,
-        total_steps: int,
-        t_start_fraction: float = 0.1,
-        t_end_fraction: float = 0.7,
-        delta_t: int = 100,
+        schedule: TrainingSchedule | float | None = None,
+        budget: DensityBudget | int | None = None,
+        t_start_fraction: float | None = None,
+        t_end_fraction: float | None = None,
+        delta_t: int | None = None,
         regrow_fraction: float = 0.0,
         rng: np.random.Generator | None = None,
+        *,
+        final_sparsity: float | None = None,
+        total_steps: int | None = None,
     ):
+        if isinstance(schedule, (int, float)) or final_sparsity is not None:
+            # Legacy form: (masked, final_sparsity, total_steps, ...).
+            warnings.warn(
+                "GMPController(masked, final_sparsity, total_steps, ...) is "
+                "deprecated; pass a TrainingSchedule and a final DensityBudget "
+                "(see docs/controllers.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if final_sparsity is None:
+                final_sparsity = float(schedule)
+            if total_steps is None:
+                if budget is None:
+                    raise TypeError("the legacy GMPController form needs total_steps")
+                total_steps = int(budget)
+            schedule = TrainingSchedule(
+                total_steps=int(total_steps),
+                delta_t=100 if delta_t is None else int(delta_t),
+                t_start_fraction=(
+                    0.1 if t_start_fraction is None else float(t_start_fraction)
+                ),
+                t_end_fraction=0.7 if t_end_fraction is None else float(t_end_fraction),
+            )
+            budget = None
+        else:
+            if schedule is None:
+                raise TypeError(
+                    "pass schedule=TrainingSchedule(...) and a final DensityBudget "
+                    "(or the legacy final_sparsity/total_steps form)"
+                )
+            if budget is None:
+                raise TypeError("the unified GMPController form needs a final budget")
+            if t_start_fraction is not None or t_end_fraction is not None or delta_t is not None:
+                raise TypeError("timing knobs live on the TrainingSchedule")
+            final_sparsity = 1.0 - budget.total / budget.capacity
         if not 0.0 < final_sparsity < 1.0:
             raise ValueError(f"final_sparsity must be in (0, 1), got {final_sparsity}")
         self.masked = masked
+        self.schedule = schedule
+        self.budget = budget
         self.final_sparsity = float(final_sparsity)
         self.initial_sparsity = masked.global_sparsity()
-        self.total_steps = int(total_steps)
-        self.t_start = int(t_start_fraction * total_steps)
-        self.t_end = int(t_end_fraction * total_steps)
-        self.delta_t = int(delta_t)
+        self.total_steps = schedule.total_steps
+        self.t_start = schedule.t_start
+        self.t_end = schedule.t_end
+        self.delta_t = schedule.delta_t
         self.regrow_fraction = float(regrow_fraction)
         self.rng = resolve_rng(rng)
         self.history: list[tuple[int, float]] = []
@@ -88,6 +144,10 @@ class GMPController(SparsityController):
     def on_backward(self, step: int) -> bool:
         if step % self.delta_t == 0 and self.t_start <= step <= self.t_end + self.delta_t:
             self._prune_to(self.current_target(step))
+            # The masked model's budget mirrors the pruned masks, so budget
+            # accessors (global_budget, layer_allocations) stay truthful
+            # while the cubic schedule tightens.
+            self.masked.budget.refresh_from_masks(self.masked)
             self.history.append((step, self.masked.global_sparsity()))
         self.masked.mask_gradients()
         return False

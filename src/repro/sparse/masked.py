@@ -27,6 +27,7 @@ input channels) fall back to ``block_size=1``, i.e. unstructured.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -34,6 +35,7 @@ import numpy as np
 from repro import nn
 from repro.nn.module import Module, Parameter
 from repro.sparse.blocks import BlockMask, MatrixBlockIndexer
+from repro.sparse.budget import DensityBudget
 from repro.sparse.distribution import block_budget, layer_densities
 from repro.rng import resolve_rng
 
@@ -64,7 +66,7 @@ class SparseParam:
     __slots__ = (
         "name",
         "param",
-        "target_density",
+        "_target_density",
         "block_size",
         "indexer",
         "_mask",
@@ -85,7 +87,7 @@ class SparseParam:
     ):
         self.name = name
         self.param = param
-        self.target_density = float(target_density)
+        self._target_density = float(target_density)
         self.block_size = int(block_size)
         rows, cols = self.shape2d
         self.indexer = (
@@ -113,6 +115,16 @@ class SparseParam:
             f"SparseParam(name={self.name!r}, shape={self.param.shape}, "
             f"density={self.density:.4f}, block_size={self.block_size})"
         )
+
+    @property
+    def target_density(self) -> float:
+        """Budget-derived density this layer trains at.
+
+        Read-only by design: the layer density is owned by the
+        :class:`~repro.sparse.budget.DensityBudget` (``masked.budget``) and
+        only :mod:`repro.sparse.budget` may write it (reprolint RPL007).
+        """
+        return self._target_density
 
     @property
     def shape2d(self) -> tuple[int, int]:
@@ -324,6 +336,14 @@ class MaskedModel:
         (default 1 = unstructured).  Layers whose 2-D view is not divisible
         by the block size fall back to ``block_size=1`` individually (never
         silently mis-tiled); :attr:`block_fallbacks` lists them.
+    block_underflow:
+        What to do when a layer's requested density rounds to *zero* blocks
+        (so the min-one-block floor would silently inflate it — see
+        :func:`~repro.sparse.distribution.validate_block_quantization`).
+        ``"error"`` (default) raises the validation ``ValueError``;
+        ``"unstructured"`` keeps that layer at ``block_size=1`` so it trains
+        at its true density, recorded in :attr:`block_fallbacks` like a
+        non-tiling layer.
     """
 
     def __init__(
@@ -336,6 +356,7 @@ class MaskedModel:
         dense_layer_names: Iterable[str] = (),
         masks: dict[str, np.ndarray] | None = None,
         block_size: int | None = None,
+        block_underflow: str = "error",
     ):
         if not 0.0 <= sparsity < 1.0:
             raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
@@ -353,11 +374,37 @@ class MaskedModel:
             (name, p) for name, p in pairs
             if not any(_name_matches_component(name, d) for d in dense_names)
         ]
+        if block_underflow not in ("error", "unstructured"):
+            raise ValueError(
+                f"block_underflow must be 'error' or 'unstructured', got {block_underflow!r}"
+            )
         density = 1.0 - self.sparsity
-        densities = layer_densities([p.shape for _, p in sparse_pairs], density, distribution)
+        # Per-layer granularity is resolved before the distribution so the
+        # densities can be validated against block quantization (a density
+        # that rounds to zero blocks on a tiny layer raises loudly instead
+        # of being silently floored to one block).
+        layer_blocks = [self._layer_block_size(name, p) for name, p in sparse_pairs]
+        block_counts = [
+            self._block_count(param, block) if block > 1 else None
+            for (_, param), block in zip(sparse_pairs, layer_blocks)
+        ]
+        if block_underflow == "unstructured" and masks is None:
+            raw = layer_densities([p.shape for _, p in sparse_pairs], density, distribution)
+            for i, ((name, _), n_blocks) in enumerate(zip(sparse_pairs, block_counts)):
+                if n_blocks and n_blocks > 1 and int(round(raw[i] * n_blocks)) == 0:
+                    layer_blocks[i] = 1
+                    block_counts[i] = None
+                    self.block_fallbacks.append(name)
+        densities = layer_densities(
+            [p.shape for _, p in sparse_pairs],
+            density,
+            distribution,
+            block_counts=block_counts if masks is None else None,
+        )
         self.targets: list[SparseParam] = []
-        for (name, param), layer_density in zip(sparse_pairs, densities):
-            layer_block = self._layer_block_size(name, param)
+        for (name, param), layer_density, layer_block in zip(
+            sparse_pairs, densities, layer_blocks
+        ):
             if masks is not None:
                 if name not in masks:
                     raise KeyError(f"precomputed masks missing layer {name!r}")
@@ -382,7 +429,17 @@ class MaskedModel:
                     block_size=layer_block,
                 )
             )
+        # Integer source of truth for every density downstream: per-layer
+        # allocations mirror the freshly built masks exactly.
+        self.budget = DensityBudget.from_targets(self.targets)
         self.apply_masks()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _block_count(param: Parameter, block_size: int) -> int:
+        rows = int(param.shape[0])
+        cols = int(param.size // rows)
+        return (rows // block_size) * (cols // block_size)
 
     # ------------------------------------------------------------------
     def _layer_block_size(self, name: str, param: Parameter) -> int:
@@ -464,6 +521,20 @@ class MaskedModel:
     # statistics
     # ------------------------------------------------------------------
     @property
+    def global_budget(self) -> int:
+        """Total *allocated* non-zero elements (the budget's side of truth).
+
+        Equals :attr:`total_active` except transiently, when a controller
+        has mutated :attr:`budget` and the engine has not yet realized the
+        change at its next mask update.
+        """
+        return self.budget.total
+
+    def layer_allocations(self) -> dict[str, int]:
+        """Per-layer element allocations (block-quantized where structured)."""
+        return self.budget.allocations()
+
+    @property
     def total_size(self) -> int:
         return sum(t.size for t in self.targets)
 
@@ -496,12 +567,35 @@ class MaskedModel:
         """Copy of all masks keyed by parameter name."""
         return {t.name: t.mask.copy() for t in self.targets}
 
-    def set_masks(self, masks: dict[str, np.ndarray]) -> None:
+    def set_masks(
+        self,
+        masks: dict[str, np.ndarray],
+        sync_budget: bool | None = None,
+    ) -> None:
         """Replace masks (e.g. from a static pruner) and re-apply them.
 
-        ``target_density`` is refreshed from the new mask so downstream
-        drop-count math never works from a stale density.
+        ``sync_budget`` controls whether the budget (and with it each
+        layer's ``target_density``) is refreshed from the new masks:
+
+        * ``True`` — refresh through :meth:`DensityBudget.refresh_from_masks`
+          (the explicit, recommended form);
+        * ``False`` — masks are replaced, the budget is left untouched (the
+          engine will treat the difference as a rebalancing delta);
+        * ``None`` (legacy default) — refreshes like ``True`` but emits a
+          :class:`DeprecationWarning`: the silent refresh predates the
+          :class:`~repro.sparse.budget.DensityBudget` API and will default
+          to ``False`` in a future release.
         """
+        if sync_budget is None:
+            warnings.warn(
+                "MaskedModel.set_masks currently refreshes target_density "
+                "implicitly; pass sync_budget=True for this behaviour (or "
+                "False to leave the DensityBudget untouched) — the implicit "
+                "refresh is deprecated",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            sync_budget = True
         by_name = {t.name: t for t in self.targets}
         for name, mask in masks.items():
             if name not in by_name:
@@ -512,5 +606,6 @@ class MaskedModel:
                     f"mask shape mismatch for {name!r}: {mask.shape} vs {target.mask.shape}"
                 )
             target.mask = mask.astype(bool)
-            target.target_density = float(target.mask.mean())
+        if sync_budget:
+            self.budget.refresh_from_masks(self, names=list(masks))
         self.apply_masks()

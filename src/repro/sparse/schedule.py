@@ -9,6 +9,7 @@ the rate linearly.  All variants live here so the engine stays agnostic.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, replace
 
 __all__ = [
     "DropFractionSchedule",
@@ -16,6 +17,7 @@ __all__ = [
     "CosineDecaySchedule",
     "LinearDecaySchedule",
     "UpdateSchedule",
+    "TrainingSchedule",
     "make_drop_schedule",
 ]
 
@@ -88,6 +90,54 @@ class UpdateSchedule:
     def is_update_step(self, step: int) -> bool:
         """True when ``step`` is a drop-and-grow step."""
         return step > 0 and step % self.delta_t == 0 and step < self.stop_step
+
+
+@dataclass(frozen=True)
+class TrainingSchedule:
+    """Every *when/how-much* knob of a sparsity controller, in one value.
+
+    Part of the unified controller API (see docs/controllers.md): instead
+    of each controller growing its own ``total_steps``/``delta_t``/
+    ``drop_fraction``/... kwargs, every controller accepts
+    ``(masked, schedule, budget, ...)``.  Density lives in the
+    :class:`~repro.sparse.budget.DensityBudget`; timing lives here.
+
+    ``t_start_fraction``/``t_end_fraction`` are only consumed by the
+    dense-to-sparse schedules (GMP/STR); the drop-and-grow engine uses
+    ``drop_fraction``/``drop_schedule``/``stop_fraction``.
+    """
+
+    total_steps: int
+    delta_t: int = 100
+    drop_fraction: float = 0.3
+    drop_schedule: str = "cosine"
+    stop_fraction: float = 0.75
+    t_start_fraction: float = 0.1
+    t_end_fraction: float = 0.7
+
+    def __post_init__(self):
+        if self.total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {self.total_steps}")
+        if self.delta_t <= 0:
+            raise ValueError(f"delta_t must be positive, got {self.delta_t}")
+
+    def with_overrides(self, **changes) -> "TrainingSchedule":
+        """Copy with some fields replaced (method-specific overrides)."""
+        return replace(self, **changes)
+
+    def update_schedule(self) -> UpdateSchedule:
+        return UpdateSchedule(self.delta_t, self.total_steps, self.stop_fraction)
+
+    def drop_fraction_schedule(self) -> DropFractionSchedule:
+        return make_drop_schedule(self.drop_schedule, self.drop_fraction, self.total_steps)
+
+    @property
+    def t_start(self) -> int:
+        return int(self.t_start_fraction * self.total_steps)
+
+    @property
+    def t_end(self) -> int:
+        return int(self.t_end_fraction * self.total_steps)
 
 
 def make_drop_schedule(kind: str, fraction: float, total_steps: int) -> DropFractionSchedule:

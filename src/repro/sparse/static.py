@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.nn.module import Module
+from repro.sparse.budget import DensityBudget
 from repro.sparse.masked import collect_sparsifiable
 
 __all__ = ["snip_masks", "grasp_masks", "synflow_masks", "global_topk_masks"]
@@ -37,18 +38,33 @@ __all__ = ["snip_masks", "grasp_masks", "synflow_masks", "global_topk_masks"]
 
 def global_topk_masks(
     scores: dict[str, np.ndarray],
-    density: float,
+    density: float | None = None,
     keep: str = "largest",
+    budget: DensityBudget | None = None,
 ) -> dict[str, np.ndarray]:
     """Keep the global top (or bottom) ``density`` fraction across all layers.
 
-    Guarantees at least one active weight per layer so no layer is severed.
+    Instead of a float ``density``, a :class:`DensityBudget` may be passed:
+    exactly ``budget.total`` weights are kept (the global count, not a
+    rounded fraction), so masks built here line up element-for-element with
+    the budget a controller will later enforce.  Guarantees at least one
+    active weight per layer so no layer is severed.
     """
-    if not 0.0 < density <= 1.0:
-        raise ValueError(f"density must be in (0, 1], got {density}")
     names = list(scores)
     flat = np.concatenate([scores[n].reshape(-1) for n in names])
-    k = max(1, int(round(density * flat.size)))
+    if budget is not None:
+        if density is not None:
+            raise ValueError("pass either density or budget, not both")
+        if budget.capacity != flat.size:
+            raise ValueError(
+                f"budget capacity {budget.capacity} does not match "
+                f"{flat.size} scored weights"
+            )
+        k = max(1, budget.total)
+    else:
+        if density is None or not 0.0 < density <= 1.0:
+            raise ValueError(f"density must be in (0, 1], got {density}")
+        k = max(1, int(round(density * flat.size)))
     ranked = flat if keep == "largest" else -flat
     threshold_idx = np.argpartition(-ranked, k - 1)[:k]
     chosen = np.zeros(flat.size, dtype=bool)

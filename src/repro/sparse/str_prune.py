@@ -21,11 +21,15 @@ EXPERIMENTS.md records this as "STR (thresholding variant)".
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
+from repro.sparse.budget import DensityBudget
 from repro.sparse.engine import SparsityController
 from repro.sparse.gmp import cubic_sparsity
 from repro.sparse.masked import MaskedModel
+from repro.sparse.schedule import TrainingSchedule
 
 __all__ = ["STRController"]
 
@@ -33,38 +37,88 @@ __all__ = ["STRController"]
 class STRController(SparsityController):
     """Proximal soft-threshold dense-to-sparse training.
 
+    Unified form (see docs/controllers.md)::
+
+        STRController(masked, schedule, budget, grad_clip=...)
+
+    ``schedule`` supplies the threshold-update window
+    (``t_start_fraction``/``t_end_fraction``/``delta_t``), ``budget`` the
+    *final* global allocation (per-layer split nominal — thresholds are
+    layerwise quantiles of a global cubic schedule).  The pre-budget form
+    ``STRController(masked, final_sparsity, total_steps, ...)`` still
+    works for one release and emits a :class:`DeprecationWarning`.
+
     Parameters
     ----------
     masked:
         :class:`MaskedModel` built dense (``sparsity=0``); its masks track
         the current non-zero pattern for reporting/FLOPs.
-    final_sparsity:
-        Global sparsity reached at ``t_end_fraction`` of training.
-    total_steps:
-        Total training iterations.
-    delta_t:
-        Steps between threshold updates (thresholds are interpolated
-        in-between, shrinkage is applied every step).
+    grad_clip:
+        Global gradient-norm clip (dense-to-sparse stabilization).
     """
+
+    # Construction-time config: the final target and the threshold window
+    # never mutate during training (thresholds themselves ARE checkpointed).
+    CHECKPOINT_EXEMPT = {"budget", "schedule"}
 
     def __init__(
         self,
         masked: MaskedModel,
-        final_sparsity: float,
-        total_steps: int,
-        t_start_fraction: float = 0.05,
-        t_end_fraction: float = 0.75,
-        delta_t: int = 50,
+        schedule: TrainingSchedule | float | None = None,
+        budget: DensityBudget | int | None = None,
+        t_start_fraction: float | None = None,
+        t_end_fraction: float | None = None,
+        delta_t: int | None = None,
         grad_clip: float = 5.0,
+        *,
+        final_sparsity: float | None = None,
+        total_steps: int | None = None,
     ):
+        if isinstance(schedule, (int, float)) or final_sparsity is not None:
+            # Legacy form: (masked, final_sparsity, total_steps, ...).
+            warnings.warn(
+                "STRController(masked, final_sparsity, total_steps, ...) is "
+                "deprecated; pass a TrainingSchedule and a final DensityBudget "
+                "(see docs/controllers.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if final_sparsity is None:
+                final_sparsity = float(schedule)
+            if total_steps is None:
+                if budget is None:
+                    raise TypeError("the legacy STRController form needs total_steps")
+                total_steps = int(budget)
+            schedule = TrainingSchedule(
+                total_steps=int(total_steps),
+                delta_t=50 if delta_t is None else int(delta_t),
+                t_start_fraction=(
+                    0.05 if t_start_fraction is None else float(t_start_fraction)
+                ),
+                t_end_fraction=0.75 if t_end_fraction is None else float(t_end_fraction),
+            )
+            budget = None
+        else:
+            if schedule is None:
+                raise TypeError(
+                    "pass schedule=TrainingSchedule(...) and a final DensityBudget "
+                    "(or the legacy final_sparsity/total_steps form)"
+                )
+            if budget is None:
+                raise TypeError("the unified STRController form needs a final budget")
+            if t_start_fraction is not None or t_end_fraction is not None or delta_t is not None:
+                raise TypeError("timing knobs live on the TrainingSchedule")
+            final_sparsity = 1.0 - budget.total / budget.capacity
         if not 0.0 < final_sparsity < 1.0:
             raise ValueError(f"final_sparsity must be in (0, 1), got {final_sparsity}")
         self.masked = masked
+        self.schedule = schedule
+        self.budget = budget
         self.final_sparsity = float(final_sparsity)
-        self.total_steps = int(total_steps)
-        self.t_start = int(t_start_fraction * total_steps)
-        self.t_end = int(t_end_fraction * total_steps)
-        self.delta_t = int(delta_t)
+        self.total_steps = schedule.total_steps
+        self.t_start = schedule.t_start
+        self.t_end = schedule.t_end
+        self.delta_t = schedule.delta_t
         self.grad_clip = float(grad_clip)
         self._thresholds = [0.0 for _ in masked.targets]
         self.history: list[tuple[int, float]] = []

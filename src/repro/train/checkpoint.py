@@ -1,12 +1,14 @@
 """Resume-exact training checkpoints (versioned npz, atomic writes).
 
 A *training checkpoint* is the complete state returned by
-:meth:`repro.train.Trainer.state_dict` — model parameters, masks, optimizer
-moments, scheduler position, DST engine state (coverage counters, engine
-RNG, drop-and-grow history), epoch history, data-pipeline RNG states and,
-mid-epoch, the partial epoch's progress.  Restoring it into a trainer built
-from the same configuration continues the run *bitwise identically* to an
-uninterrupted one.
+:meth:`repro.train.Trainer.state_dict` — model parameters, masks, the
+per-layer :class:`~repro.sparse.budget.DensityBudget` allocations (which
+drift under cross-layer rebalancing, so they cannot be reconstructed from
+the run configuration), optimizer moments, scheduler position, DST engine
+state (coverage counters, engine RNG, drop-and-grow history), epoch
+history, data-pipeline RNG states and, mid-epoch, the partial epoch's
+progress.  Restoring it into a trainer built from the same configuration
+continues the run *bitwise identically* to an uninterrupted one.
 
 On-disk format (version 1)
 --------------------------

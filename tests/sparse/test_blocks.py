@@ -353,6 +353,41 @@ class TestFallbackSemantics:
         with pytest.raises(ValueError, match="unstructured"):
             fallback[0].active_blocks  # noqa: B018 - block view must refuse
 
+    def test_underflow_density_raises_by_default(self):
+        # 8x8 layer = 4 blocks of 4x4; density 0.1 rounds to zero blocks,
+        # so the min-one-block floor would silently inflate it to 0.25.
+        model = nn.Sequential(nn.Linear(8, 8, rng=np.random.default_rng(0)))
+        with pytest.raises(ValueError, match="rounds to zero blocks"):
+            MaskedModel(
+                model, 0.9, distribution="uniform",
+                rng=np.random.default_rng(1), block_size=4,
+            )
+
+    def test_underflow_opt_in_falls_back_to_unstructured(self):
+        model = nn.Sequential(
+            nn.Linear(8, 8, rng=np.random.default_rng(0)),
+            nn.ReLU(),
+            nn.Linear(8, 64, rng=np.random.default_rng(0)),
+        )
+        masked = MaskedModel(
+            model, 0.9, distribution="uniform",
+            rng=np.random.default_rng(1), block_size=4,
+            block_underflow="unstructured",
+        )
+        small, big = masked.targets
+        # The 4-block layer trains unstructured at its true density...
+        assert small.block_size == 1
+        assert masked.block_fallbacks == [small.name]
+        assert small.target_density == pytest.approx(0.1)
+        # ...while the big layer keeps its quantized block masks.
+        assert big.block_size == 4
+        assert big.active_count % 16 == 0
+
+    def test_underflow_mode_is_validated(self):
+        model = nn.Sequential(nn.Linear(8, 8, rng=np.random.default_rng(0)))
+        with pytest.raises(ValueError, match="block_underflow"):
+            MaskedModel(model, 0.5, block_size=4, block_underflow="ignore")
+
     def test_auto_mode_routes_fallback_layers_to_unstructured(self):
         # A block layer under explicit bsr mode is forced sparse...
         assert select_backend(0.5, 128, "bsr", block_size=4) == "bsr"

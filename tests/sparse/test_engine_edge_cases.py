@@ -197,9 +197,12 @@ class TestFillDeficitExactness:
         """Proportional allocation plus a full layer forces a deficit."""
         model = MLP(in_features=10, hidden=(12,), num_classes=3, seed=0)
         masked = MaskedModel(model, 0.6, rng=np.random.default_rng(0))
-        # Saturate one layer so it has (almost) no inactive capacity.
+        # Saturate one layer so it has (almost) no inactive capacity.  The
+        # budget is the source of truth, so the out-of-band mask edit must
+        # be synced into it or the engine would prune the layer back.
         small = masked.targets[-1]
         small.mask = np.ones_like(small.mask)
+        masked.budget.refresh_from_masks(masked)
         engine = DynamicSparseEngine(
             masked, GradientGrowth(), total_steps=1000, delta_t=10,
             drop_fraction=0.4, grow_allocation="proportional",

@@ -288,7 +288,7 @@ class TestCachedIndexProperty:
         _, masked = mlp_setup(sparsity=0.8)
         target = masked.targets[0]
         assert target.target_density == pytest.approx(0.2, abs=0.05)
-        masked.set_masks({target.name: np.ones_like(target.mask)})
+        masked.set_masks({target.name: np.ones_like(target.mask)}, sync_budget=True)
         assert target.target_density == pytest.approx(1.0)
         assert target.density == pytest.approx(1.0)
 

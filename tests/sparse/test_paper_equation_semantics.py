@@ -65,6 +65,11 @@ class TestPaperDropRule:
         # i.e. closest to zero from below) must be dropped before ±1.
         flat[0], flat[1], flat[2], flat[3] = 0.01, -0.02, 1.0, -1.0
         flat[4:10] = np.linspace(2, 3, 6)
+        # In-place mask edits must invalidate the cached index sets, then
+        # sync the hand-crafted masks into the budget (the engine's source
+        # of truth) so the update moves exactly k weights, no budget deltas.
+        target.mark_mask_dirty()
+        masked.budget.refresh_from_masks(masked)
         engine = DynamicSparseEngine(
             masked, DSTEEGrowth(c=0.0), total_steps=100, delta_t=10,
             rng=np.random.default_rng(1),

@@ -35,12 +35,20 @@ def gate(gate_mod):
     return gate_mod.Gate(tolerance=0.25)
 
 
-def _engine(scale, ratio=1.5):
+def _engine(scale, ratio=1.5, overhead=1.05):
     return {
         "scale": scale,
         "conv_block_ab": {
             "vgg_small": {
                 "0.95": {"dense": 50.0, "bsr": 50.0 * ratio, "ratio": ratio}
+            }
+        },
+        "rebalance": {
+            "delta_t_ms": {
+                "mlp_small": {
+                    "0.9": {"plain": 2.0, "balanced": 2.0 * overhead, "overhead": overhead},
+                    "0.95": {"plain": 2.0, "balanced": 2.0 * overhead, "overhead": overhead},
+                }
             }
         },
     }
@@ -69,6 +77,31 @@ class TestBlockFloor:
             {"scale": "medium", "conv_block_ab": {}}, gate, 1.3
         )
         assert gate.failures == 1
+
+
+class TestRebalanceOverheadCeiling:
+    def test_passes_under_ceiling_at_medium_scale(self, gate_mod, gate):
+        gate_mod.check_rebalance_overhead(_engine("medium", overhead=1.1), gate, 1.15)
+        assert (gate.checks, gate.failures) == (2, 0)
+
+    def test_fails_over_ceiling(self, gate_mod, gate):
+        gate_mod.check_rebalance_overhead(_engine("full", overhead=1.3), gate, 1.15)
+        assert gate.failures == 2
+
+    def test_skipped_at_small_scale(self, gate_mod, gate):
+        """The 3-round small smoke is timer-noise dominated; no ceiling."""
+        gate_mod.check_rebalance_overhead(_engine("small", overhead=9.0), gate, 1.15)
+        assert (gate.checks, gate.failures) == (0, 0)
+
+    def test_missing_section_is_a_failure_not_a_pass(self, gate_mod, gate):
+        gate_mod.check_rebalance_overhead({"scale": "medium"}, gate, 1.15)
+        assert gate.failures == 1
+
+    def test_missing_sparsity_point_is_a_failure(self, gate_mod, gate):
+        fresh = _engine("medium", overhead=1.0)
+        del fresh["rebalance"]["delta_t_ms"]["mlp_small"]["0.95"]
+        gate_mod.check_rebalance_overhead(fresh, gate, 1.15)
+        assert (gate.checks, gate.failures) == (1, 1)
 
 
 class TestConvBlockRelativeChecks:

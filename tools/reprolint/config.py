@@ -15,6 +15,7 @@ __all__ = [
     "HOT_PATH_FILES",
     "LOCK_SCOPE_PREFIXES",
     "HTTP_CONTRACT_FILES",
+    "BUDGET_AUTHORITY_FILE",
     "STATEFUL_ROOTS",
     "CHECKPOINT_EXEMPT_ATTRS",
     "is_deterministic_path",
@@ -46,6 +47,10 @@ HOT_PATH_FILES = (
 
 # RPL006 — modules carrying a documented HTTP error-contract table.
 HTTP_CONTRACT_FILES = ("repro/serve/http.py",)
+
+# RPL007 — the one module allowed to write SparseParam.target_density;
+# everywhere else density is derived from the DensityBudget allocations.
+BUDGET_AUTHORITY_FILE = "repro/sparse/budget.py"
 
 # RPL002 — class names that root the stateful hierarchies: any class with
 # one of these in its (statically resolvable) ancestry must checkpoint the

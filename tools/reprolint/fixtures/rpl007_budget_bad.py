@@ -1,0 +1,22 @@
+"""Known-bad RPL007 fixture: density written outside the budget module."""
+
+# reprolint: treat-as=repro/sparse/engine.py
+
+
+class FakeSparseParam:
+    def __init__(self, density):
+        # Seeding the backing slot in __init__ is the one legal shape.
+        self._target_density = float(density)
+
+
+def clamp_layer(target):
+    target.target_density = 0.5  # expect: RPL007
+    target._target_density = 0.5  # expect: RPL007
+
+
+def drift_layer(target, amount):
+    target.target_density += amount  # expect: RPL007
+
+
+def bulk_update(first, second):
+    first.target_density, second.mask = 0.1, None  # expect: RPL007

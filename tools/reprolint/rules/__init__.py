@@ -13,6 +13,7 @@ from tools.reprolint.rules.rpl003_forksafety import ForkSafety
 from tools.reprolint.rules.rpl004_locks import LockOrdering
 from tools.reprolint.rules.rpl005_hotpath import HotPathAllocation
 from tools.reprolint.rules.rpl006_contract import ServeErrorContract
+from tools.reprolint.rules.rpl007_budget import BudgetAuthority
 
 __all__ = ["all_rules", "rules_by_code"]
 
@@ -23,6 +24,7 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     LockOrdering,
     HotPathAllocation,
     ServeErrorContract,
+    BudgetAuthority,
 )
 
 

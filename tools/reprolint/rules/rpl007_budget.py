@@ -1,0 +1,100 @@
+"""RPL007 — DensityBudget is the only writer of ``target_density``.
+
+The budget redesign (docs/controllers.md) made per-layer density a
+*derived* quantity: :class:`repro.sparse.budget.DensityBudget` owns the
+integer allocations and pushes float densities onto each
+:class:`~repro.sparse.masked.SparseParam` through
+``assign_target_density``.  A direct write to ``target_density`` (or the
+backing ``_target_density`` slot) anywhere else silently desynchronizes
+the controller's source of truth from the layer's advertised density —
+the exact bug class the redesign removed.  This rule flags every
+attribute-store of those names outside ``repro/sparse/budget.py``.
+
+One shape stays legal everywhere: ``self._target_density = ...`` inside
+an ``__init__`` body, which is how ``SparseParam`` seeds its own slot
+before any budget exists.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from tools.reprolint.config import BUDGET_AUTHORITY_FILE
+from tools.reprolint.core import Finding, ModuleInfo, Rule
+
+__all__ = ["BudgetAuthority"]
+
+_DENSITY_ATTRS = frozenset({"target_density", "_target_density"})
+
+
+def _stored_attributes(target: ast.expr) -> Iterator[ast.Attribute]:
+    """Attribute nodes assigned to by ``target`` (unpacking included)."""
+    if isinstance(target, ast.Attribute):
+        yield target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _stored_attributes(element)
+    elif isinstance(target, ast.Starred):
+        yield from _stored_attributes(target.value)
+
+
+def _assignment_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+class BudgetAuthority(Rule):
+    code = "RPL007"
+    name = "budget-authority"
+    description = (
+        "Per-layer target_density may only be written by the DensityBudget "
+        "machinery in repro/sparse/budget.py; everywhere else it is derived "
+        "state."
+    )
+
+    def visit_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not module.logical.startswith("repro/"):
+            return
+        if module.logical == BUDGET_AUTHORITY_FILE:
+            return
+        init_self_slots = self._init_self_slot_assignments(module.tree)
+        for node in ast.walk(module.tree):
+            for target in _assignment_targets(node):
+                for attribute in _stored_attributes(target):
+                    if attribute.attr not in _DENSITY_ATTRS:
+                        continue
+                    if id(attribute) in init_self_slots:
+                        continue
+                    yield self.finding(
+                        module,
+                        attribute,
+                        f"direct write to {attribute.attr!r} outside "
+                        f"{BUDGET_AUTHORITY_FILE}; route density changes "
+                        "through the DensityBudget (rescale/transfer/bind, "
+                        "see docs/controllers.md)",
+                    )
+
+    @staticmethod
+    def _init_self_slot_assignments(tree: ast.Module) -> set[int]:
+        """ids of ``self._target_density`` stores inside ``__init__`` bodies."""
+        allowed: set[int] = set()
+        for fn in ast.walk(tree):
+            if not isinstance(fn, ast.FunctionDef) or fn.name != "__init__":
+                continue
+            if not fn.args.args:
+                continue
+            self_name = fn.args.args[0].arg
+            for node in ast.walk(fn):
+                for target in _assignment_targets(node):
+                    for attribute in _stored_attributes(target):
+                        if (
+                            attribute.attr == "_target_density"
+                            and isinstance(attribute.value, ast.Name)
+                            and attribute.value.id == self_name
+                        ):
+                            allowed.add(id(attribute))
+        return allowed
