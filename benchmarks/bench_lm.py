@@ -1,0 +1,175 @@
+"""LM workload benchmark: sparse char-GPT on the Markov-prose corpus.
+
+Tracks the language-model scenario the same way ``bench_rl.py`` tracks
+the DQN loop:
+
+* **throughput** — gradient steps/sec of the full training loop (forward
+  → LM cross-entropy → backward → controller → Adam) at 0% (dense), 90%,
+  and 95% sparsity;
+* **quality** — validation perplexity and next-token accuracy per seed,
+  plus an *equal-parameter dense comparator*: a dense CharGPT whose
+  embedding width is shrunk until its parameter (and hence per-token
+  FLOP) budget matches the 95%-sparse model's **active** budget.  The
+  headline acceptance criterion of the LM workload is that the 95%-sparse
+  wide model beats that small dense model on validation perplexity.
+
+At ``REPRO_SCALE=small`` (the CI smoke) the committed config is the
+acceptance config: one seed, 65536 characters, 3 epochs — enough for the
+sparse-vs-equal-dense ordering to be stable.  ``medium``/``full`` add
+seeds and data.
+
+Machine-readable JSON goes to ``BENCH_lm.json`` at the repo root.
+
+Run with::
+
+    PYTHONPATH=src REPRO_SCALE=small python benchmarks/bench_lm.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.experiments.configs import get_scale
+from repro.experiments.lm import run_lm
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_lm.json"
+
+CORPUS = "markov-prose"
+
+# (json key, method, sparsity): "0" is the dense reference row at the
+# full width, "dense_equal" the parameter-matched small dense comparator.
+SPARSITY_ROWS = (("0", "dense", 0.0), ("0.9", "dst_ee", 0.9), ("0.95", "dst_ee", 0.95))
+
+_SETTINGS = {
+    "small": dict(
+        n_chars=65536,
+        epochs=3,
+        batch_size=32,
+        lr=1e-3,
+        delta_t=100,
+        n_embd=64,
+        equal_n_embd=16,
+        seeds=(0,),
+    ),
+    "medium": dict(
+        n_chars=262144,
+        epochs=5,
+        batch_size=32,
+        lr=1e-3,
+        delta_t=100,
+        n_embd=64,
+        equal_n_embd=16,
+        seeds=(0, 1, 2),
+    ),
+    "full": dict(
+        n_chars=524288,
+        epochs=8,
+        batch_size=32,
+        lr=1e-3,
+        delta_t=100,
+        n_embd=64,
+        equal_n_embd=16,
+        seeds=(0, 1, 2),
+    ),
+}
+
+
+def _active_params(result) -> int:
+    """Total live parameters: dense params minus pruned mask positions."""
+    masked_size = sum(int(mask.size) for mask in result.masks.values())
+    masked_live = sum(int(mask.sum()) for mask in result.masks.values())
+    return int(result.n_params - masked_size + masked_live)
+
+
+def _row(result) -> dict:
+    return {
+        "val_perplexity": round(result.val_perplexity, 4),
+        "val_next_token_accuracy": round(result.val_next_token_accuracy, 4),
+        "train_loss": round(result.train_loss, 4),
+        "n_params": result.n_params,
+        "active_params": _active_params(result),
+        "actual_sparsity": (
+            None if result.actual_sparsity is None else round(result.actual_sparsity, 4)
+        ),
+    }
+
+
+def run() -> dict:
+    scale = get_scale()
+    settings = dict(_SETTINGS[scale.name])
+    seeds = settings.pop("seeds")
+    equal_n_embd = settings.pop("equal_n_embd")
+    n_embd = settings.pop("n_embd")
+
+    steps_per_sec: dict[str, float] = {}
+    quality: dict[str, dict] = {}
+
+    def bench_rows(key: str, method: str, sparsity: float, width: int) -> None:
+        per_seed_sps = []
+        quality[key] = {}
+        for seed in seeds:
+            result = run_lm(
+                method,
+                CORPUS,
+                sparsity=sparsity,
+                seed=seed,
+                n_embd=width,
+                **settings,
+            )
+            per_seed_sps.append(result.steps_per_sec)
+            quality[key][str(seed)] = _row(result)
+            print(
+                f"[lm] {method} s={key} n_embd={width} seed={seed}: "
+                f"val_ppl={result.val_perplexity:.3f} "
+                f"acc={result.val_next_token_accuracy:.4f} "
+                f"({result.steps_per_sec:.1f} steps/s)"
+            )
+        # Best-of-seeds: on a shared box throughput noise is one-sided.
+        steps_per_sec[key] = round(float(np.max(per_seed_sps)), 3)
+
+    for key, method, sparsity in SPARSITY_ROWS:
+        bench_rows(key, method, sparsity, n_embd)
+    # Equal-parameter dense comparator: a dense model whose total budget
+    # matches the 95%-sparse model's active budget (see docs/lm.md).
+    bench_rows("dense_equal", "dense", 0.0, equal_n_embd)
+
+    sparse95 = [row["val_perplexity"] for row in quality["0.95"].values()]
+    equal = [row["val_perplexity"] for row in quality["dense_equal"].values()]
+    headline = {
+        "sparse95_val_perplexity": round(float(np.mean(sparse95)), 4),
+        "dense_equal_val_perplexity": round(float(np.mean(equal)), 4),
+        "sparse95_beats_equal_dense": bool(np.mean(sparse95) < np.mean(equal)),
+        "sparse95_active_params": max(
+            row["active_params"] for row in quality["0.95"].values()
+        ),
+        "dense_equal_params": max(row["n_params"] for row in quality["dense_equal"].values()),
+    }
+
+    result = {
+        "schema": 1,
+        "scale": scale.name,
+        "nproc": os.cpu_count(),
+        "corpus": CORPUS,
+        "config": {**settings, "n_embd": n_embd, "equal_n_embd": equal_n_embd, "seeds": list(seeds)},
+        "sparsities": [key for key, _, _ in SPARSITY_ROWS] + ["dense_equal"],
+        "methods": {
+            **{key: method for key, method, _ in SPARSITY_ROWS},
+            "dense_equal": "dense",
+        },
+        "train_steps_per_sec": steps_per_sec,
+        "quality": quality,
+        "headline": headline,
+    }
+    OUTPUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"[headline] {json.dumps(headline)}")
+    print(f"[written to {OUTPUT_PATH}]")
+    return result
+
+
+if __name__ == "__main__":
+    run()

@@ -1,20 +1,24 @@
 """CI bench-regression gate: fresh BENCH JSONs vs committed baselines.
 
 Compares a freshly produced ``BENCH_engine.json`` / ``BENCH_serve.json`` /
-``BENCH_rl.json`` against the committed smoke baselines in
-``benchmarks/results/`` and fails (exit 1) when a guarded metric regressed
-beyond the tolerance.
+``BENCH_rl.json`` / ``BENCH_lm.json`` against the committed smoke baselines
+in ``benchmarks/results/`` and fails (exit 1) when a guarded metric
+regressed beyond the tolerance.
 
 Two kinds of checks:
 
 * **relative metrics** (default, machine-portable): ratios measured inside
   one process on one machine — the CSR-vs-dense training speedup per
   config/sparsity, the batched-vs-unbatched serving speedup per sparsity,
-  and the sparse-vs-dense DQN gradient-steps/sec ratio per sparsity.
+  and the sparse-vs-dense DQN/LM gradient-steps/sec ratio per sparsity.
   These cancel out absolute machine speed, so a committed baseline from
   one box meaningfully gates a CI runner of a different speed.  The
   serving speedup additionally has a hard floor (``--min-batch-speedup``)
-  independent of the baseline.
+  independent of the baseline.  The LM bench is additionally gated on
+  *quality*: the 95%-sparse validation perplexity may not regress past
+  the baseline by the tolerance, must stay under a hard ceiling
+  (``--max-lm-sparse95-ppl``), and must beat the equal-parameter dense
+  comparator recorded in the same run.
 * **absolute metrics** (``--absolute``): every steps/sec and requests/sec
   leaf compared directly.  Only meaningful when baseline and fresh run on
   comparable machines (e.g. the nightly job re-baselining against its own
@@ -38,6 +42,8 @@ Refreshing baselines (after an intentional perf change, commit the copies)::
     cp BENCH_serve.json benchmarks/results/BENCH_serve_smoke_baseline.json
     REPRO_SCALE=small python benchmarks/bench_rl.py
     cp BENCH_rl.json benchmarks/results/BENCH_rl_smoke_baseline.json
+    REPRO_SCALE=small python benchmarks/bench_lm.py
+    cp BENCH_lm.json benchmarks/results/BENCH_lm_smoke_baseline.json
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 ENGINE_BASELINE = "BENCH_engine_smoke_baseline.json"
 SERVE_BASELINE = "BENCH_serve_smoke_baseline.json"
 RL_BASELINE = "BENCH_rl_smoke_baseline.json"
+LM_BASELINE = "BENCH_lm_smoke_baseline.json"
 
 
 class Gate:
@@ -348,6 +355,97 @@ def check_rl(fresh: dict, baseline: dict, gate: Gate, absolute: bool) -> None:
                     gate.relative(f"rl {name}", fresh_leaves[name], base_value)
 
 
+def check_lm_headline(fresh: dict, gate: Gate, max_sparse95_ppl: float) -> None:
+    """Baseline-independent quality floors on the LM bench.
+
+    Both metrics are measured within one run on one machine, so they are
+    machine-portable: the 95%-sparse validation perplexity has a hard
+    ceiling, and the same model must beat the equal-parameter dense
+    comparator trained in the same process.
+    """
+    headline = fresh.get("headline")
+    if not headline:
+        print("[FAIL] lm: headline section missing from fresh run")
+        gate.failures += 1
+        return
+    sparse95 = headline.get("sparse95_val_perplexity")
+    if sparse95 is None:
+        print("[FAIL] lm: no sparse95_val_perplexity in fresh run")
+        gate.failures += 1
+    else:
+        gate.check_max(
+            "lm sparse95 val-perplexity hard ceiling",
+            sparse95,
+            max_sparse95_ppl,
+            "absolute ceiling, baseline-independent",
+        )
+    equal = headline.get("dense_equal_val_perplexity")
+    if sparse95 is None or equal is None:
+        print("[FAIL] lm: equal-parameter dense comparator missing from fresh run")
+        gate.failures += 1
+    else:
+        gate.check_max(
+            "lm sparse95 vs equal-parameter dense (ppl ratio)",
+            sparse95 / equal,
+            1.0,
+            "95%-sparse wide model must beat the parameter-matched dense model",
+        )
+
+
+def check_lm(fresh: dict, baseline: dict, gate: Gate, absolute: bool) -> None:
+    """Guard the LM workload's throughput ratios and perplexity.
+
+    ``train_steps_per_sec`` keys are sparsity levels with ``"0"`` the dense
+    reference row; the guarded throughput metric is ``sparse / dense``
+    gradient steps/sec within one run (machine-portable).  Validation
+    perplexity is compared against the baseline with the tolerance applied
+    as a ceiling (lower is better).
+    """
+    fresh_sps = fresh.get("train_steps_per_sec", {})
+    base_sps = baseline.get("train_steps_per_sec", {})
+    base_dense = base_sps.get("0")
+    fresh_dense = fresh_sps.get("0")
+    if base_dense:
+        if not fresh_dense:
+            print("[FAIL] lm: dense (s=0) reference row missing in fresh run")
+            gate.failures += 1
+        else:
+            for sparsity, base_value in base_sps.items():
+                if sparsity in ("0", "dense_equal") or not base_value:
+                    continue
+                fresh_value = fresh_sps.get(sparsity)
+                if not fresh_value:
+                    print(f"[FAIL] lm: sparsity {sparsity} missing in fresh run")
+                    gate.failures += 1
+                    continue
+                gate.relative(
+                    f"lm train steps/sec ratio @s={sparsity}",
+                    fresh_value / fresh_dense,
+                    base_value / base_dense,
+                )
+    base_headline = baseline.get("headline", {})
+    fresh_headline = fresh.get("headline", {})
+    base_ppl = base_headline.get("sparse95_val_perplexity")
+    fresh_ppl = fresh_headline.get("sparse95_val_perplexity")
+    if base_ppl:
+        if not fresh_ppl:
+            print("[FAIL] lm: sparse95_val_perplexity missing in fresh run")
+            gate.failures += 1
+        else:
+            gate.check_max(
+                "lm sparse95 val-perplexity vs baseline",
+                fresh_ppl,
+                base_ppl * (1.0 + gate.tolerance),
+                f"baseline {base_ppl:.3f}, tolerance {gate.tolerance:.0%}",
+            )
+    if absolute:
+        base_leaves = _numeric_leaves(baseline.get("train_steps_per_sec", {}), "train_steps_per_sec")
+        fresh_leaves = _numeric_leaves(fresh.get("train_steps_per_sec", {}), "train_steps_per_sec")
+        for name, base_value in sorted(base_leaves.items()):
+            if name in fresh_leaves and base_value > 0:
+                gate.relative(f"lm {name}", fresh_leaves[name], base_value)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -364,6 +462,11 @@ def main(argv: list[str] | None = None) -> int:
         "--rl",
         default=str(REPO_ROOT / "BENCH_rl.json"),
         help="fresh RL bench JSON",
+    )
+    parser.add_argument(
+        "--lm",
+        default=str(REPO_ROOT / "BENCH_lm.json"),
+        help="fresh LM bench JSON",
     )
     parser.add_argument(
         "--baseline-dir",
@@ -411,6 +514,13 @@ def main(argv: list[str] | None = None) -> int:
         "saturation in the serve trace section",
     )
     parser.add_argument(
+        "--max-lm-sparse95-ppl",
+        type=float,
+        default=9.0,
+        help="hard ceiling for the 95%%-sparse char-GPT validation perplexity "
+        "on the committed config",
+    )
+    parser.add_argument(
         "--absolute",
         action="store_true",
         help="also compare absolute steps/sec and req/s (same-machine baselines only)",
@@ -451,7 +561,17 @@ def main(argv: list[str] | None = None) -> int:
         else:
             gate.failures += 1
 
-    if engine_fresh is None and serve_fresh is None and rl_fresh is None:
+    lm_fresh = _load(pathlib.Path(args.lm), "lm fresh")
+    lm_base = _load(baseline_dir / LM_BASELINE, "lm baseline")
+    if lm_fresh is not None:
+        check_lm_headline(lm_fresh, gate, args.max_lm_sparse95_ppl)
+    if lm_fresh is not None and lm_base is not None:
+        if _scales_match(lm_fresh, lm_base, "lm"):
+            check_lm(lm_fresh, lm_base, gate, args.absolute)
+        else:
+            gate.failures += 1
+
+    if engine_fresh is None and serve_fresh is None and rl_fresh is None and lm_fresh is None:
         print("error: no fresh bench JSON found to check", file=sys.stderr)
         return 2
     print(f"\n{gate.checks} checks, {gate.failures} failures (tolerance {args.tolerance:.0%})")

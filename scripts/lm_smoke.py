@@ -1,0 +1,178 @@
+"""CI smoke: LM train → SIGKILL mid-epoch → resume → export → HTTP query.
+
+Exercises the language-model workload's fault-tolerance and deployment
+path end to end through the CLI, mirroring ``rl_smoke.py``:
+
+1. run a tiny sparse char-GPT uninterrupted and export its artifact (the
+   reference);
+2. launch the same run in a subprocess with step-granular checkpoints and
+   SIGKILL it as soon as the first checkpoint file appears (mid-epoch);
+3. rerun the killed command with ``--resume`` (exporting its artifact);
+4. assert the resumed run's printed summary is byte-identical to the
+   reference's, that the two exported artifacts produce bitwise-equal
+   next-token logits, and that a greedy next-token HTTP query against the
+   resumed artifact returns exactly the token ids the reference model
+   predicts in-process.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/lm_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+RUN_ARGS = (
+    "run-lm --method dst_ee --sparsity 0.9 --n-chars 32768 --epochs 2 "
+    "--batch-size 16 --n-embd 32 --delta-t 10 --seed 0"
+).split()
+KILL_WAIT_SECONDS = 120
+# Lines whose content legitimately differs between runs (timing, paths).
+VOLATILE_PREFIXES = ("wall time:", "artifact:", "serve with:")
+
+PROMPTS = ("the cat sat on the ", "a man and a ", "every day the ")
+
+
+def _command(out: str, checkpoint_dir: str | None = None, resume: bool = False) -> list[str]:
+    cmd = [sys.executable, "-m", "repro.experiments.cli", *RUN_ARGS, "--out", out]
+    if checkpoint_dir is not None:
+        cmd += ["--checkpoint-dir", checkpoint_dir, "--checkpoint-every-steps", "10"]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def _run(cmd: list[str]) -> str:
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        raise SystemExit(
+            f"command failed ({result.returncode}): {' '.join(cmd)}\n"
+            f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        )
+    return result.stdout
+
+
+def _summary(stdout: str) -> str:
+    """The run's deterministic summary (timing and path lines dropped)."""
+    kept = [
+        line
+        for line in stdout.splitlines()
+        if line.strip() and not line.strip().startswith(VOLATILE_PREFIXES)
+    ]
+    return "\n".join(kept)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as workdir:
+        ref_artifact = os.path.join(workdir, "reference.npz")
+        res_artifact = os.path.join(workdir, "resumed.npz")
+        kill_dir = os.path.join(workdir, "checkpoints")
+
+        print("[1/5] reference run (uninterrupted, with export)...", flush=True)
+        reference = _summary(_run(_command(ref_artifact)))
+
+        print("[2/5] run to be SIGKILLed at first mid-epoch checkpoint...", flush=True)
+        victim = subprocess.Popen(
+            _command(res_artifact, checkpoint_dir=kill_dir),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + KILL_WAIT_SECONDS
+        first_checkpoint = None
+        while time.monotonic() < deadline and victim.poll() is None:
+            checkpoints = list(pathlib.Path(kill_dir).glob("ckpt-*.npz"))
+            if checkpoints:
+                first_checkpoint = checkpoints[0]
+                break
+            time.sleep(0.02)
+        if victim.poll() is not None:
+            raise SystemExit(
+                "victim run finished before any checkpoint appeared; "
+                "enlarge the workload so the kill lands mid-run"
+            )
+        if first_checkpoint is None:
+            victim.kill()
+            raise SystemExit("no checkpoint appeared within the wait budget")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        assert victim.returncode == -signal.SIGKILL, victim.returncode
+        print(f"    killed mid-epoch (first checkpoint: {first_checkpoint.name})", flush=True)
+
+        print("[3/5] resuming the killed run...", flush=True)
+        resumed = _summary(_run(_command(res_artifact, checkpoint_dir=kill_dir, resume=True)))
+
+        if resumed != reference:
+            raise SystemExit(
+                "resumed summary differs from the uninterrupted reference\n"
+                f"--- reference ---\n{reference}\n--- resumed ---\n{resumed}"
+            )
+        print("    resumed summary matches the uninterrupted run", flush=True)
+
+        print("[4/5] comparing exported LM artifacts...", flush=True)
+        from repro.data.text import CharVocab
+        from repro.serve import load_model
+
+        vocab = CharVocab()
+        prompts = [vocab.encode(text) for text in PROMPTS]
+        reference_model = load_model(ref_artifact)
+        resumed_model = load_model(res_artifact)
+        ref_logits = [reference_model.predict(ids[None]) for ids in prompts]
+        res_logits = [resumed_model.predict(ids[None]) for ids in prompts]
+        for ref_row, res_row in zip(ref_logits, res_logits):
+            if not np.array_equal(ref_row, res_row):
+                raise SystemExit("resumed artifact logits differ from the reference's")
+        greedy_reference = [int(np.argmax(row)) for row in ref_logits]
+        print("    artifact logits bitwise equal; greedy tokens:", greedy_reference, flush=True)
+
+        print("[5/5] greedy next-token query over HTTP (resumed artifact)...", flush=True)
+        from repro.serve import Server
+        from repro.serve.http import make_http_server
+
+        server = Server(resumed_model)
+        httpd = make_http_server(server, port=0)
+        port = httpd.server_address[1]
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            body = json.dumps({"inputs": [ids.tolist() for ids in prompts]}).encode()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/predict",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            reply = json.loads(urllib.request.urlopen(request, timeout=30).read())
+            if reply["predictions"] != greedy_reference:
+                raise SystemExit(
+                    f"HTTP greedy tokens {reply['predictions']} differ from the "
+                    f"reference's {greedy_reference}"
+                )
+            if not reply.get("fingerprint"):
+                raise SystemExit("HTTP reply carries no artifact fingerprint")
+            decoded = vocab.decode(np.asarray(reply["predictions"], dtype=np.int64))
+            print(f"    HTTP greedy tokens match (decoded: {decoded!r})", flush=True)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            server.close()
+        print("lm smoke OK: resume is exact and the served next tokens agree")
+        print(reference)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

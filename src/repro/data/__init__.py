@@ -15,6 +15,13 @@ from repro.data.graphs import (
     normalized_adjacency,
     wiki_talk_like,
 )
+from repro.data.text import (
+    ALPHABET,
+    CharVocab,
+    LMData,
+    generate_corpus,
+    make_char_lm_data,
+)
 from repro.data.transforms import Compose, Normalize, RandomCrop, RandomHorizontalFlip
 
 __all__ = [
@@ -30,6 +37,11 @@ __all__ = [
     "normalized_adjacency",
     "wiki_talk_like",
     "ia_email_like",
+    "ALPHABET",
+    "CharVocab",
+    "LMData",
+    "generate_corpus",
+    "make_char_lm_data",
     "Compose",
     "Normalize",
     "RandomCrop",

@@ -40,7 +40,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.registry import ALL_METHODS, GAN_METHODS, RL_METHODS, method_family
+from repro.experiments.registry import (
+    ALL_METHODS,
+    GAN_METHODS,
+    LM_METHODS,
+    RL_METHODS,
+    method_family,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -343,6 +349,87 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+
+    run_lm = sub.add_parser(
+        "run-lm",
+        help="one sparse char-GPT language-model run on the synthetic prose corpus",
+    )
+    run_lm.add_argument("--corpus", default="markov-prose", choices=["markov-prose"])
+    run_lm.add_argument("--method", default="dst_ee", choices=LM_METHODS)
+    run_lm.add_argument("--sparsity", type=float, default=0.9)
+    run_lm.add_argument("--epochs", type=int, default=3)
+    run_lm.add_argument("--n-chars", type=int, default=65536, help="corpus size in characters")
+    run_lm.add_argument("--block-len", type=int, default=32, help="context window length")
+    run_lm.add_argument("--n-layer", type=int, default=2)
+    run_lm.add_argument("--n-head", type=int, default=2)
+    run_lm.add_argument("--n-embd", type=int, default=64)
+    run_lm.add_argument("--batch-size", type=int, default=32)
+    run_lm.add_argument("--lr", type=float, default=1e-3)
+    run_lm.add_argument(
+        "--delta-t",
+        type=int,
+        default=100,
+        help="mask-update period in gradient steps",
+    )
+    run_lm.add_argument("--drop-fraction", type=float, default=0.3)
+    run_lm.add_argument(
+        "--c",
+        type=float,
+        default=1e-3,
+        help="exploration-exploitation coefficient (Eq. 1)",
+    )
+    run_lm.add_argument("--epsilon", type=float, default=1.0)
+    run_lm.add_argument("--distribution", default="erk", choices=["erk", "er", "uniform"])
+    run_lm.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="block-structured masks with this tile edge (dynamic methods)",
+    )
+    run_lm.add_argument(
+        "--sparse-backend",
+        default=None,
+        choices=["auto", "csr", "blocked", "dense"],
+        help="training-time sparse compute backend",
+    )
+    run_lm.add_argument("--seed", type=int, default=0)
+    run_lm.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="multi-seed protocol over these seeds",
+    )
+    run_lm.add_argument(
+        "--nproc",
+        type=int,
+        default=None,
+        help="worker processes for seed sharding",
+    )
+    run_lm.add_argument(
+        "--n-workers",
+        type=int,
+        default=0,
+        help="data-parallel gradient workers inside the run",
+    )
+    run_lm.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write resume-exact LM training checkpoints here",
+    )
+    run_lm.add_argument("--checkpoint-every-epochs", type=int, default=1)
+    run_lm.add_argument("--checkpoint-every-steps", type=int, default=None)
+    run_lm.add_argument("--keep-last", type=int, default=None)
+    run_lm.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+    run_lm.add_argument(
+        "--out",
+        default=None,
+        help="export the trained model as a serving artifact (.npz)",
     )
 
     export = sub.add_parser(
@@ -675,7 +762,7 @@ def _command_run_rl(args) -> int:
         delta_t=args.delta_t,
         drop_fraction=args.drop_fraction,
         c=args.c,
-        ee_epsilon=args.ee_epsilon,
+        epsilon=args.ee_epsilon,
         distribution=args.distribution,
         sparse_backend=args.sparse_backend,
     )
@@ -716,7 +803,7 @@ def _command_run_rl(args) -> int:
     if args.checkpoint_dir:
         checkpoint_kwargs = {
             "checkpoint_dir": args.checkpoint_dir,
-            "checkpoint_every_episodes": args.checkpoint_every_episodes,
+            "checkpoint_every_epochs": args.checkpoint_every_episodes,
             "checkpoint_every_steps": args.checkpoint_every_steps,
             "checkpoint_keep_last": args.keep_last,
             "resume_from": args.checkpoint_dir if args.resume else None,
@@ -776,6 +863,139 @@ def _command_run_rl(args) -> int:
                 "actual_sparsity": result.actual_sparsity,
                 "final_avg_return": result.final_avg_return,
                 "total_steps": result.total_steps,
+                "seed": args.seed,
+            },
+        )
+        size_kib = path.stat().st_size / 1024
+        print(f"artifact:             {path} ({size_kib:.0f} KiB)")
+        print(f"serve with:           python -m repro.experiments.cli serve " f"--artifact {path}")
+    return 0
+
+
+def _command_run_lm(args) -> int:
+    from repro.experiments.lm import run_lm, run_lm_multi_seed
+
+    lm_kwargs = dict(
+        sparsity=args.sparsity,
+        epochs=args.epochs,
+        n_chars=args.n_chars,
+        block_len=args.block_len,
+        n_layer=args.n_layer,
+        n_head=args.n_head,
+        n_embd=args.n_embd,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        delta_t=args.delta_t,
+        drop_fraction=args.drop_fraction,
+        c=args.c,
+        epsilon=args.epsilon,
+        distribution=args.distribution,
+        block_size=args.block_size,
+        sparse_backend=args.sparse_backend,
+        n_workers=args.n_workers,
+    )
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    if args.seeds is not None:
+        if args.checkpoint_dir:
+            raise SystemExit(
+                "--checkpoint-dir with --seeds is not supported by `run-lm` "
+                "(every seed would share one directory); use run_lm_sweep for "
+                "resumable multi-seed grids"
+            )
+        if args.out:
+            raise SystemExit("--out exports a single run; drop --seeds")
+        mean, std, results = run_lm_multi_seed(
+            args.method,
+            args.corpus,
+            seeds=tuple(args.seeds),
+            n_proc=args.nproc,
+            **lm_kwargs,
+        )
+        print(f"method:               {args.method}")
+        print(f"corpus:               {args.corpus}")
+        print(f"seeds:                {list(args.seeds)}")
+        for seed, result in zip(args.seeds, results):
+            print(
+                f"  seed {seed}: val ppl {result.val_perplexity:.3f} "
+                f"(next-token acc {result.val_next_token_accuracy:.4f})"
+            )
+        print(f"val perplexity:       {mean:.3f} ± {std:.3f}")
+        return 0
+
+    checkpoint_kwargs = {}
+    if args.checkpoint_dir:
+        checkpoint_kwargs = {
+            "checkpoint_dir": args.checkpoint_dir,
+            "checkpoint_every_epochs": args.checkpoint_every_epochs,
+            "checkpoint_every_steps": args.checkpoint_every_steps,
+            "checkpoint_keep_last": args.keep_last,
+            "resume_from": args.checkpoint_dir if args.resume else None,
+        }
+    result = run_lm(
+        args.method,
+        args.corpus,
+        seed=args.seed,
+        keep_model=bool(args.out),
+        **lm_kwargs,
+        **checkpoint_kwargs,
+    )
+    print(f"method:               {result.method}")
+    print(f"corpus:               {result.corpus}")
+    print(f"epochs:               {result.epochs}")
+    print(f"gradient steps:       {result.total_steps}")
+    print(f"train loss:           {result.train_loss:.4f}")
+    print(f"val perplexity:       {result.val_perplexity:.3f}")
+    print(f"next-token accuracy:  {result.val_next_token_accuracy:.4f}")
+    print(f"parameters:           {result.n_params}")
+    if result.actual_sparsity is not None:
+        print(f"actual sparsity:      {result.actual_sparsity:.4f}")
+    if result.exploration_rate is not None:
+        print(f"exploration rate R:   {result.exploration_rate:.4f}")
+    print(f"wall time:            {result.seconds:.1f}s")
+
+    if args.out:
+        from repro.data.text import CharVocab
+        from repro.serve import export_model
+
+        if result.masked is None:
+            raise SystemExit(
+                f"method {args.method!r} trains a dense model; nothing sparse to export"
+            )
+        pad_id = CharVocab().pad_id
+        path = export_model(
+            result.masked,
+            args.out,
+            model_config={
+                "builder": "char_gpt",
+                "kwargs": {
+                    "vocab_size": 32,
+                    "block_len": args.block_len,
+                    "n_layer": args.n_layer,
+                    "n_head": args.n_head,
+                    "n_embd": args.n_embd,
+                    # Serving answers greedy next-token queries: the loaded
+                    # model returns last-position logits for left-padded
+                    # prompts, unlike the flattened training head.
+                    "head": "last",
+                    "pad_id": pad_id,
+                    "seed": args.seed,
+                },
+            },
+            preprocessing={
+                "kind": "sequence",
+                "max_length": args.block_len,
+                "pad_id": pad_id,
+                "vocab_size": 32,
+            },
+            metadata={
+                "workload": "lm",
+                "method": args.method,
+                "corpus": args.corpus,
+                "sparsity": args.sparsity,
+                "actual_sparsity": result.actual_sparsity,
+                "val_perplexity": result.val_perplexity,
+                "epochs": result.epochs,
                 "seed": args.seed,
             },
         )
@@ -940,7 +1160,7 @@ def _command_run_gan(args) -> int:
         delta_t=args.delta_t,
         drop_fraction=args.drop_fraction,
         c=args.c,
-        ee_epsilon=args.ee_epsilon,
+        epsilon=args.ee_epsilon,
         distribution=args.distribution,
         balance_delta_t=args.balance_delta_t,
         balance_max_shift=args.balance_max_shift,
@@ -1020,6 +1240,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run_rl(args)
     if args.command == "run-gan":
         return _command_run_gan(args)
+    if args.command == "run-lm":
+        return _command_run_lm(args)
     if args.command == "export":
         return _command_export(args)
     if args.command == "serve":

@@ -51,12 +51,14 @@ __all__ = [
     "enumerate_cells",
     "enumerate_rl_cells",
     "enumerate_gan_cells",
+    "enumerate_lm_cells",
     "DYNAMIC_METHODS",
     "STATIC_METHODS",
     "DENSE_TO_SPARSE_METHODS",
     "ALL_METHODS",
     "RL_METHODS",
     "GAN_METHODS",
+    "LM_METHODS",
     "method_family",
 ]
 
@@ -86,6 +88,11 @@ RL_METHODS = ("dense",) + DYNAMIC_METHODS
 # drop-and-grow controller (or none), and the G↔D balancer moves density
 # between their budgets — so only budget-driven dynamic methods qualify.
 GAN_METHODS = ("dense",) + DYNAMIC_METHODS
+
+# Methods the char-LM workload supports: the dense reference plus every
+# budget-driven drop-and-grow controller, applied across all transformer
+# weight matrices (attention/MLP Linears and both embedding tables).
+LM_METHODS = ("dense",) + DYNAMIC_METHODS
 
 
 def method_family(name: str) -> str:
@@ -248,6 +255,39 @@ def enumerate_gan_cells(
         grid = [
             (method, model, mixture, sparsity, derived[index])
             for index, (method, model, mixture, sparsity, _) in enumerate(grid)
+        ]
+    return [SweepCell(*entry) for entry in grid]
+
+
+def enumerate_lm_cells(
+    methods: Sequence[str],
+    sparsities: Sequence[float],
+    seeds: Sequence[int] = (0, 1, 2),
+    root_seed: int | None = None,
+) -> list[SweepCell]:
+    """Deterministic cell list for an LM (method × sparsity × seed) grid.
+
+    LM cells reuse :class:`SweepCell` with ``model="char_gpt"`` and the
+    corpus name in the ``dataset`` slot, mirroring the RL/GAN grids, so
+    the sweep runner, checkpoint records, and report aggregation work
+    unchanged (see :func:`repro.experiments.lm.run_lm_sweep`).
+    """
+    for name in methods:
+        if name not in LM_METHODS:
+            raise ValueError(f"method {name!r} is not LM-capable; known: {LM_METHODS}")
+    grid = [
+        (method, "char_gpt", "markov-prose", sparsity, seed)
+        for method in methods
+        for sparsity in sparsities
+        for seed in seeds
+    ]
+    if root_seed is not None:
+        from repro.parallel import derive_seeds
+
+        derived = derive_seeds(root_seed, len(grid))
+        grid = [
+            (method, model, corpus, sparsity, derived[index])
+            for index, (method, model, corpus, sparsity, _) in enumerate(grid)
         ]
     return [SweepCell(*entry) for entry in grid]
 

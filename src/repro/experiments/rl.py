@@ -37,6 +37,12 @@ from repro.rl.replay import ReplayBuffer
 from repro.rl.trainer import RLTrainer, rolling_returns
 from repro.train.callbacks import Callback
 from repro.train.checkpoint import CheckpointCallback, load_training_checkpoint
+from repro.experiments.workload import (
+    UNSET,
+    WorkloadConfig,
+    resolve_knob,
+    warn_deprecated_alias,
+)
 
 __all__ = ["RLRunResult", "run_rl", "run_rl_multi_seed", "run_rl_sweep"]
 
@@ -81,15 +87,16 @@ class RLRunResult:
 
 
 def run_rl(
-    method: str,
+    method: str = UNSET,
     env_name: str = "cartpole",
     *,
-    sparsity: float = 0.9,
-    total_steps: int = 5000,
-    seed: int = 0,
+    config: WorkloadConfig | None = None,
+    sparsity: float = UNSET,
+    total_steps: int = UNSET,
+    seed: int = UNSET,
     hidden: Sequence[int] = (256, 256),
-    batch_size: int = 64,
-    lr: float = 1e-3,
+    batch_size: int = UNSET,
+    lr: float = UNSET,
     gamma: float = 0.99,
     buffer_capacity: int = 10_000,
     warmup_steps: int = 500,
@@ -99,19 +106,21 @@ def run_rl(
     epsilon_end: float = 0.05,
     epsilon_decay_fraction: float = 0.4,
     huber_delta: float = 1.0,
-    delta_t: int = 100,
-    drop_fraction: float = 0.3,
-    c: float = 1e-3,
-    ee_epsilon: float = 1.0,
-    distribution: str = "erk",
-    sparse_backend: str | None = None,
+    delta_t: int = UNSET,
+    drop_fraction: float = UNSET,
+    c: float = UNSET,
+    epsilon: float = UNSET,
+    ee_epsilon: float = UNSET,
+    distribution: str = UNSET,
+    sparse_backend: str | None = UNSET,
     solve_window: int = SOLVE_WINDOW,
     callbacks: Sequence[Callback] = (),
-    checkpoint_dir=None,
-    checkpoint_every_episodes: int | None = 1,
-    checkpoint_every_steps: int | None = None,
-    checkpoint_keep_last: int | None = None,
-    resume_from=None,
+    checkpoint_dir=UNSET,
+    checkpoint_every_epochs: int | None = UNSET,
+    checkpoint_every_episodes: int | None = UNSET,
+    checkpoint_every_steps: int | None = UNSET,
+    checkpoint_keep_last: int | None = UNSET,
+    resume_from=UNSET,
     keep_model: bool = False,
 ) -> RLRunResult:
     """Train one DQN configuration and return its summary row.
@@ -125,7 +134,46 @@ def run_rl(
     :func:`repro.experiments.runner.run_image_classification` — a resumed
     run's trajectory, final masks, and episode history are bitwise
     identical to an uninterrupted run of the same configuration.
+
+    The uniform workload knobs may also arrive through ``config=`` (see
+    :class:`~repro.experiments.workload.WorkloadConfig`); explicit
+    keywords win over config fields.  ``ee_epsilon`` and
+    ``checkpoint_every_episodes`` are one-release deprecated aliases of
+    ``epsilon`` and ``checkpoint_every_epochs`` — the names every other
+    workload entrypoint uses (an RL "epoch" is one episode).
     """
+    epsilon = warn_deprecated_alias("ee_epsilon", "epsilon", ee_epsilon, epsilon)
+    checkpoint_every_epochs = warn_deprecated_alias(
+        "checkpoint_every_episodes",
+        "checkpoint_every_epochs",
+        checkpoint_every_episodes,
+        checkpoint_every_epochs,
+    )
+    method = resolve_knob("method", method, config, None)
+    if method is None:
+        raise TypeError("run_rl: 'method' is required")
+    sparsity = resolve_knob("sparsity", sparsity, config, 0.9)
+    total_steps = resolve_knob("total_steps", total_steps, config, 5000)
+    seed = resolve_knob("seed", seed, config, 0)
+    batch_size = resolve_knob("batch_size", batch_size, config, 64)
+    lr = resolve_knob("lr", lr, config, 1e-3)
+    delta_t = resolve_knob("delta_t", delta_t, config, 100)
+    drop_fraction = resolve_knob("drop_fraction", drop_fraction, config, 0.3)
+    c = resolve_knob("c", c, config, 1e-3)
+    ee_epsilon = resolve_knob("epsilon", epsilon, config, 1.0)
+    distribution = resolve_knob("distribution", distribution, config, "erk")
+    sparse_backend = resolve_knob("sparse_backend", sparse_backend, config, None)
+    checkpoint_dir = resolve_knob("checkpoint_dir", checkpoint_dir, config, None)
+    checkpoint_every_episodes = resolve_knob(
+        "checkpoint_every_epochs", checkpoint_every_epochs, config, 1
+    )
+    checkpoint_every_steps = resolve_knob(
+        "checkpoint_every_steps", checkpoint_every_steps, config, None
+    )
+    checkpoint_keep_last = resolve_knob(
+        "checkpoint_keep_last", checkpoint_keep_last, config, None
+    )
+    resume_from = resolve_knob("resume_from", resume_from, config, None)
     if method not in RL_METHODS:
         raise ValueError(f"method {method!r} is not RL-capable; known: {RL_METHODS}")
     start = time.time()

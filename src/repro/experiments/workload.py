@@ -1,0 +1,129 @@
+"""One uniformly-shaped config for every workload entrypoint.
+
+``run_image_classification``, ``run_rl``, ``run_gan`` and ``run_lm`` grew
+up with slightly divergent keyword sets (``ee_epsilon`` vs ``epsilon``,
+``checkpoint_every_episodes`` vs ``checkpoint_every_epochs``).  This
+module is the shared vocabulary that unifies them:
+
+* :class:`WorkloadConfig` — a frozen dataclass naming the method /
+  budget / schedule / checkpoint / backend knobs identically across all
+  four entrypoints.  Every entrypoint accepts ``config=`` and resolves
+  each knob with the precedence **explicit kwarg > config field >
+  per-workload default** (fields left ``None`` are unset).
+* :data:`UNSET` — the sentinel the entrypoints use as keyword default so
+  an explicitly passed value (including ``None``, which is meaningful
+  for knobs like ``checkpoint_every_epochs``) is distinguishable from
+  "not passed".
+* :func:`resolve_knob` / :func:`warn_deprecated_alias` — the resolution
+  and one-release deprecation-shim helpers.
+
+The migration table in ``docs/controllers.md`` lists the renamed kwargs;
+the old names keep working for one release and emit
+``DeprecationWarning`` (asserted in ``tests/experiments/test_workload.py``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+
+__all__ = ["UNSET", "WorkloadConfig", "resolve_knob", "warn_deprecated_alias"]
+
+
+class _Unset:
+    """Sentinel type distinguishing "not passed" from an explicit ``None``."""
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+    def __reduce__(self):
+        return (_Unset, ())
+
+
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Uniform knobs shared by all workload entrypoints.
+
+    Fields default to ``None`` meaning *unset* — the entrypoint's own
+    default applies.  Workload-specific knobs (environment names, GAN
+    mixtures, model widths…) stay ordinary keyword arguments on the
+    entrypoints; this config carries only the vocabulary every workload
+    shares.
+    """
+
+    # method / budget
+    method: str | None = None
+    sparsity: float | None = None
+    distribution: str | None = None
+    block_size: int | None = None
+    # schedule (drop-and-grow)
+    delta_t: int | None = None
+    drop_fraction: float | None = None
+    c: float | None = None
+    epsilon: float | None = None
+    # training loop
+    epochs: int | None = None
+    total_steps: int | None = None
+    batch_size: int | None = None
+    lr: float | None = None
+    seed: int | None = None
+    n_workers: int | None = None
+    # backend
+    sparse_backend: str | None = None
+    # checkpointing
+    checkpoint_dir: object | None = None
+    checkpoint_every_epochs: int | None = None
+    checkpoint_every_steps: int | None = None
+    checkpoint_keep_last: int | None = None
+    resume_from: object | None = None
+
+    def kwargs(self) -> dict:
+        """The non-``None`` fields as a plain kwargs dict."""
+        out = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value is not None:
+                out[spec.name] = value
+        return out
+
+
+def resolve_knob(name: str, explicit, config: WorkloadConfig | None, default):
+    """Resolve one knob: explicit kwarg > config field > default."""
+    if explicit is not UNSET:
+        return explicit
+    if config is not None:
+        value = getattr(config, name)
+        if value is not None:
+            return value
+    return default
+
+
+def warn_deprecated_alias(old: str, new: str, old_value, new_value):
+    """One-release shim for a renamed kwarg; returns the value to use.
+
+    Emits a :class:`DeprecationWarning` whenever the old name is passed.
+    If both names are passed explicitly the new one wins (the warning
+    says so), matching the migration table in ``docs/controllers.md``.
+    """
+    if old_value is UNSET:
+        return new_value
+    warnings.warn(
+        f"{old!r} is deprecated; pass {new!r} instead (one-release shim, "
+        "see the migration table in docs/controllers.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if new_value is not UNSET:
+        return new_value
+    return old_value

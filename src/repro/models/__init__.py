@@ -1,5 +1,6 @@
 """Model zoo: the architectures evaluated in the paper plus scaled stand-ins."""
 
+from repro.models.char_gpt import CharGPT, TransformerBlock
 from repro.models.mlp import MLP
 from repro.models.vgg import VGG, VGG_CONFIGS, vgg11, vgg19
 from repro.models.resnet import (
@@ -18,6 +19,8 @@ __all__ = [
     "build_model",
     "register_model",
     "MLP",
+    "CharGPT",
+    "TransformerBlock",
     "VGG",
     "VGG_CONFIGS",
     "vgg11",

@@ -1,0 +1,146 @@
+"""Char-level GPT whose every weight matrix is dynamically sparsifiable.
+
+A small pre-LayerNorm decoder-only transformer in the GPT-2 style: token
+and position embeddings, ``n_layer`` blocks of causal self-attention plus
+a GELU MLP, a final LayerNorm, and an untied vocabulary head.  All
+Linear *and* Embedding weight matrices are ordinary `repro.nn` modules,
+so `MaskedModel` picks them up under the unified ``(masked, schedule,
+budget)`` controller API — including block-structured masks, since every
+matmul dimension is a multiple of 4 on the committed configs.
+
+Two heads:
+
+- ``head="train"`` returns flattened ``(B*T, vocab_size)`` logits, the
+  shape `lm_cross_entropy` and the Trainer's batch accuracy expect.
+- ``head="last"`` returns ``(B, vocab_size)`` logits for the final
+  position only — the serving shape for greedy next-token prediction.
+
+When ``pad_id`` is set, inputs may be *left*-padded: pad positions are
+excluded from every attention softmax (additive ``-1e9`` key mask, so
+their attention weights are exactly zero) and position ids are
+right-aligned so the real tokens see positions ``0..n-1`` exactly as
+they would unpadded.  Last-position logits of a left-padded prompt
+match the unpadded ones up to BLAS summation order (identical greedy
+argmax; see ``tests/nn/test_transformer.py``); the serving preprocessor
+always pads to the artifact's ``max_length``, so prompts of different
+lengths stack into one deterministic batch shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+
+__all__ = ["CharGPT", "TransformerBlock"]
+
+
+class TransformerBlock(nn.Module):
+    """Pre-LN residual block: attention then a 4x GELU MLP."""
+
+    def __init__(self, n_embd: int, n_head: int, max_len: int, rng=None):
+        super().__init__()
+        self.ln1 = nn.LayerNorm(n_embd)
+        self.attn = nn.CausalSelfAttention(n_embd, n_head, max_len, rng=rng)
+        self.ln2 = nn.LayerNorm(n_embd)
+        self.fc = nn.Linear(n_embd, 4 * n_embd, rng=rng)
+        self.act = nn.GELU()
+        self.proj = nn.Linear(4 * n_embd, n_embd, rng=rng)
+
+    def forward(
+        self,
+        x_flat: Tensor,
+        batch: int,
+        seq: int,
+        key_pad_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Residual stream in flattened ``(batch * seq, n_embd)`` shape.
+
+        Keeping activations 2-D outside the attention head split means
+        every Linear in the block runs on the matrix shape the sparse
+        training backends and compiled CSR/BSR inference layers accept.
+        """
+        x_flat = ops.add(x_flat, self.attn(self.ln1(x_flat), batch, seq, key_pad_mask))
+        return ops.add(x_flat, self.proj(self.act(self.fc(self.ln2(x_flat)))))
+
+
+class CharGPT(nn.Module):
+    """Decoder-only char LM; see the module docstring for the contract.
+
+    The model holds **no** RNG state after construction (no dropout, no
+    ``np.random.Generator`` attributes), so worker-pool training resumes
+    bitwise-exactly at any step — the Trainer snapshots module RNGs only
+    when they exist, and none do here.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 32,
+        block_len: int = 32,
+        n_layer: int = 2,
+        n_head: int = 2,
+        n_embd: int = 64,
+        head: str = "train",
+        pad_id: int | None = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if head not in ("train", "last"):
+            raise ValueError(f"head must be 'train' or 'last', got {head!r}")
+        if pad_id is not None and not 0 <= int(pad_id) < vocab_size:
+            raise ValueError(f"pad_id {pad_id} outside vocab of size {vocab_size}")
+        self.vocab_size = int(vocab_size)
+        self.block_len = int(block_len)
+        self.n_layer = int(n_layer)
+        self.n_head = int(n_head)
+        self.n_embd = int(n_embd)
+        self.head = head
+        self.pad_id = None if pad_id is None else int(pad_id)
+        rng = np.random.default_rng(seed)
+        self.tok_emb = nn.Embedding(vocab_size, n_embd, rng=rng)
+        self.pos_emb = nn.Embedding(block_len, n_embd, rng=rng)
+        self.blocks = nn.Sequential(
+            *[TransformerBlock(n_embd, n_head, block_len, rng=rng) for _ in range(n_layer)]
+        )
+        self.ln_f = nn.LayerNorm(n_embd)
+        self.lm_head = nn.Linear(n_embd, vocab_size, bias=False, rng=rng)
+
+    def _pad_info(self, idx: np.ndarray):
+        """Return (key_pad_mask, positions) honouring left-padding."""
+        seq = idx.shape[1]
+        base = np.arange(seq, dtype=np.int64)
+        if self.pad_id is None:
+            return None, np.broadcast_to(base, idx.shape)
+        mask = idx == self.pad_id
+        if not mask.any():
+            return None, np.broadcast_to(base, idx.shape)
+        n_pad = mask.sum(axis=1)
+        if np.any(mask != (base[None, :] < n_pad[:, None])):
+            raise ValueError("pad tokens must form a left prefix of the sequence")
+        positions = np.maximum(base[None, :] - n_pad[:, None], 0)
+        return mask, positions
+
+    def forward(self, indices) -> Tensor:
+        idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+        if idx.ndim != 2:
+            raise ValueError(f"CharGPT expects (B, T) token ids, got shape {idx.shape}")
+        batch, seq = idx.shape
+        if seq > self.block_len:
+            raise ValueError(f"sequence length {seq} exceeds block_len {self.block_len}")
+        key_pad_mask, positions = self._pad_info(idx)
+        x = ops.add(self.tok_emb(idx), self.pos_emb(positions))
+        flat = ops.reshape(x, (batch * seq, self.n_embd))
+        for block in self.blocks.children():
+            flat = block(flat, batch, seq, key_pad_mask)
+        if self.head == "last":
+            flat = ops.getitem(flat, np.arange(batch, dtype=np.int64) * seq + (seq - 1))
+        return self.lm_head(self.ln_f(flat))
+
+    def __repr__(self) -> str:
+        return (
+            f"CharGPT(vocab_size={self.vocab_size}, block_len={self.block_len}, "
+            f"n_layer={self.n_layer}, n_head={self.n_head}, n_embd={self.n_embd}, "
+            f"head={self.head!r}, pad_id={self.pad_id})"
+        )

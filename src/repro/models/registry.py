@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.models.char_gpt import CharGPT
 from repro.models.mlp import MLP
 from repro.models.resnet import resnet20, resnet50, resnet50_mini
 from repro.models.vgg import vgg11, vgg19
@@ -24,6 +25,7 @@ __all__ = ["MODEL_REGISTRY", "build_model", "register_model"]
 
 MODEL_REGISTRY: dict[str, Callable[..., Module]] = {
     "mlp": MLP,
+    "char_gpt": CharGPT,
     "vgg11": vgg11,
     "vgg19": vgg19,
     "resnet20": resnet20,

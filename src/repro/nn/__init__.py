@@ -8,8 +8,11 @@ switch stochastic layers, and losses fuse numerically stable primitives.
 from repro.nn.module import Module, Parameter, Sequential, Identity
 from repro.nn.linear import Linear
 from repro.nn.conv import Conv2d
-from repro.nn.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.embedding import Embedding
+from repro.nn.norm import BatchNorm1d, BatchNorm2d, LayerNorm
+from repro.nn.attention import CausalSelfAttention
 from repro.nn.activations import (
+    GELU,
     LeakyReLU,
     LogSoftmax,
     ReLU,
@@ -27,6 +30,7 @@ from repro.nn.losses import (
     binary_cross_entropy_with_logits,
     cross_entropy,
     huber_loss,
+    lm_cross_entropy,
     mse_loss,
 )
 from repro.nn import functional, init
@@ -38,8 +42,12 @@ __all__ = [
     "Identity",
     "Linear",
     "Conv2d",
+    "Embedding",
     "BatchNorm1d",
     "BatchNorm2d",
+    "LayerNorm",
+    "CausalSelfAttention",
+    "GELU",
     "ReLU",
     "LeakyReLU",
     "Sigmoid",
@@ -56,6 +64,7 @@ __all__ = [
     "HuberLoss",
     "MSELoss",
     "cross_entropy",
+    "lm_cross_entropy",
     "binary_cross_entropy_with_logits",
     "huber_loss",
     "mse_loss",

@@ -5,7 +5,12 @@ from __future__ import annotations
 from repro.autograd import ops
 from repro.nn.module import Module
 
-__all__ = ["ReLU", "LeakyReLU", "Sigmoid", "Tanh", "Softmax", "LogSoftmax"]
+__all__ = ["GELU", "ReLU", "LeakyReLU", "Sigmoid", "Tanh", "Softmax", "LogSoftmax"]
+
+# Constants of the tanh-approximate GELU (Hendrycks & Gimpel, 2016) — the
+# form used by GPT-2 and the Graphcore dynamic-sparsity LM exemplar.
+_GELU_SCALE = 0.7978845608028654  # sqrt(2 / pi)
+_GELU_CUBIC = 0.044715
 
 
 class ReLU(Module):
@@ -24,6 +29,21 @@ class LeakyReLU(Module):
 
     def forward(self, x):
         return ops.leaky_relu(x, self.negative_slope)
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation).
+
+    ``0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 * x**3)))`` — smooth
+    near zero where transformer residual streams live, composed entirely
+    from differentiable ops so the backward pass is exact for the
+    approximation.
+    """
+
+    def forward(self, x):
+        cubic = ops.add(x, ops.mul(_GELU_CUBIC, ops.pow(x, 3.0)))
+        gate = ops.add(1.0, ops.tanh(ops.mul(_GELU_SCALE, cubic)))
+        return ops.mul(ops.mul(0.5, x), gate)
 
 
 class Sigmoid(Module):

@@ -1,0 +1,102 @@
+"""Multi-head causal self-attention for the char-level GPT.
+
+The projections are four ordinary :class:`repro.nn.Linear` modules
+(query/key/value/output), so `MaskedModel` sparsifies them exactly like
+MLP layers — including block-structured masks, since every projection is
+``n_embd × n_embd`` and tiles cleanly under the BSR training kernels.
+
+Masking is *additive*: a causal template puts ``-1e9`` on future keys,
+and an optional per-example key-padding mask does the same for left-pad
+positions.  After the stable softmax those entries underflow to exactly
+``0.0``, so padded keys carry zero attention weight and the attended
+value matches the unpadded prompt up to BLAS summation order.  Serving
+determinism therefore comes from the preprocessor *always* left-padding
+to the artifact's ``max_length`` — every prompt runs the same-shaped
+computation regardless of batch composition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+__all__ = ["CausalSelfAttention"]
+
+_NEG_INF = np.float32(-1e9)
+
+
+class CausalSelfAttention(Module):
+    """Scaled dot-product attention with a fixed causal horizon.
+
+    ``max_len`` bounds the sequence length; the causal bias template is
+    precomputed once as a plain float32 array (not a buffer — it is
+    config, derived from ``max_len``, and never trained or checkpointed).
+    """
+
+    def __init__(self, n_embd: int, n_head: int, max_len: int, rng=None):
+        super().__init__()
+        if n_embd % n_head != 0:
+            raise ValueError(f"n_embd={n_embd} not divisible by n_head={n_head}")
+        self.n_embd = int(n_embd)
+        self.n_head = int(n_head)
+        self.head_dim = self.n_embd // self.n_head
+        self.max_len = int(max_len)
+        self.query = Linear(n_embd, n_embd, rng=rng)
+        self.key = Linear(n_embd, n_embd, rng=rng)
+        self.value = Linear(n_embd, n_embd, rng=rng)
+        self.proj = Linear(n_embd, n_embd, rng=rng)
+        self._scale = 1.0 / float(np.sqrt(self.head_dim))
+        self._causal_bias = np.triu(
+            np.full((max_len, max_len), _NEG_INF, dtype=np.float32), k=1
+        )
+
+    def _split_heads(self, t: Tensor, batch: int, seq: int) -> Tensor:
+        t = ops.reshape(t, (batch, seq, self.n_head, self.head_dim))
+        return ops.transpose(t, (0, 2, 1, 3))  # (B, H, T, Dh)
+
+    def forward(
+        self,
+        x_flat: Tensor,
+        batch: int,
+        seq: int,
+        key_pad_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Attend over ``x_flat`` of shape ``(batch * seq, n_embd)``.
+
+        Activations stay flattened outside this module so every Linear
+        projection sees a 2-D input — the shape the CSR/BSR training
+        backends and the compiled inference layers operate on.  The head
+        split/merge reshapes happen around the score/value matmuls only.
+        """
+        if seq > self.max_len:
+            raise ValueError(f"sequence length {seq} exceeds max_len {self.max_len}")
+        q = self._split_heads(self.query(x_flat), batch, seq)
+        k = self._split_heads(self.key(x_flat), batch, seq)
+        v = self._split_heads(self.value(x_flat), batch, seq)
+        scores = ops.mul(ops.matmul(q, ops.transpose(k, (0, 1, 3, 2))), self._scale)
+        bias = self._causal_bias[:seq, :seq]
+        if key_pad_mask is not None and key_pad_mask.any():
+            pad = np.where(key_pad_mask[:, None, None, :], _NEG_INF, np.float32(0.0))
+            bias = bias[None, None, :, :] + pad  # (B, 1, T, T)
+            # A query row whose keys are ALL padded (a pad position itself)
+            # would softmax over -inf everywhere and produce NaNs; keeping
+            # the diagonal open makes those rows attend to themselves.
+            # Real (unpadded) rows are unaffected: their diagonal is
+            # already unmasked.
+            diag = np.arange(seq)
+            bias[:, :, diag, diag] = 0.0
+        weights = ops.softmax(ops.add(scores, bias), axis=-1)
+        attended = ops.matmul(weights, v)  # (B, H, T, Dh)
+        attended = ops.transpose(attended, (0, 2, 1, 3))
+        attended = ops.reshape(attended, (batch * seq, self.n_embd))
+        return self.proj(attended)
+
+    def __repr__(self) -> str:
+        return (
+            f"CausalSelfAttention(n_embd={self.n_embd}, n_head={self.n_head}, "
+            f"max_len={self.max_len})"
+        )

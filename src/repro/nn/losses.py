@@ -10,6 +10,7 @@ from repro.nn.module import Module
 
 __all__ = [
     "cross_entropy",
+    "lm_cross_entropy",
     "binary_cross_entropy_with_logits",
     "huber_loss",
     "mse_loss",
@@ -39,6 +40,34 @@ def cross_entropy(logits: Tensor, targets) -> Tensor:
         )
     log_probs = ops.log_softmax(logits, axis=1)
     picked = ops.getitem(log_probs, (np.arange(n), target_idx))
+    return ops.neg(ops.mean(picked))
+
+
+def lm_cross_entropy(logits: Tensor, targets, ignore_index: int = -1) -> Tensor:
+    """Next-token cross-entropy over a vocabulary, skipping ``ignore_index``.
+
+    ``logits`` is ``(N, V)`` (callers flatten ``(B, T, V)`` to rows) and
+    ``targets`` is any integer shape with ``N`` elements.  Positions whose
+    target equals ``ignore_index`` (padding) contribute neither loss nor
+    gradient; the mean runs over the *valid* positions only, so
+    ``exp(loss)`` is exactly the per-token perplexity the LM benchmarks
+    report.
+    """
+    logits = ensure_tensor(logits)
+    target_idx = np.asarray(targets.data if isinstance(targets, Tensor) else targets)
+    target_idx = target_idx.astype(np.int64).reshape(-1)
+    if logits.ndim != 2:
+        raise ValueError(f"lm_cross_entropy expects 2-D logits, got shape {logits.shape}")
+    n = logits.shape[0]
+    if target_idx.shape[0] != n:
+        raise ValueError(
+            f"batch mismatch: {n} logits rows vs {target_idx.shape[0]} targets"
+        )
+    valid = np.nonzero(target_idx != ignore_index)[0]
+    if valid.size == 0:
+        raise ValueError("every target position equals ignore_index; loss is undefined")
+    log_probs = ops.log_softmax(logits, axis=1)
+    picked = ops.getitem(log_probs, (valid, target_idx[valid]))
     return ops.neg(ops.mean(picked))
 
 

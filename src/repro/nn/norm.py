@@ -14,7 +14,7 @@ from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.nn.module import Module, Parameter
 
-__all__ = ["BatchNorm1d", "BatchNorm2d"]
+__all__ = ["BatchNorm1d", "BatchNorm2d", "LayerNorm"]
 
 
 class _BatchNorm(Module):
@@ -58,6 +58,41 @@ class _BatchNorm(Module):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.num_features}, eps={self.eps}, momentum={self.momentum})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing ``normalized_dim`` features.
+
+    Unlike batch norm there are no running statistics — train and eval
+    behave identically, and the statistics are per-example (reduced over
+    the last axis only), so transformer blocks normalize each token's
+    feature vector independently of batch composition.  Composed from
+    autograd mean/var/sqrt primitives, so gradients flow through the
+    statistics exactly (verified against numerical gradients in
+    ``tests/nn/test_transformer.py``).
+    """
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5):
+        super().__init__()
+        if normalized_dim <= 0:
+            raise ValueError(f"normalized_dim must be positive, got {normalized_dim}")
+        self.normalized_dim = int(normalized_dim)
+        self.eps = float(eps)
+        self.weight = Parameter(np.ones(normalized_dim, dtype=np.float32), name="gamma")
+        self.bias = Parameter(np.zeros(normalized_dim, dtype=np.float32), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.normalized_dim:
+            raise ValueError(
+                f"LayerNorm({self.normalized_dim}) got trailing dim {x.shape[-1]}"
+            )
+        mean = ops.mean(x, axis=-1, keepdims=True)
+        var = ops.var(x, axis=-1, keepdims=True)
+        x_hat = ops.div(ops.sub(x, mean), ops.sqrt(ops.add(var, self.eps)))
+        return ops.add(ops.mul(x_hat, self.weight), self.bias)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_dim}, eps={self.eps})"
 
 
 class BatchNorm1d(_BatchNorm):

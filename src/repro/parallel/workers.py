@@ -235,7 +235,9 @@ class GradientWorkerPool:
                 if name in owners:
                     owner, attr = owners[name]
                     owner.register_buffer(attr, value)
-        return loss_total / max(n, 1), correct_total / max(n, 1)
+        # ``correct_total`` counts predictions, one per logits row — for
+        # language models that is ``y.size`` tokens, not ``len(y)`` examples.
+        return loss_total / max(n, 1), correct_total / max(y.size, 1)
 
     def close(self) -> None:
         """Stop workers and move parameters back into private memory."""
@@ -336,7 +338,9 @@ class GradientWorkerPool:
                 else:
                     view.fill(0.0)
                     had_grad.append(False)
-            correct = int((logits.data.argmax(axis=1) == y).sum())
+            # Flatten targets so (B, T) language-model labels line up with
+            # the (B*T, V) logits; a no-op for 1-D classification targets.
+            correct = int((logits.data.argmax(axis=1) == y.reshape(-1)).sum())
             buffers = None
             if send_buffers:
                 buffers = [

@@ -1,8 +1,9 @@
 """Mask bookkeeping: which parameters are sparsified, and their masks.
 
 :class:`MaskedModel` walks a model, selects the sparsifiable weights
-(Linear/Conv2d ``weight`` tensors by default — biases and norm parameters
-stay dense, as in RigL/ITOP/the paper), assigns each a boolean mask drawn
+(Linear/Conv2d/Embedding ``weight`` tensors by default — biases and norm
+parameters stay dense, as in RigL/ITOP/the paper), assigns each a boolean
+mask drawn
 from a layer-wise density distribution, and enforces the masks on the weight
 values.  All sparsifiers (dynamic, static, dense-to-sparse, ADMM) operate
 through this class, so the sparsity invariants live in exactly one place.
@@ -262,6 +263,36 @@ class SparseParam:
             np.multiply(grad, self._mask, out=grad)
 
 
+def _touched_rows_provider(target: SparseParam):
+    """Active indices restricted to rows whose current gradient is non-zero.
+
+    Embedding gradients are sparse by construction (``np.add.at`` scatter
+    from :func:`repro.autograd.ops.getitem`): a batch touches only the
+    rows its ids index.  Dense-Adam semantics would still decay the
+    moments of every *active* coordinate — including rows the batch never
+    saw — and then move their weights from stale momentum.  Restricting
+    the bound index set to touched rows gives the lazy semantics of
+    ``torch.optim.SparseAdam``: untouched rows receive neither moment
+    decay nor weight updates.  The restriction is a pure function of the
+    parameter's gradient at step time, so serial and worker-pool training
+    (where gradients arrive pre-reduced from the pool) stay bitwise
+    identical.
+    """
+
+    def provider() -> np.ndarray:
+        idx = target.active_indices
+        grad = target.param.grad
+        if grad is None:
+            return idx
+        rows, cols = target.shape2d
+        touched = np.any(grad.reshape(rows, cols) != 0.0, axis=1)
+        if touched.all():
+            return idx
+        return idx[touched[idx // cols]]
+
+    return provider
+
+
 def _name_matches_component(name: str, spec: str) -> bool:
     """Whether ``spec`` matches ``name`` on module-path component boundaries.
 
@@ -287,15 +318,17 @@ def collect_sparsifiable(
 ) -> list[tuple[str, Parameter]]:
     """Return ``(name, weight)`` pairs of sparsifiable parameters.
 
-    By default: the ``weight`` of every :class:`~repro.nn.Linear` and
-    :class:`~repro.nn.Conv2d` in the model.  Pass ``include_modules`` to
-    restrict to specific layers (e.g. the GNN experiments sparsify only the
-    two predictor FC layers).
+    By default: the ``weight`` of every :class:`~repro.nn.Linear`,
+    :class:`~repro.nn.Conv2d`, and :class:`~repro.nn.Embedding` in the
+    model (the LM workload sparsifies its embedding tables alongside the
+    attention/MLP matmuls).  Pass ``include_modules`` to restrict to
+    specific layers (e.g. the GNN experiments sparsify only the two
+    predictor FC layers).
     """
     allowed = None if include_modules is None else {id(m) for m in include_modules}
     pairs: list[tuple[str, Parameter]] = []
     for name, module in model.named_modules():
-        if not isinstance(module, (nn.Linear, nn.Conv2d)):
+        if not isinstance(module, (nn.Linear, nn.Conv2d, nn.Embedding)):
             continue
         if allowed is not None and id(module) not in allowed:
             continue
@@ -506,10 +539,24 @@ class MaskedModel:
         The semantics are unchanged: gradients at inactive coordinates are
         zero (masked) and the engine resets optimizer state at regrown
         coordinates, so skipped inactive-state decay is never observable.
+
+        :class:`~repro.nn.Embedding` weights additionally restrict the
+        index set to *touched* rows (see :func:`_touched_rows_provider`),
+        so only rows the batch indexed receive Adam moment updates —
+        lazy ``SparseAdam`` semantics rather than whole-table decay.
         """
-        optimizer.bind_sparse_indices(
-            {id(t.param): (lambda t=t: t.active_indices) for t in self.targets}
-        )
+        embedding_params = {
+            id(module.weight)
+            for _, module in self.model.named_modules()
+            if isinstance(module, nn.Embedding)
+        }
+        providers = {}
+        for t in self.targets:
+            if id(t.param) in embedding_params:
+                providers[id(t.param)] = _touched_rows_provider(t)
+            else:
+                providers[id(t.param)] = lambda t=t: t.active_indices
+        optimizer.bind_sparse_indices(providers)
         self._bound_optimizer = optimizer
 
     @property

@@ -1,0 +1,85 @@
+"""Char-LM corpus: determinism, alphabet contract, and windowing."""
+
+import numpy as np
+import pytest
+
+from repro.data.text import (
+    ALPHABET,
+    CharVocab,
+    generate_corpus,
+    make_char_lm_data,
+)
+
+
+class TestCorpusDeterminism:
+    def test_same_args_same_bytes(self):
+        assert generate_corpus(4096, seed=0) == generate_corpus(4096, seed=0)
+
+    def test_seed_changes_stream(self):
+        assert generate_corpus(2048, seed=0) != generate_corpus(2048, seed=1)
+
+    def test_prefix_property_not_required_but_length_exact(self):
+        assert len(generate_corpus(1234, seed=7)) == 1234
+
+    def test_only_alphabet_characters(self):
+        assert set(generate_corpus(8192, seed=3)) <= set(ALPHABET)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError, match="positive"):
+            generate_corpus(0)
+
+
+class TestCharVocab:
+    def test_exactly_32_symbols_with_nul_pad(self):
+        vocab = CharVocab()
+        assert len(vocab) == 32
+        assert vocab.pad_id == 0
+        assert ALPHABET[0] == "\x00"
+
+    def test_pad_char_never_generated(self):
+        assert "\x00" not in generate_corpus(8192, seed=0)
+
+    def test_encode_decode_round_trip(self):
+        vocab = CharVocab()
+        text = "the cat sat.\n"
+        assert vocab.decode(vocab.encode(text)) == text
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(ValueError, match="not in the alphabet"):
+            CharVocab().encode("Qx7")
+
+    def test_decode_range_checked(self):
+        with pytest.raises(ValueError, match="ids outside"):
+            CharVocab().decode(np.array([40]))
+
+
+class TestWindows:
+    def test_shapes_and_shift_by_one(self):
+        data = make_char_lm_data(n_chars=2048, block_len=16, seed=0)
+        x, y = data.train[0]
+        assert x.shape == (16,) and y.shape == (16,)
+        # Targets are inputs shifted by one within the raw stream.
+        x1, _ = data.train[1]
+        assert y[-1] == x1[0]
+        np.testing.assert_array_equal(y[:-1], x[1:])
+
+    def test_split_is_deterministic_and_disjoint(self):
+        a = make_char_lm_data(n_chars=2048, block_len=16, seed=0)
+        b = make_char_lm_data(n_chars=2048, block_len=16, seed=0)
+        np.testing.assert_array_equal(a.train.inputs, b.train.inputs)
+        np.testing.assert_array_equal(a.val.inputs, b.val.inputs)
+        # val windows come from the held-out suffix: roughly val_fraction
+        # of the windows, never zero.
+        assert 0 < len(a.val) < len(a.train)
+
+    def test_vocab_size_exposed_for_model_construction(self):
+        data = make_char_lm_data(n_chars=1024, block_len=8)
+        assert data.vocab_size == 32
+
+    def test_bad_val_fraction_rejected(self):
+        with pytest.raises(ValueError, match="val_fraction"):
+            make_char_lm_data(n_chars=1024, val_fraction=0.0)
+
+    def test_too_short_segment_is_loud(self):
+        with pytest.raises(ValueError, match="no window"):
+            make_char_lm_data(n_chars=64, block_len=128)

@@ -41,6 +41,37 @@ class NoCkpt(Callback):  # expect: RPL002  # noqa: F821
         self.seen = []
 
 
+class LMPerplexityCallback(Callback):  # noqa: F821
+    """LM eval tracker: pairs the hooks but forgets the token tallies.
+
+    Modeled on the language-model workload's stateful eval accumulators
+    (running loss over tokens) — a resumed run would restart the tallies
+    empty and report a wrong perplexity.
+    """
+
+    def __init__(self):
+        self.val_losses = []
+        self.token_counts = []  # expect: RPL002
+
+    def state_dict(self):
+        return {"val_losses": list(self.val_losses)}
+
+    def load_state_dict(self, state):
+        self.val_losses = list(state["val_losses"])
+
+
+class LMSamplerState(Trainer):  # expect: RPL002  # noqa: F821
+    """Greedy-decode cache with no checkpoint hooks at all.
+
+    A char-LM trainer that memoizes prompt prefixes between epochs: the
+    cache is mutable cross-step state, so the hierarchy must expose
+    state_dict/load_state_dict.
+    """
+
+    def __init__(self):
+        self.prefix_cache = {}
+
+
 class ExemptEngine(Trainer):  # noqa: F821
     """CHECKPOINT_EXEMPT silences declared-derived attributes only."""
 

@@ -20,3 +20,11 @@ def drift_layer(target, amount):
 
 def bulk_update(first, second):
     first.target_density, second.mask = 0.1, None  # expect: RPL007
+
+
+def rebalance_lm_embeddings(tok_emb, lm_head, shift):
+    """LM-workload shape: moving density between the embedding table and
+    the vocabulary head must go through the DensityBudget, never by
+    writing the targets' densities directly."""
+    tok_emb.target_density -= shift  # expect: RPL007
+    lm_head._target_density = lm_head._target_density + shift  # expect: RPL007
